@@ -1,0 +1,39 @@
+//! Latency of the similarity metrics on the paper's 60×160 images:
+//! pixel-wise MSE, windowed SSIM (integral-image implementation), and
+//! SSIM with its analytic gradient (the cost added to every autoencoder
+//! training step when switching the objective from MSE to SSIM).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use metrics::{mse, ssim, ssim_with_grad, SsimConfig};
+use std::hint::black_box;
+use vision::Image;
+
+fn pair() -> (Image, Image) {
+    let a = Image::from_fn(60, 160, |y, x| ((y * 11 + x * 5) % 19) as f32 / 18.0)
+        .expect("non-zero dimensions");
+    let b = a.map(|v| (v * 0.9 + 0.03).min(1.0));
+    (a, b)
+}
+
+fn metric_speed(c: &mut Criterion) {
+    let (a, b) = pair();
+    let cfg = SsimConfig::default();
+
+    let mut group = c.benchmark_group("metric_per_image_60x160");
+    group.bench_function("mse", |bch| {
+        bch.iter(|| mse(black_box(&a), black_box(&b)).unwrap())
+    });
+    group.bench_function("ssim_w11", |bch| {
+        bch.iter(|| ssim(black_box(&a), black_box(&b), &cfg).unwrap())
+    });
+    group.bench_function("ssim_with_grad_w11", |bch| {
+        bch.iter(|| ssim_with_grad(black_box(&a), black_box(&b), &cfg).unwrap())
+    });
+    group.bench_function("ssim_w5", |bch| {
+        bch.iter(|| ssim(black_box(&a), black_box(&b), &SsimConfig::with_window(5)).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, metric_speed);
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! End-to-end pipeline latency: what a deployed system pays per frame.
+//!
+//! * steering CNN forward pass (the base workload),
+//! * full novelty score (VBP → autoencoder → SSIM) for the paper's
+//!   pipeline and the raw+MSE baseline,
+//! * autoencoder training step cost under MSE vs SSIM objectives.
+//!
+//! The detector is trained very briefly — latency does not depend on
+//! weight quality.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use novelty::{ClassifierConfig, NoveltyDetectorBuilder, ReconstructionObjective};
+use simdrive::DatasetConfig;
+use std::hint::black_box;
+
+fn pipeline_throughput(c: &mut Criterion) {
+    let data = DatasetConfig::outdoor().with_len(40).generate(1);
+    let quick_ae = |objective| ClassifierConfig {
+        epochs: 1,
+        warmup_epochs: 0,
+        objective,
+        ..ClassifierConfig::paper()
+    };
+    let paper = NoveltyDetectorBuilder::paper()
+        .cnn_epochs(1)
+        .classifier_config(quick_ae(ReconstructionObjective::paper_ssim()))
+        .seed(1)
+        .train(&data)
+        .expect("training succeeds");
+    let baseline = NoveltyDetectorBuilder::richter_roy()
+        .classifier_config(quick_ae(ReconstructionObjective::Mse))
+        .seed(1)
+        .train(&data)
+        .expect("training succeeds");
+    let frame = data.frames()[0].image.clone();
+
+    let mut group = c.benchmark_group("pipeline_per_frame_60x160");
+    group.bench_function("steering_cnn_forward", |b| {
+        b.iter(|| paper.predict_steering(black_box(&frame)).unwrap())
+    });
+    group.bench_function("score_vbp_ssim", |b| {
+        b.iter(|| paper.score(black_box(&frame)).unwrap())
+    });
+    group.bench_function("score_raw_mse", |b| {
+        b.iter(|| baseline.score(black_box(&frame)).unwrap())
+    });
+    group.bench_function("classify_vbp_ssim", |b| {
+        b.iter(|| paper.classify(black_box(&frame)).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, pipeline_throughput);
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! Experiment E7 — the paper's §III.B claim: VisualBackProp is an order
+//! of magnitude faster than LRP while producing comparable masks.
+//!
+//! Measures per-image mask latency of VBP, ε-LRP, vanilla gradient
+//! saliency and (coarse) occlusion probing on the compact PilotNet at the
+//! paper's 60×160 input. Weights are random — saliency latency does not
+//! depend on training.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use neural::models::{pilotnet, PilotNetConfig};
+use saliency::{
+    gradient_saliency, lrp, occlusion_saliency, visual_backprop, LrpConfig, OcclusionConfig,
+};
+use std::hint::black_box;
+use vision::Image;
+
+fn bench_image() -> Image {
+    Image::from_fn(60, 160, |y, x| ((y * 7 + x * 3) % 23) as f32 / 22.0)
+        .expect("non-zero dimensions")
+}
+
+fn saliency_speed(c: &mut Criterion) {
+    let net = pilotnet(&PilotNetConfig::compact(), 1).expect("valid config");
+    let mut net_mut = pilotnet(&PilotNetConfig::compact(), 1).expect("valid config");
+    let img = bench_image();
+
+    let mut group = c.benchmark_group("saliency_per_image_60x160");
+    group.bench_function("vbp", |b| {
+        b.iter(|| visual_backprop(black_box(&net), black_box(&img)).unwrap())
+    });
+    group.bench_function("lrp_eps", |b| {
+        b.iter(|| lrp(black_box(&net), black_box(&img), &LrpConfig::default()).unwrap())
+    });
+    group.bench_function("gradient", |b| {
+        b.iter(|| gradient_saliency(black_box(&mut net_mut), black_box(&img)).unwrap())
+    });
+    group.sample_size(10);
+    group.bench_function("occlusion_w16_s16", |b| {
+        b.iter(|| {
+            occlusion_saliency(
+                black_box(&net),
+                black_box(&img),
+                &OcclusionConfig {
+                    window: 16,
+                    stride: 16,
+                    fill: 0.5,
+                },
+            )
+            .unwrap()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, saliency_speed);
+criterion_main!(benches);

@@ -1,0 +1,112 @@
+//! Experiment E1 — reproduces **Figure 2**: are VBP masks tied to
+//! *learned* features?
+//!
+//! The paper trains the steering CNN twice — once with real steering
+//! angles, once with random angles — and shows qualitatively that only
+//! the properly-trained network's VBP masks highlight road features.
+//!
+//! We quantify the comparison on the synthetic substrate: the renderer
+//! provides analytic ground truth for the road-edge band and lane
+//! markings, so we measure each network's *concentration ratio* (fraction
+//! of VBP mass on road-relevant pixels over that region's area fraction;
+//! 1.0 = chance) plus the structural similarity between the two
+//! networks' masks.
+//!
+//! **Honest finding (see EXPERIMENTS.md):** on this substrate the effect
+//! is much weaker than the paper's panels suggest. Our compact CNN can
+//! learn steering from edge features that are already present at random
+//! initialisation, so supervised training barely reshapes the conv stack
+//! that VBP reads — trained and random-label masks stay similar. The
+//! qualitative panels are still produced for inspection, and the numbers
+//! below report whatever difference exists.
+
+use bench::{dump_pgm, outdoor_dataset, print_header, Scale};
+use metrics::{ssim, SsimConfig};
+use novelty::NoveltyDetectorBuilder;
+use saliency::mask::{concentration_ratio, overlay};
+use saliency::visual_backprop;
+use simdrive::region_masks;
+use vision::Image;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let scale = Scale::from_env();
+    print_header(
+        "fig2_vbp_features",
+        "Figure 2 (VBP tied to learned features)",
+        scale,
+    );
+
+    let data = outdoor_dataset(scale, scale.train_len(), 0xF162);
+    let (train, test) = data.split(0.8);
+    let builder = NoveltyDetectorBuilder::paper()
+        .cnn_epochs(scale.cnn_epochs())
+        .seed(2);
+
+    println!(
+        "training steering CNN on real angles ({} frames)…",
+        train.len()
+    );
+    let trained = builder.train_steering_cnn(&train)?;
+    println!("training steering CNN on random angles (control)…");
+    let control = builder.train_steering_cnn(&train.with_random_angles(99))?;
+
+    let probe = test.sample(scale.test_len().min(test.len()), 7);
+    let mut conc_trained = 0.0f32;
+    let mut conc_random = 0.0f32;
+    let mut mask_similarity = 0.0f32;
+    for frame in probe.frames() {
+        let regions = region_masks(&frame.scene, frame.image.height(), frame.image.width());
+        // "Road-relevant" = edge band ∪ painted markings (the features the
+        // paper's Fig. 2 points at).
+        let relevant = Image::from_fn(frame.image.height(), frame.image.width(), |y, x| {
+            regions.edge_band.get(y, x).max(regions.markings.get(y, x))
+        })?;
+        let mask_t = visual_backprop(&trained, &frame.image)?;
+        let mask_r = visual_backprop(&control, &frame.image)?;
+        conc_trained += concentration_ratio(&mask_t, &relevant, 0.5)?;
+        conc_random += concentration_ratio(&mask_r, &relevant, 0.5)?;
+        mask_similarity += ssim(&mask_t, &mask_r, &SsimConfig::default())?;
+    }
+    let n = probe.len() as f32;
+    let (ct, cr, sim) = (conc_trained / n, conc_random / n, mask_similarity / n);
+
+    println!();
+    println!("VBP saliency concentration on road-relevant pixels (edge band + markings)");
+    println!(
+        "(mass fraction / area fraction; 1.0 = chance)  n = {}",
+        probe.len()
+    );
+    println!();
+    println!("  network trained on        mean concentration");
+    println!("  ---------------------     ------------------");
+    println!("  actual steering angles    {ct:>18.2}");
+    println!("  random steering angles    {cr:>18.2}");
+    println!();
+    println!("  lift of trained over random: {:.2}x", ct / cr.max(1e-6));
+    println!("  mean SSIM between the two networks' masks: {sim:.2}");
+    println!();
+    println!("  paper: trained masks show road edges, random-label masks are unstructured.");
+    println!("  here: the compact CNN solves steering with near-initialisation conv");
+    println!("  features, so both masks remain generic edge responses (similarity {sim:.2});");
+    println!("  the claim reproduces only weakly on this substrate — see EXPERIMENTS.md.");
+
+    // Qualitative panel, as in the figure: input / random-mask / trained-mask.
+    let example = &probe.frames()[0];
+    let mask_t = visual_backprop(&trained, &example.image)?;
+    let mask_r = visual_backprop(&control, &example.image)?;
+    for (name, img) in [
+        ("fig2_input", &example.image),
+        ("fig2_mask_random", &mask_r),
+        ("fig2_mask_trained", &mask_t),
+    ] {
+        if let Some(p) = dump_pgm(name, img) {
+            println!("  wrote {}", p.display());
+        }
+    }
+    if let Ok(rgb) = overlay(&example.image, &mask_t) {
+        if let Some(p) = bench::dump_ppm("fig2_overlay_trained", &rgb) {
+            println!("  wrote {}", p.display());
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,186 @@
+//! Empirical cumulative distribution functions and percentile thresholds.
+//!
+//! Richter & Roy (paper reference 9) classify an input as novel when its
+//! reconstruction loss falls outside the 99th percentile of the training
+//! losses' empirical CDF; the paper reuses the same rule for SSIM (where
+//! *low* similarity is suspicious). [`Ecdf`] provides both directions.
+
+use crate::{MetricsError, Result};
+
+/// An empirical CDF over a finite sample.
+///
+/// # Example
+///
+/// ```
+/// use metrics::ecdf::Ecdf;
+///
+/// # fn main() -> Result<(), metrics::MetricsError> {
+/// let e = Ecdf::new(vec![1.0, 2.0, 3.0, 4.0])?;
+/// assert_eq!(e.cdf(2.5), 0.5);
+/// assert_eq!(e.quantile(0.5)?, 2.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Ecdf {
+    sorted: Vec<f32>,
+}
+
+impl Ecdf {
+    /// Builds an ECDF from samples (takes ownership; sorts internally).
+    ///
+    /// # Errors
+    ///
+    /// Fails when the sample is empty or contains non-finite values.
+    pub fn new(mut values: Vec<f32>) -> Result<Self> {
+        if values.is_empty() {
+            return Err(MetricsError::invalid("ecdf", "sample must be non-empty"));
+        }
+        if values.iter().any(|v| !v.is_finite()) {
+            return Err(MetricsError::invalid(
+                "ecdf",
+                "sample contains non-finite values",
+            ));
+        }
+        values.sort_by(|a, b| a.partial_cmp(b).expect("values are finite"));
+        Ok(Ecdf { sorted: values })
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// Always `false` (construction rejects empty samples).
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// The sorted sample.
+    pub fn values(&self) -> &[f32] {
+        &self.sorted
+    }
+
+    /// `F(x)`: the fraction of samples `<= x`.
+    pub fn cdf(&self, x: f32) -> f32 {
+        // partition_point returns the count of elements <= x on a sorted
+        // slice when probing with `v <= x`.
+        let count = self.sorted.partition_point(|&v| v <= x);
+        count as f32 / self.sorted.len() as f32
+    }
+
+    /// The `q`-quantile for `q ∈ [0, 1]` using the nearest-rank method
+    /// (`q = 0` gives the minimum, `q = 1` the maximum).
+    ///
+    /// # Errors
+    ///
+    /// Fails when `q` is outside `[0, 1]` or not finite.
+    pub fn quantile(&self, q: f32) -> Result<f32> {
+        if !q.is_finite() || !(0.0..=1.0).contains(&q) {
+            return Err(MetricsError::invalid(
+                "ecdf",
+                format!("quantile must be in [0, 1], got {q}"),
+            ));
+        }
+        if q == 0.0 {
+            return Ok(self.sorted[0]);
+        }
+        let n = self.sorted.len();
+        let rank = (q * n as f32).ceil() as usize;
+        Ok(self.sorted[rank.clamp(1, n) - 1])
+    }
+
+    /// The Richter & Roy novelty threshold for a *loss-like* score
+    /// (bigger = worse): the `percentile`-th percentile of the training
+    /// scores. A test score **above** this value is classified novel.
+    ///
+    /// # Errors
+    ///
+    /// Fails when `percentile` is outside `[0, 100]`.
+    pub fn upper_threshold(&self, percentile: f32) -> Result<f32> {
+        self.quantile(percentile / 100.0)
+    }
+
+    /// The symmetric threshold for a *similarity-like* score (bigger =
+    /// better, e.g. SSIM): the `(100 − percentile)`-th percentile. A test
+    /// score **below** this value is classified novel.
+    ///
+    /// # Errors
+    ///
+    /// Fails when `percentile` is outside `[0, 100]`.
+    pub fn lower_threshold(&self, percentile: f32) -> Result<f32> {
+        self.quantile((100.0 - percentile) / 100.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn construction_validates() {
+        assert!(Ecdf::new(vec![]).is_err());
+        assert!(Ecdf::new(vec![1.0, f32::NAN]).is_err());
+        assert!(Ecdf::new(vec![0.0]).is_ok());
+    }
+
+    #[test]
+    fn cdf_step_values() {
+        let e = Ecdf::new(vec![3.0, 1.0, 2.0, 4.0]).unwrap();
+        assert_eq!(e.cdf(0.5), 0.0);
+        assert_eq!(e.cdf(1.0), 0.25);
+        assert_eq!(e.cdf(2.5), 0.5);
+        assert_eq!(e.cdf(4.0), 1.0);
+        assert_eq!(e.cdf(100.0), 1.0);
+    }
+
+    #[test]
+    fn quantiles_use_nearest_rank() {
+        let e = Ecdf::new((1..=100).map(|i| i as f32).collect()).unwrap();
+        assert_eq!(e.quantile(0.0).unwrap(), 1.0);
+        assert_eq!(e.quantile(0.5).unwrap(), 50.0);
+        assert_eq!(e.quantile(0.99).unwrap(), 99.0);
+        assert_eq!(e.quantile(1.0).unwrap(), 100.0);
+        assert!(e.quantile(1.5).is_err());
+        assert!(e.quantile(-0.1).is_err());
+    }
+
+    #[test]
+    fn thresholds_for_both_directions() {
+        let e = Ecdf::new((1..=100).map(|i| i as f32).collect()).unwrap();
+        // Loss-like: 99th percentile.
+        assert_eq!(e.upper_threshold(99.0).unwrap(), 99.0);
+        // Similarity-like: 1st percentile.
+        assert_eq!(e.lower_threshold(99.0).unwrap(), 1.0);
+    }
+
+    #[test]
+    fn single_sample_ecdf() {
+        let e = Ecdf::new(vec![5.0]).unwrap();
+        assert_eq!(e.quantile(0.5).unwrap(), 5.0);
+        assert_eq!(e.cdf(4.9), 0.0);
+        assert_eq!(e.cdf(5.0), 1.0);
+    }
+
+    proptest! {
+        #[test]
+        fn cdf_is_monotone(mut v in proptest::collection::vec(-100.0f32..100.0, 1..50)) {
+            v.retain(|x| x.is_finite());
+            prop_assume!(!v.is_empty());
+            let e = Ecdf::new(v).unwrap();
+            let probes: Vec<f32> = (-10..=10).map(|i| i as f32 * 12.0).collect();
+            for w in probes.windows(2) {
+                prop_assert!(e.cdf(w[0]) <= e.cdf(w[1]));
+            }
+        }
+
+        #[test]
+        fn quantile_of_cdf_roundtrip(v in proptest::collection::vec(-50.0f32..50.0, 1..40), q in 0.01f32..1.0) {
+            let e = Ecdf::new(v).unwrap();
+            let x = e.quantile(q).unwrap();
+            // At least a q-fraction of samples are <= quantile(q).
+            prop_assert!(e.cdf(x) + 1e-6 >= q);
+        }
+    }
+}

@@ -1,0 +1,72 @@
+use std::fmt;
+
+use ndtensor::TensorError;
+
+/// Error type for metric computation.
+#[derive(Debug)]
+pub enum MetricsError {
+    /// An underlying tensor operation failed.
+    Tensor(TensorError),
+    /// A metric-level invariant was violated.
+    Invalid {
+        /// Short name of the metric or operation that failed.
+        op: &'static str,
+        /// Human-readable description of the violated invariant.
+        reason: String,
+    },
+}
+
+impl MetricsError {
+    /// Builds an [`MetricsError::Invalid`].
+    pub fn invalid(op: &'static str, reason: impl Into<String>) -> Self {
+        MetricsError::Invalid {
+            op,
+            reason: reason.into(),
+        }
+    }
+}
+
+impl fmt::Display for MetricsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MetricsError::Tensor(e) => write!(f, "tensor error: {e}"),
+            MetricsError::Invalid { op, reason } => write!(f, "{op}: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for MetricsError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            MetricsError::Tensor(e) => Some(e),
+            MetricsError::Invalid { .. } => None,
+        }
+    }
+}
+
+impl From<TensorError> for MetricsError {
+    fn from(e: TensorError) -> Self {
+        MetricsError::Tensor(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        use std::error::Error;
+        let e = MetricsError::invalid("ssim", "window larger than image");
+        assert!(e.to_string().contains("ssim"));
+        assert!(e.source().is_none());
+        let e = MetricsError::from(TensorError::invalid("x", "y"));
+        assert!(e.source().is_some());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<MetricsError>();
+    }
+}

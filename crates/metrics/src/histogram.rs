@@ -1,0 +1,224 @@
+//! Fixed-range histograms for score distributions (Figs. 5 and 7).
+
+use crate::{MetricsError, Result};
+
+/// A fixed-range, equal-width histogram over `f32` samples.
+///
+/// Out-of-range samples are clamped into the first/last bin so that no
+/// score silently disappears from a figure.
+///
+/// # Example
+///
+/// ```
+/// use metrics::histogram::Histogram;
+///
+/// # fn main() -> Result<(), metrics::MetricsError> {
+/// let h = Histogram::from_values(&[0.1, 0.2, 0.9], 0.0, 1.0, 10)?;
+/// assert_eq!(h.total(), 3);
+/// assert_eq!(h.counts()[1], 1); // 0.1 lands in bin [0.1, 0.2)
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    lo: f32,
+    hi: f32,
+    counts: Vec<u64>,
+}
+
+impl Histogram {
+    /// Creates an empty histogram over `[lo, hi]` with `bins` bins.
+    ///
+    /// # Errors
+    ///
+    /// Fails when `bins == 0`, the bounds are not finite, or `lo >= hi`.
+    pub fn new(lo: f32, hi: f32, bins: usize) -> Result<Self> {
+        if bins == 0 {
+            return Err(MetricsError::invalid("histogram", "bins must be non-zero"));
+        }
+        if !lo.is_finite() || !hi.is_finite() || lo >= hi {
+            return Err(MetricsError::invalid(
+                "histogram",
+                format!("invalid range [{lo}, {hi}]"),
+            ));
+        }
+        Ok(Histogram {
+            lo,
+            hi,
+            counts: vec![0; bins],
+        })
+    }
+
+    /// Builds a histogram from samples.
+    ///
+    /// Non-finite samples are rejected with an error (they indicate an
+    /// upstream bug worth surfacing, not a plotting concern).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Histogram::new`], plus non-finite samples.
+    pub fn from_values(values: &[f32], lo: f32, hi: f32, bins: usize) -> Result<Self> {
+        let mut h = Self::new(lo, hi, bins)?;
+        for &v in values {
+            h.add(v)?;
+        }
+        Ok(h)
+    }
+
+    /// Adds one sample (clamped into range).
+    ///
+    /// # Errors
+    ///
+    /// Fails when the sample is not finite.
+    pub fn add(&mut self, value: f32) -> Result<()> {
+        if !value.is_finite() {
+            return Err(MetricsError::invalid(
+                "histogram",
+                format!("sample is not finite: {value}"),
+            ));
+        }
+        let bins = self.counts.len();
+        let t = (value - self.lo) / (self.hi - self.lo);
+        let idx = ((t * bins as f32).floor() as i64).clamp(0, bins as i64 - 1) as usize;
+        self.counts[idx] += 1;
+        Ok(())
+    }
+
+    /// The lower bound of the range.
+    pub fn lo(&self) -> f32 {
+        self.lo
+    }
+
+    /// The upper bound of the range.
+    pub fn hi(&self) -> f32 {
+        self.hi
+    }
+
+    /// Number of bins.
+    pub fn bins(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Raw bin counts.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Total number of samples.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Centre value of bin `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `i >= bins()`.
+    pub fn bin_center(&self, i: usize) -> f32 {
+        assert!(i < self.bins(), "bin index {i} out of range");
+        let width = (self.hi - self.lo) / self.bins() as f32;
+        self.lo + (i as f32 + 0.5) * width
+    }
+
+    /// Relative frequencies (each count divided by the total; all zeros
+    /// when empty).
+    pub fn frequencies(&self) -> Vec<f32> {
+        let total = self.total();
+        if total == 0 {
+            return vec![0.0; self.bins()];
+        }
+        self.counts
+            .iter()
+            .map(|&c| c as f32 / total as f32)
+            .collect()
+    }
+
+    /// Renders the histogram as fixed-width text rows
+    /// (`center  count  bar`), the format the figure binaries print.
+    pub fn render_rows(&self, bar_width: usize) -> Vec<String> {
+        let max = self.counts.iter().copied().max().unwrap_or(0).max(1);
+        self.counts
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| {
+                let bar_len = ((c as f64 / max as f64) * bar_width as f64).round() as usize;
+                format!(
+                    "{:>9.4} {:>7} {}",
+                    self.bin_center(i),
+                    c,
+                    "#".repeat(bar_len)
+                )
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_validates() {
+        assert!(Histogram::new(0.0, 1.0, 0).is_err());
+        assert!(Histogram::new(1.0, 0.0, 4).is_err());
+        assert!(Histogram::new(0.0, 0.0, 4).is_err());
+        assert!(Histogram::new(f32::NAN, 1.0, 4).is_err());
+        assert!(Histogram::new(0.0, 1.0, 4).is_ok());
+    }
+
+    #[test]
+    fn samples_land_in_expected_bins() {
+        let h = Histogram::from_values(&[0.05, 0.15, 0.151, 0.95], 0.0, 1.0, 10).unwrap();
+        assert_eq!(h.counts(), &[1, 2, 0, 0, 0, 0, 0, 0, 0, 1]);
+        assert_eq!(h.total(), 4);
+    }
+
+    #[test]
+    fn out_of_range_samples_clamp_to_edge_bins() {
+        let h = Histogram::from_values(&[-5.0, 5.0, 1.0], 0.0, 1.0, 4).unwrap();
+        assert_eq!(h.counts()[0], 1);
+        // 1.0 is exactly hi → last bin; 5.0 clamps to last bin too.
+        assert_eq!(h.counts()[3], 2);
+    }
+
+    #[test]
+    fn non_finite_samples_are_rejected() {
+        let mut h = Histogram::new(0.0, 1.0, 2).unwrap();
+        assert!(h.add(f32::NAN).is_err());
+        assert!(h.add(f32::INFINITY).is_err());
+        assert_eq!(h.total(), 0);
+    }
+
+    #[test]
+    fn bin_centers_are_midpoints() {
+        let h = Histogram::new(0.0, 1.0, 4).unwrap();
+        assert!((h.bin_center(0) - 0.125).abs() < 1e-6);
+        assert!((h.bin_center(3) - 0.875).abs() < 1e-6);
+    }
+
+    #[test]
+    fn frequencies_sum_to_one() {
+        let h = Histogram::from_values(&[0.1, 0.2, 0.3, 0.9], 0.0, 1.0, 5).unwrap();
+        let sum: f32 = h.frequencies().iter().sum();
+        assert!((sum - 1.0).abs() < 1e-6);
+        let empty = Histogram::new(0.0, 1.0, 5).unwrap();
+        assert!(empty.frequencies().iter().all(|&f| f == 0.0));
+    }
+
+    #[test]
+    fn render_rows_shape() {
+        let h = Histogram::from_values(&[0.1, 0.1, 0.8], 0.0, 1.0, 4).unwrap();
+        let rows = h.render_rows(10);
+        assert_eq!(rows.len(), 4);
+        assert!(rows[0].contains("##"));
+        // Largest bin gets the full bar.
+        assert!(rows[0].ends_with(&"#".repeat(10)));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bin_center_bounds() {
+        let h = Histogram::new(0.0, 1.0, 2).unwrap();
+        let _ = h.bin_center(2);
+    }
+}

@@ -1,0 +1,178 @@
+//! Multi-scale SSIM (Wang, Simoncelli & Bovik, 2003).
+//!
+//! MS-SSIM evaluates contrast/structure at several dyadic scales and
+//! luminance only at the coarsest, making it less sensitive to the exact
+//! viewing resolution than single-scale SSIM. Included as an extension so
+//! the ablation benches can ask whether the paper's single-scale choice
+//! costs anything.
+//!
+//! This implementation uses the simplified uniform-window machinery of
+//! [`crate::ssim`] per scale and combines mean per-scale scores with the
+//! standard exponents, truncated and re-normalised to however many scales
+//! fit the image.
+
+use vision::Image;
+
+use crate::{MetricsError, Result, SsimConfig};
+
+/// Standard five-scale MS-SSIM weights.
+const STANDARD_WEIGHTS: [f32; 5] = [0.0448, 0.2856, 0.3001, 0.2363, 0.1333];
+
+/// Configuration for [`ms_ssim`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MsSsimConfig {
+    /// Per-scale SSIM settings (window, stabilisers).
+    pub base: SsimConfig,
+    /// Number of dyadic scales (1–5). Scales that would shrink the image
+    /// below the window are dropped automatically.
+    pub scales: usize,
+}
+
+impl Default for MsSsimConfig {
+    fn default() -> Self {
+        MsSsimConfig {
+            base: SsimConfig::default(),
+            scales: 3,
+        }
+    }
+}
+
+/// Mean multi-scale SSIM between two same-size images.
+///
+/// Each scale halves the resolution (bilinear); per-scale mean SSIM
+/// values `s_i` combine as `Π s_i^{w_i}` with the standard weights
+/// re-normalised over the scales actually used. Negative per-scale means
+/// are clamped to 0 (the geometric combination is undefined below zero),
+/// so the result lies in `[0, 1]`.
+///
+/// # Errors
+///
+/// Fails when the images differ in size, `scales` is 0 or exceeds 5, or
+/// the window does not fit even the first scale.
+pub fn ms_ssim(x: &Image, y: &Image, cfg: &MsSsimConfig) -> Result<f32> {
+    if cfg.scales == 0 || cfg.scales > STANDARD_WEIGHTS.len() {
+        return Err(MetricsError::invalid(
+            "ms_ssim",
+            format!("scales must be in 1..=5, got {}", cfg.scales),
+        ));
+    }
+    let mut xs = x.clone();
+    let mut ys = y.clone();
+    let mut scores = Vec::with_capacity(cfg.scales);
+    for level in 0..cfg.scales {
+        if xs.height() < cfg.base.window || xs.width() < cfg.base.window {
+            break;
+        }
+        scores.push(crate::ssim(&xs, &ys, &cfg.base)?);
+        if level + 1 < cfg.scales {
+            let (nh, nw) = (xs.height() / 2, xs.width() / 2);
+            if nh == 0 || nw == 0 {
+                break;
+            }
+            xs = xs
+                .resize_bilinear(nh, nw)
+                .map_err(|e| MetricsError::invalid("ms_ssim", e.to_string()))?;
+            ys = ys
+                .resize_bilinear(nh, nw)
+                .map_err(|e| MetricsError::invalid("ms_ssim", e.to_string()))?;
+        }
+    }
+    if scores.is_empty() {
+        return Err(MetricsError::invalid(
+            "ms_ssim",
+            format!(
+                "window {} does not fit image {}x{}",
+                cfg.base.window,
+                x.height(),
+                x.width()
+            ),
+        ));
+    }
+    let weights = &STANDARD_WEIGHTS[..scores.len()];
+    let total: f32 = weights.iter().sum();
+    let mut acc = 1.0f64;
+    for (s, w) in scores.iter().zip(weights) {
+        acc *= (s.max(0.0) as f64).powf((w / total) as f64);
+    }
+    Ok(acc as f32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn textured(h: usize, w: usize, seed: u64) -> Image {
+        Image::from_fn(h, w, |y, x| {
+            0.3 + 0.4 * ((y as f32 * 0.7 + x as f32 * 0.4 + seed as f32).sin() * 0.5 + 0.5)
+        })
+        .unwrap()
+    }
+
+    #[test]
+    fn identical_images_score_one() {
+        let img = textured(48, 64, 1);
+        let s = ms_ssim(&img, &img, &MsSsimConfig::default()).unwrap();
+        assert!((s - 1.0).abs() < 1e-5, "MS-SSIM(x,x) = {s}");
+    }
+
+    #[test]
+    fn score_is_bounded_and_orders_corruption() {
+        let x = textured(48, 64, 2);
+        let mild = x.map(|v| (v + 0.02).min(1.0));
+        let heavy = x.map(|v| 1.0 - v);
+        let cfg = MsSsimConfig::default();
+        let s_mild = ms_ssim(&x, &mild, &cfg).unwrap();
+        let s_heavy = ms_ssim(&x, &heavy, &cfg).unwrap();
+        assert!((0.0..=1.0).contains(&s_mild));
+        assert!((0.0..=1.0).contains(&s_heavy));
+        assert!(s_mild > s_heavy);
+    }
+
+    #[test]
+    fn single_scale_matches_plain_ssim_when_positive() {
+        let x = textured(32, 40, 3);
+        let y = textured(32, 40, 5);
+        let cfg = MsSsimConfig {
+            base: SsimConfig::with_window(7),
+            scales: 1,
+        };
+        let ms = ms_ssim(&x, &y, &cfg).unwrap();
+        let ss = crate::ssim(&x, &y, &SsimConfig::with_window(7)).unwrap();
+        if ss >= 0.0 {
+            assert!((ms - ss).abs() < 1e-5, "{ms} vs {ss}");
+        }
+    }
+
+    #[test]
+    fn small_images_drop_unusable_scales() {
+        // 20×24 with window 11: second scale (10×12) no longer fits, so
+        // only one scale contributes — still a valid score.
+        let x = textured(20, 24, 6);
+        let y = textured(20, 24, 7);
+        let cfg = MsSsimConfig {
+            base: SsimConfig::default(),
+            scales: 5,
+        };
+        let s = ms_ssim(&x, &y, &cfg).unwrap();
+        assert!(s.is_finite());
+    }
+
+    #[test]
+    fn validates_config() {
+        let img = textured(32, 32, 0);
+        let bad = MsSsimConfig {
+            scales: 0,
+            ..Default::default()
+        };
+        assert!(ms_ssim(&img, &img, &bad).is_err());
+        let too_many = MsSsimConfig {
+            scales: 6,
+            ..Default::default()
+        };
+        assert!(ms_ssim(&img, &img, &too_many).is_err());
+        let tiny = textured(4, 4, 0);
+        assert!(ms_ssim(&tiny, &tiny, &MsSsimConfig::default()).is_err());
+        let other = textured(32, 30, 0);
+        assert!(ms_ssim(&img, &other, &MsSsimConfig::default()).is_err());
+    }
+}

@@ -1,0 +1,384 @@
+//! Distribution-separation statistics.
+//!
+//! The paper argues visually (histograms) that VBP+SSIM separates target
+//! from novel scores better than the alternatives. These summaries put
+//! numbers behind the same comparison: AUROC, histogram overlap, and the
+//! detection rate at the calibrated threshold.
+
+use crate::{MetricsError, Result};
+
+/// Whether larger scores indicate *more* novel or *less* novel inputs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ScoreOrientation {
+    /// Larger score = more anomalous (e.g. reconstruction MSE).
+    HigherIsNovel,
+    /// Larger score = more normal (e.g. SSIM similarity).
+    LowerIsNovel,
+}
+
+fn validate(name: &'static str, v: &[f32]) -> Result<()> {
+    if v.is_empty() {
+        return Err(MetricsError::invalid(name, "sample must be non-empty"));
+    }
+    if v.iter().any(|x| !x.is_finite()) {
+        return Err(MetricsError::invalid(
+            name,
+            "sample contains non-finite values",
+        ));
+    }
+    Ok(())
+}
+
+/// Area under the ROC curve for separating `novel` from `target` scores.
+///
+/// 1.0 = perfect separation, 0.5 = chance. Computed exactly as the
+/// Mann–Whitney U statistic with tie correction.
+///
+/// # Errors
+///
+/// Fails when either sample is empty or contains non-finite values.
+pub fn auroc(target: &[f32], novel: &[f32], orientation: ScoreOrientation) -> Result<f32> {
+    validate("auroc", target)?;
+    validate("auroc", novel)?;
+    // Rank all scores; AUROC = (R_novel − n(n+1)/2) / (n·m) where R_novel
+    // is the rank sum of novel scores under "higher = more novel".
+    let mut all: Vec<(f32, bool)> = target
+        .iter()
+        .map(|&v| (v, false))
+        .chain(novel.iter().map(|&v| (v, true)))
+        .collect();
+    match orientation {
+        ScoreOrientation::HigherIsNovel => {}
+        ScoreOrientation::LowerIsNovel => {
+            for (v, _) in &mut all {
+                *v = -*v;
+            }
+        }
+    }
+    all.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("scores are finite"));
+    // Assign average ranks to ties.
+    let mut rank_sum_novel = 0.0f64;
+    let mut i = 0usize;
+    while i < all.len() {
+        let mut j = i;
+        while j + 1 < all.len() && all[j + 1].0 == all[i].0 {
+            j += 1;
+        }
+        let avg_rank = (i + j) as f64 / 2.0 + 1.0;
+        for item in &all[i..=j] {
+            if item.1 {
+                rank_sum_novel += avg_rank;
+            }
+        }
+        i = j + 1;
+    }
+    let n = novel.len() as f64;
+    let m = target.len() as f64;
+    let u = rank_sum_novel - n * (n + 1.0) / 2.0;
+    Ok((u / (n * m)) as f32)
+}
+
+/// Histogram-overlap coefficient of two score samples in `[0, 1]`:
+/// 0.0 = fully separated, 1.0 = identical distributions. Uses `bins`
+/// equal-width bins over the pooled range.
+///
+/// # Errors
+///
+/// Fails when either sample is empty/non-finite or `bins == 0`.
+pub fn overlap_coefficient(a: &[f32], b: &[f32], bins: usize) -> Result<f32> {
+    validate("overlap", a)?;
+    validate("overlap", b)?;
+    if bins == 0 {
+        return Err(MetricsError::invalid("overlap", "bins must be non-zero"));
+    }
+    let lo = a.iter().chain(b).copied().fold(f32::INFINITY, f32::min);
+    let hi = a.iter().chain(b).copied().fold(f32::NEG_INFINITY, f32::max);
+    if lo == hi {
+        return Ok(1.0);
+    }
+    let hist = |v: &[f32]| -> Vec<f32> {
+        let mut counts = vec![0u64; bins];
+        for &x in v {
+            let t = ((x - lo) / (hi - lo) * bins as f32).floor() as i64;
+            counts[t.clamp(0, bins as i64 - 1) as usize] += 1;
+        }
+        counts.iter().map(|&c| c as f32 / v.len() as f32).collect()
+    };
+    let ha = hist(a);
+    let hb = hist(b);
+    Ok(ha.iter().zip(&hb).map(|(&x, &y)| x.min(y)).sum())
+}
+
+/// Fraction of `scores` classified as novel at `threshold` under the given
+/// orientation (ties count as not novel, matching a strict comparison).
+///
+/// # Errors
+///
+/// Fails when the sample is empty or contains non-finite values.
+pub fn detection_rate(
+    scores: &[f32],
+    threshold: f32,
+    orientation: ScoreOrientation,
+) -> Result<f32> {
+    validate("detection_rate", scores)?;
+    let detected = scores
+        .iter()
+        .filter(|&&s| match orientation {
+            ScoreOrientation::HigherIsNovel => s > threshold,
+            ScoreOrientation::LowerIsNovel => s < threshold,
+        })
+        .count();
+    Ok(detected as f32 / scores.len() as f32)
+}
+
+/// One point of an ROC curve: false-positive rate vs true-positive rate
+/// at a particular threshold.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RocPoint {
+    /// Decision threshold the rates were computed at.
+    pub threshold: f32,
+    /// Fraction of target scores incorrectly classified novel.
+    pub fpr: f32,
+    /// Fraction of novel scores correctly classified novel.
+    pub tpr: f32,
+}
+
+/// Computes the full ROC curve for separating `novel` from `target`
+/// scores, one point per distinct score value (plus the two trivial
+/// endpoints), ordered by increasing FPR.
+///
+/// The trapezoidal area under the returned curve equals [`auroc`] up to
+/// floating-point error — asserted by this module's tests.
+///
+/// # Errors
+///
+/// Fails when either sample is empty or contains non-finite values.
+pub fn roc_points(
+    target: &[f32],
+    novel: &[f32],
+    orientation: ScoreOrientation,
+) -> Result<Vec<RocPoint>> {
+    validate("roc_points", target)?;
+    validate("roc_points", novel)?;
+    let flip = |v: f32| match orientation {
+        ScoreOrientation::HigherIsNovel => v,
+        ScoreOrientation::LowerIsNovel => -v,
+    };
+    // Candidate thresholds: every distinct score.
+    let mut thresholds: Vec<f32> = target.iter().chain(novel).map(|&v| flip(v)).collect();
+    thresholds.sort_by(|a, b| a.partial_cmp(b).expect("scores are finite"));
+    thresholds.dedup();
+    let mut points = Vec::with_capacity(thresholds.len() + 2);
+    // "Everything novel" endpoint: the threshold every score clears,
+    // which depends on the orientation.
+    points.push(RocPoint {
+        threshold: match orientation {
+            ScoreOrientation::HigherIsNovel => f32::NEG_INFINITY,
+            ScoreOrientation::LowerIsNovel => f32::INFINITY,
+        },
+        fpr: 1.0,
+        tpr: 1.0,
+    });
+    for &t in &thresholds {
+        let fpr = target.iter().filter(|&&s| flip(s) > t).count() as f32 / target.len() as f32;
+        let tpr = novel.iter().filter(|&&s| flip(s) > t).count() as f32 / novel.len() as f32;
+        points.push(RocPoint {
+            threshold: match orientation {
+                ScoreOrientation::HigherIsNovel => t,
+                ScoreOrientation::LowerIsNovel => -t,
+            },
+            fpr,
+            tpr,
+        });
+    }
+    points.sort_by(|a, b| {
+        a.fpr
+            .partial_cmp(&b.fpr)
+            .expect("rates are finite")
+            .then(a.tpr.partial_cmp(&b.tpr).expect("rates are finite"))
+    });
+    Ok(points)
+}
+
+/// A compact separation report between a target and a novel score sample.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SeparationReport {
+    /// AUROC of novel-vs-target.
+    pub auroc: f32,
+    /// Histogram overlap coefficient (32 bins).
+    pub overlap: f32,
+    /// Mean of the target scores.
+    pub target_mean: f32,
+    /// Mean of the novel scores.
+    pub novel_mean: f32,
+}
+
+impl SeparationReport {
+    /// Computes the report.
+    ///
+    /// # Errors
+    ///
+    /// Fails when either sample is empty or contains non-finite values.
+    pub fn compute(target: &[f32], novel: &[f32], orientation: ScoreOrientation) -> Result<Self> {
+        let mean = |v: &[f32]| v.iter().sum::<f32>() / v.len() as f32;
+        Ok(SeparationReport {
+            auroc: auroc(target, novel, orientation)?,
+            overlap: overlap_coefficient(target, novel, 32)?,
+            target_mean: mean(target),
+            novel_mean: mean(novel),
+        })
+    }
+}
+
+impl std::fmt::Display for SeparationReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "AUROC {:.3} | overlap {:.3} | target mean {:.4} | novel mean {:.4}",
+            self.auroc, self.overlap, self.target_mean, self.novel_mean
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_separation_has_auroc_one() {
+        let target = vec![0.1, 0.2, 0.3];
+        let novel = vec![0.9, 0.8, 0.7];
+        assert_eq!(
+            auroc(&target, &novel, ScoreOrientation::HigherIsNovel).unwrap(),
+            1.0
+        );
+        // Flipped orientation: 0.0.
+        assert_eq!(
+            auroc(&target, &novel, ScoreOrientation::LowerIsNovel).unwrap(),
+            0.0
+        );
+    }
+
+    #[test]
+    fn identical_distributions_have_auroc_half() {
+        let v = vec![1.0, 2.0, 3.0, 4.0];
+        let a = auroc(&v, &v, ScoreOrientation::HigherIsNovel).unwrap();
+        assert!((a - 0.5).abs() < 1e-6, "auroc {a}");
+    }
+
+    #[test]
+    fn auroc_handles_partial_overlap() {
+        let target = vec![1.0, 2.0, 3.0, 4.0];
+        let novel = vec![3.0, 4.0, 5.0, 6.0];
+        let a = auroc(&target, &novel, ScoreOrientation::HigherIsNovel).unwrap();
+        assert!(a > 0.5 && a < 1.0, "auroc {a}");
+    }
+
+    #[test]
+    fn auroc_validates_inputs() {
+        assert!(auroc(&[], &[1.0], ScoreOrientation::HigherIsNovel).is_err());
+        assert!(auroc(&[1.0], &[f32::NAN], ScoreOrientation::HigherIsNovel).is_err());
+    }
+
+    #[test]
+    fn overlap_extremes() {
+        let a = vec![0.0, 0.1, 0.2];
+        let b = vec![10.0, 10.1, 10.2];
+        assert!(overlap_coefficient(&a, &b, 16).unwrap() < 0.01);
+        let c = vec![1.0, 2.0, 3.0, 4.0];
+        assert!((overlap_coefficient(&c, &c, 16).unwrap() - 1.0).abs() < 1e-6);
+        // Degenerate: all values equal.
+        assert_eq!(overlap_coefficient(&[5.0], &[5.0], 8).unwrap(), 1.0);
+        assert!(overlap_coefficient(&a, &b, 0).is_err());
+    }
+
+    #[test]
+    fn detection_rate_directions() {
+        let scores = vec![0.1, 0.5, 0.9];
+        assert_eq!(
+            detection_rate(&scores, 0.4, ScoreOrientation::HigherIsNovel).unwrap(),
+            2.0 / 3.0
+        );
+        assert_eq!(
+            detection_rate(&scores, 0.4, ScoreOrientation::LowerIsNovel).unwrap(),
+            1.0 / 3.0
+        );
+        // Strict comparison: exact threshold is not novel.
+        assert_eq!(
+            detection_rate(&[0.4], 0.4, ScoreOrientation::HigherIsNovel).unwrap(),
+            0.0
+        );
+    }
+
+    #[test]
+    fn roc_curve_endpoints_and_monotonicity() {
+        let target = vec![0.1, 0.2, 0.35, 0.4];
+        let novel = vec![0.3, 0.5, 0.6];
+        let pts = roc_points(&target, &novel, ScoreOrientation::HigherIsNovel).unwrap();
+        assert!(
+            pts.first()
+                .map(|p| p.fpr == 0.0 && p.tpr >= 0.0)
+                .unwrap_or(false)
+                || pts.iter().any(|p| p.fpr == 0.0)
+        );
+        assert!(pts.iter().any(|p| p.fpr == 1.0 && p.tpr == 1.0));
+        for w in pts.windows(2) {
+            assert!(w[0].fpr <= w[1].fpr + 1e-6);
+            assert!(w[0].tpr <= w[1].tpr + 1e-6);
+        }
+    }
+
+    #[test]
+    fn roc_trapezoid_area_matches_auroc() {
+        let target = vec![0.12, 0.2, 0.33, 0.4, 0.18, 0.27];
+        let novel = vec![0.31, 0.5, 0.61, 0.25, 0.44];
+        for orientation in [
+            ScoreOrientation::HigherIsNovel,
+            ScoreOrientation::LowerIsNovel,
+        ] {
+            let pts = roc_points(&target, &novel, orientation).unwrap();
+            let mut area = 0.0f64;
+            for w in pts.windows(2) {
+                area += 0.5 * ((w[1].fpr - w[0].fpr) as f64) * ((w[0].tpr + w[1].tpr) as f64);
+            }
+            let direct = auroc(&target, &novel, orientation).unwrap() as f64;
+            assert!(
+                (area - direct).abs() < 1e-5,
+                "{orientation:?}: trapezoid {area} vs auroc {direct}"
+            );
+        }
+    }
+
+    #[test]
+    fn roc_endpoint_threshold_matches_orientation() {
+        let target = vec![0.2, 0.4];
+        let novel = vec![0.6, 0.8];
+        let all_novel = |pts: &[RocPoint]| {
+            *pts.iter()
+                .find(|p| p.fpr == 1.0 && p.tpr == 1.0)
+                .expect("endpoint present")
+        };
+        let hi = roc_points(&target, &novel, ScoreOrientation::HigherIsNovel).unwrap();
+        assert_eq!(all_novel(&hi).threshold, f32::NEG_INFINITY);
+        let lo = roc_points(&target, &novel, ScoreOrientation::LowerIsNovel).unwrap();
+        assert_eq!(all_novel(&lo).threshold, f32::INFINITY);
+    }
+
+    #[test]
+    fn roc_validates_inputs() {
+        assert!(roc_points(&[], &[1.0], ScoreOrientation::HigherIsNovel).is_err());
+        assert!(roc_points(&[1.0], &[f32::NAN], ScoreOrientation::HigherIsNovel).is_err());
+    }
+
+    #[test]
+    fn report_aggregates_and_displays() {
+        let target = vec![0.7, 0.72, 0.68];
+        let novel = vec![0.05, 0.02, 0.1];
+        let r = SeparationReport::compute(&target, &novel, ScoreOrientation::LowerIsNovel).unwrap();
+        assert_eq!(r.auroc, 1.0);
+        assert!(r.overlap < 0.01);
+        assert!(r.target_mean > r.novel_mean);
+        let s = r.to_string();
+        assert!(s.contains("AUROC"));
+    }
+}

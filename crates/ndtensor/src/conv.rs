@@ -1,0 +1,648 @@
+//! 2-D convolution (NCHW) via im2col, with full backward pass.
+//!
+//! The forward pass lowers each sample to a column matrix and multiplies it
+//! against the flattened kernel bank, which routes nearly all arithmetic
+//! through the multi-threaded GEMM in [`crate::matmul`]. The backward pass
+//! produces gradients with respect to the input, the weights and the bias.
+
+use crate::{matmul, matmul_a_bt, matmul_at_b, Result, Tensor, TensorError};
+
+/// Stride and zero-padding configuration for a 2-D convolution.
+///
+/// # Example
+///
+/// ```
+/// use ndtensor::Conv2dSpec;
+///
+/// let spec = Conv2dSpec::new((2, 2), (1, 1));
+/// // 60×160 input, 5×5 kernel, stride 2, pad 1 → 29×79 output.
+/// assert_eq!(spec.output_hw(60, 160, 5, 5).unwrap(), (29, 79));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Conv2dSpec {
+    /// Vertical and horizontal stride (must both be non-zero).
+    pub stride: (usize, usize),
+    /// Vertical and horizontal zero padding applied to both sides.
+    pub padding: (usize, usize),
+}
+
+impl Default for Conv2dSpec {
+    fn default() -> Self {
+        Conv2dSpec {
+            stride: (1, 1),
+            padding: (0, 0),
+        }
+    }
+}
+
+impl Conv2dSpec {
+    /// Creates a spec from `(stride_h, stride_w)` and `(pad_h, pad_w)`.
+    pub fn new(stride: (usize, usize), padding: (usize, usize)) -> Self {
+        Conv2dSpec { stride, padding }
+    }
+
+    /// Unit-stride, zero-padding spec.
+    pub fn unit() -> Self {
+        Self::default()
+    }
+
+    /// Output height/width for an input of `in_h × in_w` and a kernel of
+    /// `kh × kw`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::Invalid`] when the stride is zero or the
+    /// padded input is smaller than the kernel.
+    pub fn output_hw(
+        &self,
+        in_h: usize,
+        in_w: usize,
+        kh: usize,
+        kw: usize,
+    ) -> Result<(usize, usize)> {
+        let (sh, sw) = self.stride;
+        if sh == 0 || sw == 0 {
+            return Err(TensorError::invalid("conv2d", "stride must be non-zero"));
+        }
+        if kh == 0 || kw == 0 {
+            return Err(TensorError::invalid("conv2d", "kernel must be non-empty"));
+        }
+        let (ph, pw) = self.padding;
+        let eff_h = in_h + 2 * ph;
+        let eff_w = in_w + 2 * pw;
+        if eff_h < kh || eff_w < kw {
+            return Err(TensorError::invalid(
+                "conv2d",
+                format!("padded input {eff_h}x{eff_w} smaller than kernel {kh}x{kw}"),
+            ));
+        }
+        Ok(((eff_h - kh) / sh + 1, (eff_w - kw) / sw + 1))
+    }
+}
+
+/// Lowers one `C×H×W` sample to a `[C·KH·KW, OH·OW]` column matrix.
+///
+/// Out-of-bounds taps (from padding) contribute zeros. This is the exact
+/// adjoint of [`col2im`].
+///
+/// # Errors
+///
+/// Propagates the shape errors of [`Conv2dSpec::output_hw`]; additionally
+/// fails when `sample.len() != c*h*w`.
+pub fn im2col(
+    sample: &[f32],
+    c: usize,
+    h: usize,
+    w: usize,
+    kh: usize,
+    kw: usize,
+    spec: Conv2dSpec,
+) -> Result<Tensor> {
+    if sample.len() != c * h * w {
+        return Err(TensorError::LengthMismatch {
+            expected: c * h * w,
+            actual: sample.len(),
+        });
+    }
+    let (oh, ow) = spec.output_hw(h, w, kh, kw)?;
+    let (sh, sw) = spec.stride;
+    let (ph, pw) = spec.padding;
+    let rows = c * kh * kw;
+    let cols = oh * ow;
+    let mut out = vec![0.0f32; rows * cols];
+    for ci in 0..c {
+        let plane = &sample[ci * h * w..(ci + 1) * h * w];
+        for ky in 0..kh {
+            for kx in 0..kw {
+                let row = (ci * kh + ky) * kw + kx;
+                let orow = &mut out[row * cols..(row + 1) * cols];
+                for oy in 0..oh {
+                    let iy = (oy * sh + ky) as isize - ph as isize;
+                    if iy < 0 || iy >= h as isize {
+                        continue;
+                    }
+                    for ox in 0..ow {
+                        let ix = (ox * sw + kx) as isize - pw as isize;
+                        if ix < 0 || ix >= w as isize {
+                            continue;
+                        }
+                        orow[oy * ow + ox] = plane[iy as usize * w + ix as usize];
+                    }
+                }
+            }
+        }
+    }
+    Tensor::from_vec([rows, cols], out)
+}
+
+/// Accumulates a `[C·KH·KW, OH·OW]` column matrix back into a `C×H×W`
+/// sample buffer (the adjoint of [`im2col`]).
+///
+/// # Errors
+///
+/// Fails when the column matrix does not match the implied geometry.
+pub fn col2im(
+    cols: &Tensor,
+    c: usize,
+    h: usize,
+    w: usize,
+    kh: usize,
+    kw: usize,
+    spec: Conv2dSpec,
+) -> Result<Vec<f32>> {
+    let (oh, ow) = spec.output_hw(h, w, kh, kw)?;
+    let rows = c * kh * kw;
+    let ncols = oh * ow;
+    if cols.shape().dims() != [rows, ncols] {
+        return Err(TensorError::invalid(
+            "col2im",
+            format!(
+                "column matrix shape {} does not match expected [{rows}, {ncols}]",
+                cols.shape()
+            ),
+        ));
+    }
+    let (sh, sw) = spec.stride;
+    let (ph, pw) = spec.padding;
+    let data = cols.as_slice();
+    let mut out = vec![0.0f32; c * h * w];
+    for ci in 0..c {
+        let plane = &mut out[ci * h * w..(ci + 1) * h * w];
+        for ky in 0..kh {
+            for kx in 0..kw {
+                let row = (ci * kh + ky) * kw + kx;
+                let crow = &data[row * ncols..(row + 1) * ncols];
+                for oy in 0..oh {
+                    let iy = (oy * sh + ky) as isize - ph as isize;
+                    if iy < 0 || iy >= h as isize {
+                        continue;
+                    }
+                    for ox in 0..ow {
+                        let ix = (ox * sw + kx) as isize - pw as isize;
+                        if ix < 0 || ix >= w as isize {
+                            continue;
+                        }
+                        plane[iy as usize * w + ix as usize] += crow[oy * ow + ox];
+                    }
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Resolved geometry of one convolution: batch, channels, spatial sizes.
+struct ConvGeometry {
+    n: usize,
+    c: usize,
+    h: usize,
+    w: usize,
+    f: usize,
+    kh: usize,
+    kw: usize,
+    oh: usize,
+    ow: usize,
+}
+
+fn conv_geometry(input: &Tensor, weight: &Tensor, spec: Conv2dSpec) -> Result<ConvGeometry> {
+    if input.rank() != 4 {
+        return Err(TensorError::RankMismatch {
+            op: "conv2d",
+            expected: 4,
+            actual: input.rank(),
+        });
+    }
+    if weight.rank() != 4 {
+        return Err(TensorError::RankMismatch {
+            op: "conv2d",
+            expected: 4,
+            actual: weight.rank(),
+        });
+    }
+    let [n, c, h, w] = [
+        input.shape().dims()[0],
+        input.shape().dims()[1],
+        input.shape().dims()[2],
+        input.shape().dims()[3],
+    ];
+    let [f, wc, kh, kw] = [
+        weight.shape().dims()[0],
+        weight.shape().dims()[1],
+        weight.shape().dims()[2],
+        weight.shape().dims()[3],
+    ];
+    if wc != c {
+        return Err(TensorError::ShapeMismatch {
+            op: "conv2d",
+            lhs: input.shape().clone(),
+            rhs: weight.shape().clone(),
+        });
+    }
+    let (oh, ow) = spec.output_hw(h, w, kh, kw)?;
+    Ok(ConvGeometry {
+        n,
+        c,
+        h,
+        w,
+        f,
+        kh,
+        kw,
+        oh,
+        ow,
+    })
+}
+
+/// 2-D convolution forward pass.
+///
+/// * `input`: `[N, C, H, W]`
+/// * `weight`: `[F, C, KH, KW]`
+/// * `bias`: optional `[F]`
+///
+/// Returns `[N, F, OH, OW]`.
+///
+/// # Errors
+///
+/// Fails on rank/shape mismatches or when the padded input is smaller than
+/// the kernel.
+pub fn conv2d(
+    input: &Tensor,
+    weight: &Tensor,
+    bias: Option<&Tensor>,
+    spec: Conv2dSpec,
+) -> Result<Tensor> {
+    let ConvGeometry {
+        n,
+        c,
+        h,
+        w,
+        f,
+        kh,
+        kw,
+        oh,
+        ow,
+    } = conv_geometry(input, weight, spec)?;
+    if let Some(b) = bias {
+        if b.shape().dims() != [f] {
+            return Err(TensorError::ShapeMismatch {
+                op: "conv2d",
+                lhs: b.shape().clone(),
+                rhs: weight.shape().clone(),
+            });
+        }
+    }
+    let w2 = weight.reshape([f, c * kh * kw])?;
+    let mut out = vec![0.0f32; n * f * oh * ow];
+    let sample_len = c * h * w;
+    let out_len = f * oh * ow;
+    for ni in 0..n {
+        let cols = im2col(
+            &input.as_slice()[ni * sample_len..(ni + 1) * sample_len],
+            c,
+            h,
+            w,
+            kh,
+            kw,
+            spec,
+        )?;
+        let prod = matmul(&w2, &cols)?;
+        let dst = &mut out[ni * out_len..(ni + 1) * out_len];
+        dst.copy_from_slice(prod.as_slice());
+        if let Some(b) = bias {
+            for (fi, &bv) in b.as_slice().iter().enumerate() {
+                for v in &mut dst[fi * oh * ow..(fi + 1) * oh * ow] {
+                    *v += bv;
+                }
+            }
+        }
+    }
+    Tensor::from_vec([n, f, oh, ow], out)
+}
+
+/// Gradients produced by [`conv2d_backward`].
+#[derive(Debug, Clone)]
+pub struct Conv2dGrads {
+    /// Gradient with respect to the input, `[N, C, H, W]`.
+    pub grad_input: Tensor,
+    /// Gradient with respect to the weights, `[F, C, KH, KW]`.
+    pub grad_weight: Tensor,
+    /// Gradient with respect to the bias, `[F]`.
+    pub grad_bias: Tensor,
+}
+
+/// 2-D convolution backward pass.
+///
+/// `grad_output` must have the forward output shape `[N, F, OH, OW]`.
+///
+/// # Errors
+///
+/// Fails on rank/shape mismatches between the stored forward geometry and
+/// `grad_output`.
+pub fn conv2d_backward(
+    input: &Tensor,
+    weight: &Tensor,
+    grad_output: &Tensor,
+    spec: Conv2dSpec,
+) -> Result<Conv2dGrads> {
+    let ConvGeometry {
+        n,
+        c,
+        h,
+        w,
+        f,
+        kh,
+        kw,
+        oh,
+        ow,
+    } = conv_geometry(input, weight, spec)?;
+    if grad_output.shape().dims() != [n, f, oh, ow] {
+        return Err(TensorError::invalid(
+            "conv2d_backward",
+            format!(
+                "grad_output shape {} does not match expected [{n}, {f}, {oh}, {ow}]",
+                grad_output.shape()
+            ),
+        ));
+    }
+    let w2 = weight.reshape([f, c * kh * kw])?;
+    let sample_len = c * h * w;
+    let out_len = f * oh * ow;
+    let mut grad_input = vec![0.0f32; n * sample_len];
+    let mut grad_weight = Tensor::zeros([f, c * kh * kw]);
+    let mut grad_bias = vec![0.0f32; f];
+
+    for ni in 0..n {
+        let cols = im2col(
+            &input.as_slice()[ni * sample_len..(ni + 1) * sample_len],
+            c,
+            h,
+            w,
+            kh,
+            kw,
+            spec,
+        )?;
+        let gout = Tensor::from_vec(
+            [f, oh * ow],
+            grad_output.as_slice()[ni * out_len..(ni + 1) * out_len].to_vec(),
+        )?;
+        // dW += gOut · colsᵀ
+        let dw = matmul_a_bt(&gout, &cols)?;
+        grad_weight.axpy(1.0, &dw)?;
+        // dCols = Wᵀ · gOut, then scatter back to the input.
+        let dcols = matmul_at_b(&w2, &gout)?;
+        let dsample = col2im(&dcols, c, h, w, kh, kw, spec)?;
+        grad_input[ni * sample_len..(ni + 1) * sample_len].copy_from_slice(&dsample);
+        // dB += row sums of gOut.
+        for (fi, gb) in grad_bias.iter_mut().enumerate() {
+            let row = &gout.as_slice()[fi * oh * ow..(fi + 1) * oh * ow];
+            *gb += row.iter().sum::<f32>();
+        }
+    }
+
+    Ok(Conv2dGrads {
+        grad_input: Tensor::from_vec([n, c, h, w], grad_input)?,
+        grad_weight: grad_weight.reshape([f, c, kh, kw])?,
+        grad_bias: Tensor::from_vec([f], grad_bias)?,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// Direct (definition-level) convolution used as the test oracle.
+    fn naive_conv(
+        input: &Tensor,
+        weight: &Tensor,
+        bias: Option<&Tensor>,
+        spec: Conv2dSpec,
+    ) -> Tensor {
+        let [n, c, h, w] = [
+            input.shape().dims()[0],
+            input.shape().dims()[1],
+            input.shape().dims()[2],
+            input.shape().dims()[3],
+        ];
+        let [f, _, kh, kw] = [
+            weight.shape().dims()[0],
+            weight.shape().dims()[1],
+            weight.shape().dims()[2],
+            weight.shape().dims()[3],
+        ];
+        let (oh, ow) = spec.output_hw(h, w, kh, kw).unwrap();
+        let (sh, sw) = spec.stride;
+        let (ph, pw) = spec.padding;
+        Tensor::from_fn([n, f, oh, ow], |idx| {
+            let (ni, fi, oy, ox) = (idx[0], idx[1], idx[2], idx[3]);
+            let mut acc = bias.map(|b| b.at(&[fi]).unwrap()).unwrap_or(0.0);
+            for ci in 0..c {
+                for ky in 0..kh {
+                    for kx in 0..kw {
+                        let iy = (oy * sh + ky) as isize - ph as isize;
+                        let ix = (ox * sw + kx) as isize - pw as isize;
+                        if iy < 0 || ix < 0 || iy >= h as isize || ix >= w as isize {
+                            continue;
+                        }
+                        acc += input.at(&[ni, ci, iy as usize, ix as usize]).unwrap()
+                            * weight.at(&[fi, ci, ky, kx]).unwrap();
+                    }
+                }
+            }
+            acc
+        })
+    }
+
+    fn pseudo(shape: impl Into<crate::Shape>, seed: u64) -> Tensor {
+        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+        Tensor::from_fn(shape.into(), |_| {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((state >> 33) as f32 / (1u64 << 31) as f32) - 1.0
+        })
+    }
+
+    fn assert_close(a: &Tensor, b: &Tensor, tol: f32) {
+        assert_eq!(a.shape(), b.shape());
+        for (x, y) in a.as_slice().iter().zip(b.as_slice()) {
+            assert!((x - y).abs() <= tol * (1.0 + x.abs()), "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn output_geometry() {
+        let spec = Conv2dSpec::new((2, 2), (0, 0));
+        assert_eq!(spec.output_hw(60, 160, 5, 5).unwrap(), (28, 78));
+        assert_eq!(Conv2dSpec::unit().output_hw(5, 5, 3, 3).unwrap(), (3, 3));
+        assert!(Conv2dSpec::new((0, 1), (0, 0))
+            .output_hw(5, 5, 3, 3)
+            .is_err());
+        assert!(Conv2dSpec::unit().output_hw(2, 2, 3, 3).is_err());
+        // Padding rescues a too-small input.
+        assert_eq!(
+            Conv2dSpec::new((1, 1), (1, 1))
+                .output_hw(2, 2, 3, 3)
+                .unwrap(),
+            (2, 2)
+        );
+    }
+
+    #[test]
+    fn conv_matches_naive_reference() {
+        for &(spec, c, f) in &[
+            (Conv2dSpec::unit(), 1usize, 1usize),
+            (Conv2dSpec::new((2, 2), (0, 0)), 2, 3),
+            (Conv2dSpec::new((1, 2), (1, 1)), 3, 2),
+            (Conv2dSpec::new((2, 1), (2, 0)), 1, 4),
+        ] {
+            let input = pseudo([2, c, 9, 11], 5);
+            let weight = pseudo([f, c, 3, 3], 6);
+            let bias = pseudo([f], 7);
+            let fast = conv2d(&input, &weight, Some(&bias), spec).unwrap();
+            let slow = naive_conv(&input, &weight, Some(&bias), spec);
+            assert_close(&fast, &slow, 1e-4);
+        }
+    }
+
+    #[test]
+    fn conv_without_bias() {
+        let input = pseudo([1, 2, 6, 6], 1);
+        let weight = pseudo([3, 2, 3, 3], 2);
+        let spec = Conv2dSpec::unit();
+        assert_close(
+            &conv2d(&input, &weight, None, spec).unwrap(),
+            &naive_conv(&input, &weight, None, spec),
+            1e-4,
+        );
+    }
+
+    #[test]
+    fn conv_rejects_bad_shapes() {
+        let input = pseudo([1, 2, 6, 6], 1);
+        let weight = pseudo([3, 99, 3, 3], 2);
+        assert!(conv2d(&input, &weight, None, Conv2dSpec::unit()).is_err());
+        let weight_ok = pseudo([3, 2, 3, 3], 2);
+        let bad_bias = pseudo([4], 3);
+        assert!(conv2d(&input, &weight_ok, Some(&bad_bias), Conv2dSpec::unit()).is_err());
+        assert!(conv2d(
+            &Tensor::zeros([2, 6, 6]),
+            &weight_ok,
+            None,
+            Conv2dSpec::unit()
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn im2col_col2im_are_adjoint() {
+        // <im2col(x), y> must equal <x, col2im(y)> — the defining property
+        // that makes the backward pass correct.
+        let (c, h, w, kh, kw) = (2, 6, 7, 3, 2);
+        let spec = Conv2dSpec::new((2, 1), (1, 1));
+        let x = pseudo([c * h * w], 31).into_vec();
+        let cols_shape_probe = im2col(&x, c, h, w, kh, kw, spec).unwrap();
+        let y = pseudo(cols_shape_probe.shape().dims().to_vec(), 32);
+        let cx = im2col(&x, c, h, w, kh, kw, spec).unwrap();
+        let lhs = cx.dot(&y).unwrap();
+        let back = col2im(&y, c, h, w, kh, kw, spec).unwrap();
+        let rhs: f32 = x.iter().zip(&back).map(|(a, b)| a * b).sum();
+        assert!((lhs - rhs).abs() < 1e-3, "{lhs} vs {rhs}");
+    }
+
+    #[test]
+    fn backward_matches_finite_differences() {
+        let spec = Conv2dSpec::new((2, 2), (1, 1));
+        let input = pseudo([1, 2, 5, 6], 41);
+        let weight = pseudo([2, 2, 3, 3], 42);
+        let bias = pseudo([2], 43);
+
+        // Loss = sum(conv output); gradient of loss wrt output is all-ones.
+        let out = conv2d(&input, &weight, Some(&bias), spec).unwrap();
+        let gout = Tensor::ones(out.shape().clone());
+        let grads = conv2d_backward(&input, &weight, &gout, spec).unwrap();
+
+        let eps = 1e-2f32;
+        let loss =
+            |inp: &Tensor, wt: &Tensor, b: &Tensor| conv2d(inp, wt, Some(b), spec).unwrap().sum();
+
+        for probe in [0usize, 7, 23, input.len() - 1] {
+            let mut plus = input.clone();
+            plus.as_mut_slice()[probe] += eps;
+            let mut minus = input.clone();
+            minus.as_mut_slice()[probe] -= eps;
+            let numeric =
+                (loss(&plus, &weight, &bias) - loss(&minus, &weight, &bias)) / (2.0 * eps);
+            let analytic = grads.grad_input.as_slice()[probe];
+            assert!(
+                (numeric - analytic).abs() < 2e-2,
+                "input grad at {probe}: {numeric} vs {analytic}"
+            );
+        }
+        for probe in [0usize, 5, weight.len() - 1] {
+            let mut plus = weight.clone();
+            plus.as_mut_slice()[probe] += eps;
+            let mut minus = weight.clone();
+            minus.as_mut_slice()[probe] -= eps;
+            let numeric = (loss(&input, &plus, &bias) - loss(&input, &minus, &bias)) / (2.0 * eps);
+            let analytic = grads.grad_weight.as_slice()[probe];
+            assert!(
+                (numeric - analytic).abs() < 2e-2,
+                "weight grad at {probe}: {numeric} vs {analytic}"
+            );
+        }
+        for probe in 0..2 {
+            let mut plus = bias.clone();
+            plus.as_mut_slice()[probe] += eps;
+            let mut minus = bias.clone();
+            minus.as_mut_slice()[probe] -= eps;
+            let numeric =
+                (loss(&input, &weight, &plus) - loss(&input, &weight, &minus)) / (2.0 * eps);
+            let analytic = grads.grad_bias.as_slice()[probe];
+            assert!(
+                (numeric - analytic).abs() < 2e-2,
+                "bias grad at {probe}: {numeric} vs {analytic}"
+            );
+        }
+    }
+
+    #[test]
+    fn backward_rejects_wrong_grad_shape() {
+        let input = pseudo([1, 1, 5, 5], 1);
+        let weight = pseudo([1, 1, 3, 3], 2);
+        let bad = Tensor::zeros([1, 1, 9, 9]);
+        assert!(conv2d_backward(&input, &weight, &bad, Conv2dSpec::unit()).is_err());
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+
+        #[test]
+        fn conv_linearity_in_input(
+            h in 4usize..8, w in 4usize..8, seed in 0u64..500
+        ) {
+            let spec = Conv2dSpec::unit();
+            let a = pseudo([1, 1, h, w], seed);
+            let b = pseudo([1, 1, h, w], seed + 1);
+            let k = pseudo([1, 1, 3, 3], seed + 2);
+            let lhs = conv2d(&(&a + &b), &k, None, spec).unwrap();
+            let rhs = &conv2d(&a, &k, None, spec).unwrap() + &conv2d(&b, &k, None, spec).unwrap();
+            assert_close(&lhs, &rhs, 1e-4);
+        }
+
+        #[test]
+        fn im2col_roundtrip_counts_taps(
+            h in 3usize..7, w in 3usize..7
+        ) {
+            // col2im(im2col(ones)) counts, per input pixel, how many output
+            // windows cover it — every entry must be ≥ 1 for unit stride,
+            // zero padding, and kernel ≤ input.
+            let spec = Conv2dSpec::unit();
+            let x = vec![1.0f32; h * w];
+            let cols = im2col(&x, 1, h, w, 2, 2, spec).unwrap();
+            let back = col2im(&cols, 1, h, w, 2, 2, spec).unwrap();
+            for v in back {
+                prop_assert!(v >= 1.0);
+            }
+        }
+    }
+}

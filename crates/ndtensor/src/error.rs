@@ -1,0 +1,118 @@
+use std::fmt;
+
+use crate::Shape;
+
+/// Error type for all fallible tensor operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TensorError {
+    /// The number of provided elements does not match the shape's volume.
+    LengthMismatch {
+        /// Volume implied by the requested shape.
+        expected: usize,
+        /// Number of elements actually provided.
+        actual: usize,
+    },
+    /// Two operand shapes are incompatible for the attempted operation.
+    ShapeMismatch {
+        /// Short name of the operation that failed (e.g. `"zip_map"`).
+        op: &'static str,
+        /// Left operand shape.
+        lhs: Shape,
+        /// Right operand shape.
+        rhs: Shape,
+    },
+    /// The tensor rank is not what the operation requires.
+    RankMismatch {
+        /// Short name of the operation that failed.
+        op: &'static str,
+        /// Required rank.
+        expected: usize,
+        /// Rank of the offending tensor.
+        actual: usize,
+    },
+    /// A multi-dimensional index is out of bounds or of the wrong rank.
+    IndexOutOfBounds {
+        /// The offending index.
+        index: Vec<usize>,
+        /// The tensor shape indexed into.
+        shape: Shape,
+    },
+    /// An operation-specific invariant was violated.
+    Invalid {
+        /// Short name of the operation that failed.
+        op: &'static str,
+        /// Human-readable description of the violated invariant.
+        reason: String,
+    },
+}
+
+impl TensorError {
+    /// Builds an [`TensorError::Invalid`] with the given operation and reason.
+    pub fn invalid(op: &'static str, reason: impl Into<String>) -> Self {
+        TensorError::Invalid {
+            op,
+            reason: reason.into(),
+        }
+    }
+}
+
+impl fmt::Display for TensorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TensorError::LengthMismatch { expected, actual } => write!(
+                f,
+                "element count {actual} does not match shape volume {expected}"
+            ),
+            TensorError::ShapeMismatch { op, lhs, rhs } => {
+                write!(f, "{op}: incompatible shapes {lhs} and {rhs}")
+            }
+            TensorError::RankMismatch {
+                op,
+                expected,
+                actual,
+            } => write!(f, "{op}: expected rank {expected}, got rank {actual}"),
+            TensorError::IndexOutOfBounds { index, shape } => {
+                write!(f, "index {index:?} out of bounds for shape {shape}")
+            }
+            TensorError::Invalid { op, reason } => write!(f, "{op}: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for TensorError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let err = TensorError::LengthMismatch {
+            expected: 6,
+            actual: 5,
+        };
+        assert!(err.to_string().contains('6'));
+        assert!(err.to_string().contains('5'));
+
+        let err = TensorError::ShapeMismatch {
+            op: "add",
+            lhs: Shape::new([2, 3]),
+            rhs: Shape::new([3, 2]),
+        };
+        let s = err.to_string();
+        assert!(s.contains("add"), "{s}");
+        assert!(s.contains("[2, 3]"), "{s}");
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<TensorError>();
+    }
+
+    #[test]
+    fn invalid_constructor_stores_reason() {
+        let err = TensorError::invalid("conv2d", "kernel larger than input");
+        assert!(err.to_string().contains("kernel larger than input"));
+    }
+}

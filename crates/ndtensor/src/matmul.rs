@@ -1,0 +1,308 @@
+//! Blocked, multi-threaded matrix multiplication kernels.
+//!
+//! Three entry points cover the access patterns needed by dense-layer and
+//! convolution backpropagation without materialising transposed copies:
+//!
+//! * [`matmul`] — `C = A·B`
+//! * [`matmul_at_b`] — `C = Aᵀ·B`
+//! * [`matmul_a_bt`] — `C = A·Bᵀ`
+//!
+//! All kernels parallelise over output rows with `std::thread::scope` once
+//! the arithmetic volume crosses a threshold, so small problems stay on one
+//! thread and avoid spawn overhead.
+
+use crate::{Result, Tensor, TensorError};
+
+/// Minimum number of multiply-adds before threads are spawned.
+const PARALLEL_THRESHOLD: usize = 1 << 18;
+
+fn dims2(t: &Tensor, op: &'static str) -> Result<(usize, usize)> {
+    if t.rank() != 2 {
+        return Err(TensorError::RankMismatch {
+            op,
+            expected: 2,
+            actual: t.rank(),
+        });
+    }
+    Ok((t.shape().dims()[0], t.shape().dims()[1]))
+}
+
+fn available_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Runs `body(first_row, rows_chunk)` over disjoint row blocks of `out`,
+/// in parallel when the total work justifies it.
+fn for_each_row_block(
+    out: &mut [f32],
+    rows: usize,
+    cols: usize,
+    work: usize,
+    body: impl Fn(usize, &mut [f32]) + Sync,
+) {
+    if rows == 0 || cols == 0 {
+        return;
+    }
+    let threads = if work >= PARALLEL_THRESHOLD {
+        available_threads().min(rows)
+    } else {
+        1
+    };
+    if threads <= 1 {
+        body(0, out);
+        return;
+    }
+    let rows_per = rows.div_ceil(threads);
+    std::thread::scope(|scope| {
+        let mut rest = out;
+        let mut row = 0usize;
+        while !rest.is_empty() {
+            let take = (rows_per * cols).min(rest.len());
+            let (chunk, tail) = rest.split_at_mut(take);
+            let start = row;
+            let body = &body;
+            scope.spawn(move || body(start, chunk));
+            row += take / cols;
+            rest = tail;
+        }
+    });
+}
+
+/// Computes `C = A·B` for `A: [m, k]` and `B: [k, n]`.
+///
+/// # Errors
+///
+/// Returns [`TensorError::RankMismatch`] for non-matrix inputs and
+/// [`TensorError::ShapeMismatch`] when the inner dimensions disagree.
+///
+/// # Example
+///
+/// ```
+/// use ndtensor::{matmul, Tensor};
+/// # fn main() -> Result<(), ndtensor::TensorError> {
+/// let id = Tensor::from_vec([2, 2], vec![1., 0., 0., 1.])?;
+/// let a = Tensor::from_vec([2, 2], vec![1., 2., 3., 4.])?;
+/// assert_eq!(matmul(&id, &a)?, a);
+/// # Ok(())
+/// # }
+/// ```
+pub fn matmul(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+    let (m, k) = dims2(a, "matmul")?;
+    let (kb, n) = dims2(b, "matmul")?;
+    if k != kb {
+        return Err(TensorError::ShapeMismatch {
+            op: "matmul",
+            lhs: a.shape().clone(),
+            rhs: b.shape().clone(),
+        });
+    }
+    let mut out = vec![0.0f32; m * n];
+    let (ad, bd) = (a.as_slice(), b.as_slice());
+    for_each_row_block(&mut out, m, n, m * n * k, |row0, chunk| {
+        for (local_i, orow) in chunk.chunks_mut(n).enumerate() {
+            let i = row0 + local_i;
+            let arow = &ad[i * k..(i + 1) * k];
+            for (l, &av) in arow.iter().enumerate() {
+                if av == 0.0 {
+                    continue;
+                }
+                let brow = &bd[l * n..(l + 1) * n];
+                for (o, &bv) in orow.iter_mut().zip(brow) {
+                    *o += av * bv;
+                }
+            }
+        }
+    });
+    Tensor::from_vec([m, n], out)
+}
+
+/// Computes `C = Aᵀ·B` for `A: [k, m]` and `B: [k, n]` without transposing.
+///
+/// # Errors
+///
+/// Returns [`TensorError::RankMismatch`] for non-matrix inputs and
+/// [`TensorError::ShapeMismatch`] when the leading dimensions disagree.
+pub fn matmul_at_b(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+    let (k, m) = dims2(a, "matmul_at_b")?;
+    let (kb, n) = dims2(b, "matmul_at_b")?;
+    if k != kb {
+        return Err(TensorError::ShapeMismatch {
+            op: "matmul_at_b",
+            lhs: a.shape().clone(),
+            rhs: b.shape().clone(),
+        });
+    }
+    let mut out = vec![0.0f32; m * n];
+    let (ad, bd) = (a.as_slice(), b.as_slice());
+    for_each_row_block(&mut out, m, n, m * n * k, |row0, chunk| {
+        for (local_i, orow) in chunk.chunks_mut(n).enumerate() {
+            let i = row0 + local_i;
+            for l in 0..k {
+                let av = ad[l * m + i];
+                if av == 0.0 {
+                    continue;
+                }
+                let brow = &bd[l * n..(l + 1) * n];
+                for (o, &bv) in orow.iter_mut().zip(brow) {
+                    *o += av * bv;
+                }
+            }
+        }
+    });
+    Tensor::from_vec([m, n], out)
+}
+
+/// Computes `C = A·Bᵀ` for `A: [m, k]` and `B: [n, k]` without transposing.
+///
+/// # Errors
+///
+/// Returns [`TensorError::RankMismatch`] for non-matrix inputs and
+/// [`TensorError::ShapeMismatch`] when the trailing dimensions disagree.
+pub fn matmul_a_bt(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+    let (m, k) = dims2(a, "matmul_a_bt")?;
+    let (n, kb) = dims2(b, "matmul_a_bt")?;
+    if k != kb {
+        return Err(TensorError::ShapeMismatch {
+            op: "matmul_a_bt",
+            lhs: a.shape().clone(),
+            rhs: b.shape().clone(),
+        });
+    }
+    let mut out = vec![0.0f32; m * n];
+    let (ad, bd) = (a.as_slice(), b.as_slice());
+    for_each_row_block(&mut out, m, n, m * n * k, |row0, chunk| {
+        for (local_i, orow) in chunk.chunks_mut(n).enumerate() {
+            let i = row0 + local_i;
+            let arow = &ad[i * k..(i + 1) * k];
+            for (j, o) in orow.iter_mut().enumerate() {
+                let brow = &bd[j * k..(j + 1) * k];
+                let mut acc = 0.0f32;
+                for (&av, &bv) in arow.iter().zip(brow) {
+                    acc += av * bv;
+                }
+                *o = acc;
+            }
+        }
+    });
+    Tensor::from_vec([m, n], out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn naive(a: &Tensor, b: &Tensor) -> Tensor {
+        let (m, k) = (a.shape().dims()[0], a.shape().dims()[1]);
+        let n = b.shape().dims()[1];
+        Tensor::from_fn([m, n], |idx| {
+            (0..k)
+                .map(|l| a.at(&[idx[0], l]).unwrap() * b.at(&[l, idx[1]]).unwrap())
+                .sum()
+        })
+    }
+
+    fn pseudo(shape: [usize; 2], seed: u64) -> Tensor {
+        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
+        Tensor::from_fn(shape, |_| {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((state >> 33) as f32 / (1u64 << 31) as f32) - 1.0
+        })
+    }
+
+    fn assert_close(a: &Tensor, b: &Tensor, tol: f32) {
+        assert_eq!(a.shape(), b.shape());
+        for (x, y) in a.as_slice().iter().zip(b.as_slice()) {
+            assert!((x - y).abs() <= tol * (1.0 + x.abs()), "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn small_known_product() {
+        let a = Tensor::from_vec([2, 3], vec![1., 2., 3., 4., 5., 6.]).unwrap();
+        let b = Tensor::from_vec([3, 2], vec![7., 8., 9., 10., 11., 12.]).unwrap();
+        let c = matmul(&a, &b).unwrap();
+        assert_eq!(c.as_slice(), &[58., 64., 139., 154.]);
+    }
+
+    #[test]
+    fn identity_is_neutral() {
+        let a = pseudo([5, 5], 3);
+        let id = Tensor::from_fn([5, 5], |i| if i[0] == i[1] { 1.0 } else { 0.0 });
+        assert_close(&matmul(&a, &id).unwrap(), &a, 1e-6);
+        assert_close(&matmul(&id, &a).unwrap(), &a, 1e-6);
+    }
+
+    #[test]
+    fn rejects_bad_shapes() {
+        let a = Tensor::zeros([2, 3]);
+        let b = Tensor::zeros([4, 2]);
+        assert!(matmul(&a, &b).is_err());
+        assert!(matmul(&a, &Tensor::zeros([3])).is_err());
+        assert!(matmul_at_b(&Tensor::zeros([2, 3]), &Tensor::zeros([3, 2])).is_err());
+        assert!(matmul_a_bt(&Tensor::zeros([2, 3]), &Tensor::zeros([2, 4])).is_err());
+    }
+
+    #[test]
+    fn transposed_variants_match_explicit_transpose() {
+        let a = pseudo([7, 4], 11);
+        let b = pseudo([7, 5], 12);
+        let expect = matmul(&a.transpose2d().unwrap(), &b).unwrap();
+        assert_close(&matmul_at_b(&a, &b).unwrap(), &expect, 1e-5);
+
+        let a2 = pseudo([6, 8], 13);
+        let b2 = pseudo([5, 8], 14);
+        let expect2 = matmul(&a2, &b2.transpose2d().unwrap()).unwrap();
+        assert_close(&matmul_a_bt(&a2, &b2).unwrap(), &expect2, 1e-5);
+    }
+
+    #[test]
+    fn large_enough_to_trigger_parallel_path() {
+        // 128×128×128 = 2^21 multiply-adds > PARALLEL_THRESHOLD.
+        let a = pseudo([128, 128], 21);
+        let b = pseudo([128, 128], 22);
+        let fast = matmul(&a, &b).unwrap();
+        let slow = naive(&a, &b);
+        assert_close(&fast, &slow, 1e-4);
+    }
+
+    #[test]
+    fn zero_sized_dimensions() {
+        let a = Tensor::zeros([0, 3]);
+        let b = Tensor::zeros([3, 2]);
+        let c = matmul(&a, &b).unwrap();
+        assert_eq!(c.shape().dims(), &[0, 2]);
+        let d = matmul(&Tensor::zeros([2, 0]), &Tensor::zeros([0, 4])).unwrap();
+        assert_eq!(d.shape().dims(), &[2, 4]);
+        assert!(d.as_slice().iter().all(|&v| v == 0.0));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn matches_naive_reference(
+            m in 1usize..12, k in 1usize..12, n in 1usize..12, seed in 0u64..1_000
+        ) {
+            let a = pseudo([m, k], seed);
+            let b = pseudo([k, n], seed + 1);
+            assert_close(&matmul(&a, &b).unwrap(), &naive(&a, &b), 1e-4);
+        }
+
+        #[test]
+        fn distributes_over_addition(
+            m in 1usize..8, k in 1usize..8, n in 1usize..8, seed in 0u64..1_000
+        ) {
+            let a = pseudo([m, k], seed);
+            let b = pseudo([k, n], seed + 1);
+            let c = pseudo([k, n], seed + 2);
+            let lhs = matmul(&a, &(&b + &c)).unwrap();
+            let rhs = &matmul(&a, &b).unwrap() + &matmul(&a, &c).unwrap();
+            assert_close(&lhs, &rhs, 1e-4);
+        }
+    }
+}

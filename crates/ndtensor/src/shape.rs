@@ -1,0 +1,227 @@
+use std::fmt;
+
+/// The dimensions of a tensor, stored outermost-first (row-major order).
+///
+/// A `Shape` is a thin, immutable wrapper around a dimension list. Rank-0
+/// shapes are allowed and denote scalars (volume 1).
+///
+/// # Example
+///
+/// ```
+/// use ndtensor::Shape;
+///
+/// let s = Shape::new([2, 3, 4]);
+/// assert_eq!(s.rank(), 3);
+/// assert_eq!(s.volume(), 24);
+/// assert_eq!(s.strides(), vec![12, 4, 1]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct Shape(Vec<usize>);
+
+impl Shape {
+    /// Creates a shape from anything convertible into a dimension list.
+    pub fn new(dims: impl Into<Shape>) -> Self {
+        dims.into()
+    }
+
+    /// The scalar shape (rank 0, volume 1).
+    pub fn scalar() -> Self {
+        Shape(Vec::new())
+    }
+
+    /// Returns the dimension list, outermost first.
+    pub fn dims(&self) -> &[usize] {
+        &self.0
+    }
+
+    /// Number of dimensions.
+    pub fn rank(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Total number of elements described by this shape.
+    ///
+    /// A rank-0 (scalar) shape has volume 1; any zero-sized dimension makes
+    /// the volume 0.
+    pub fn volume(&self) -> usize {
+        self.0.iter().product()
+    }
+
+    /// Returns the size of dimension `axis`, or `None` when out of range.
+    pub fn dim(&self, axis: usize) -> Option<usize> {
+        self.0.get(axis).copied()
+    }
+
+    /// Row-major strides, in elements.
+    ///
+    /// `strides()[i]` is the linear-index distance between consecutive
+    /// entries along axis `i`.
+    pub fn strides(&self) -> Vec<usize> {
+        let mut strides = vec![1usize; self.rank()];
+        for i in (0..self.rank().saturating_sub(1)).rev() {
+            strides[i] = strides[i + 1] * self.0[i + 1];
+        }
+        strides
+    }
+
+    /// Converts a multi-dimensional index into a linear offset.
+    ///
+    /// Returns `None` if `index` has the wrong rank or any coordinate is out
+    /// of bounds.
+    pub fn offset(&self, index: &[usize]) -> Option<usize> {
+        if index.len() != self.rank() {
+            return None;
+        }
+        let mut off = 0usize;
+        let mut stride = 1usize;
+        for axis in (0..self.rank()).rev() {
+            if index[axis] >= self.0[axis] {
+                return None;
+            }
+            off += index[axis] * stride;
+            stride *= self.0[axis];
+        }
+        Some(off)
+    }
+
+    /// Converts a linear offset back into a multi-dimensional index.
+    ///
+    /// Returns `None` when `offset >= volume()`.
+    pub fn unravel(&self, offset: usize) -> Option<Vec<usize>> {
+        if offset >= self.volume() {
+            return None;
+        }
+        let mut rem = offset;
+        let mut idx = vec![0usize; self.rank()];
+        for axis in (0..self.rank()).rev() {
+            idx[axis] = rem % self.0[axis];
+            rem /= self.0[axis];
+        }
+        Some(idx)
+    }
+
+    /// `true` when both shapes have identical dimension lists.
+    pub fn same_as(&self, other: &Shape) -> bool {
+        self == other
+    }
+}
+
+impl fmt::Display for Shape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (i, d) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{d}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+impl From<Vec<usize>> for Shape {
+    fn from(dims: Vec<usize>) -> Self {
+        Shape(dims)
+    }
+}
+
+impl From<&[usize]> for Shape {
+    fn from(dims: &[usize]) -> Self {
+        Shape(dims.to_vec())
+    }
+}
+
+impl<const N: usize> From<[usize; N]> for Shape {
+    fn from(dims: [usize; N]) -> Self {
+        Shape(dims.to_vec())
+    }
+}
+
+impl From<usize> for Shape {
+    fn from(dim: usize) -> Self {
+        Shape(vec![dim])
+    }
+}
+
+impl AsRef<[usize]> for Shape {
+    fn as_ref(&self) -> &[usize] {
+        &self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn scalar_shape_has_volume_one() {
+        let s = Shape::scalar();
+        assert_eq!(s.rank(), 0);
+        assert_eq!(s.volume(), 1);
+        assert_eq!(s.offset(&[]), Some(0));
+        assert_eq!(s.unravel(0), Some(vec![]));
+        assert_eq!(s.unravel(1), None);
+    }
+
+    #[test]
+    fn zero_dim_gives_zero_volume() {
+        let s = Shape::new([3, 0, 2]);
+        assert_eq!(s.volume(), 0);
+        assert_eq!(s.offset(&[0, 0, 0]), None);
+    }
+
+    #[test]
+    fn strides_are_row_major() {
+        assert_eq!(Shape::new([2, 3, 4]).strides(), vec![12, 4, 1]);
+        assert_eq!(Shape::new([5]).strides(), vec![1]);
+        assert_eq!(Shape::scalar().strides(), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn offset_matches_manual_computation() {
+        let s = Shape::new([2, 3, 4]);
+        assert_eq!(s.offset(&[0, 0, 0]), Some(0));
+        assert_eq!(s.offset(&[1, 2, 3]), Some(12 + 2 * 4 + 3));
+        assert_eq!(s.offset(&[2, 0, 0]), None);
+        assert_eq!(s.offset(&[0, 0]), None);
+    }
+
+    #[test]
+    fn display_formats_like_a_slice() {
+        assert_eq!(Shape::new([2, 3]).to_string(), "[2, 3]");
+        assert_eq!(Shape::scalar().to_string(), "[]");
+        assert_eq!(Shape::new([7]).to_string(), "[7]");
+    }
+
+    #[test]
+    fn conversions_from_various_sources() {
+        assert_eq!(Shape::from(4usize).dims(), &[4]);
+        assert_eq!(Shape::from(vec![1, 2]).dims(), &[1, 2]);
+        assert_eq!(Shape::from(&[3, 4][..]).dims(), &[3, 4]);
+    }
+
+    proptest! {
+        #[test]
+        fn offset_unravel_roundtrip(dims in proptest::collection::vec(1usize..6, 0..4)) {
+            let s = Shape::from(dims);
+            for off in 0..s.volume() {
+                let idx = s.unravel(off).unwrap();
+                prop_assert_eq!(s.offset(&idx), Some(off));
+            }
+        }
+
+        #[test]
+        fn offsets_are_dense_and_unique(dims in proptest::collection::vec(1usize..5, 1..4)) {
+            let s = Shape::from(dims);
+            let mut seen = vec![false; s.volume()];
+            for off in 0..s.volume() {
+                let idx = s.unravel(off).unwrap();
+                let back = s.offset(&idx).unwrap();
+                prop_assert!(!seen[back]);
+                seen[back] = true;
+            }
+            prop_assert!(seen.iter().all(|&b| b));
+        }
+    }
+}

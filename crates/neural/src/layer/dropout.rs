@@ -1,0 +1,183 @@
+use ndtensor::Tensor;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::layer::{Layer, LayerKind};
+use crate::{NeuralError, Result};
+
+/// Inverted dropout: during training each element is zeroed with
+/// probability `rate` and survivors are scaled by `1/(1−rate)`, so the
+/// expected activation is unchanged; at inference the layer is the
+/// identity.
+///
+/// Not used by the paper's architectures; provided for regularisation
+/// ablations (the autoencoder overfits small mask datasets without it).
+/// Randomness comes from an internal seeded RNG, so training remains
+/// deterministic per construction seed.
+#[derive(Debug)]
+pub struct Dropout {
+    rate: f32,
+    rng: StdRng,
+    seed: u64,
+    cached_mask: Option<Tensor>,
+}
+
+impl Dropout {
+    /// Creates a dropout layer with drop probability `rate ∈ [0, 1)`.
+    ///
+    /// # Errors
+    ///
+    /// Fails when `rate` is not finite or outside `[0, 1)`.
+    pub fn new(rate: f32, seed: u64) -> Result<Self> {
+        if !rate.is_finite() || !(0.0..1.0).contains(&rate) {
+            return Err(NeuralError::invalid(
+                "Dropout::new",
+                format!("rate must be in [0, 1), got {rate}"),
+            ));
+        }
+        Ok(Dropout {
+            rate,
+            rng: StdRng::seed_from_u64(seed),
+            seed,
+            cached_mask: None,
+        })
+    }
+
+    /// The drop probability.
+    pub fn rate(&self) -> f32 {
+        self.rate
+    }
+
+    /// The construction seed (persisted so reloaded models keep their
+    /// training-time randomness stream).
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+}
+
+impl Layer for Dropout {
+    fn kind(&self) -> LayerKind {
+        LayerKind::Dropout {
+            rate_milli: (self.rate * 1000.0).round() as u32,
+        }
+    }
+
+    fn forward(&self, input: &Tensor) -> Result<Tensor> {
+        // Inference: identity (inverted dropout needs no rescale here).
+        Ok(input.clone())
+    }
+
+    fn forward_train(&mut self, input: &Tensor) -> Result<Tensor> {
+        if self.rate == 0.0 {
+            self.cached_mask = Some(Tensor::ones(input.shape().clone()));
+            return Ok(input.clone());
+        }
+        let keep = 1.0 - self.rate;
+        let scale = 1.0 / keep;
+        let mut mask = Tensor::zeros(input.shape().clone());
+        for m in mask.as_mut_slice() {
+            *m = if self.rng.gen::<f32>() < keep {
+                scale
+            } else {
+                0.0
+            };
+        }
+        let out = input.zip_map(&mask, |x, m| x * m)?;
+        self.cached_mask = Some(mask);
+        Ok(out)
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor> {
+        let mask = self
+            .cached_mask
+            .take()
+            .ok_or(NeuralError::MissingCache { layer: "Dropout" })?;
+        if mask.shape() != grad_output.shape() {
+            return Err(NeuralError::invalid(
+                "Dropout::backward",
+                format!(
+                    "grad shape {} does not match cached mask {}",
+                    grad_output.shape(),
+                    mask.shape()
+                ),
+            ));
+        }
+        Ok(grad_output.zip_map(&mask, |g, m| g * m)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_validates_rate() {
+        assert!(Dropout::new(-0.1, 0).is_err());
+        assert!(Dropout::new(1.0, 0).is_err());
+        assert!(Dropout::new(f32::NAN, 0).is_err());
+        assert!(Dropout::new(0.0, 0).is_ok());
+        assert!(Dropout::new(0.99, 0).is_ok());
+    }
+
+    #[test]
+    fn inference_is_identity() {
+        let d = Dropout::new(0.5, 1).unwrap();
+        let x = Tensor::from_fn([4, 8], |i| (i[0] + i[1]) as f32);
+        assert_eq!(d.forward(&x).unwrap(), x);
+    }
+
+    #[test]
+    fn training_zeroes_roughly_rate_fraction_and_preserves_mean() {
+        let mut d = Dropout::new(0.3, 2).unwrap();
+        let x = Tensor::ones([100, 100]);
+        let y = d.forward_train(&x).unwrap();
+        let zeros = y.as_slice().iter().filter(|&&v| v == 0.0).count() as f32;
+        let frac = zeros / y.len() as f32;
+        assert!((frac - 0.3).abs() < 0.02, "dropped fraction {frac}");
+        // Inverted scaling keeps the expected value ≈ 1.
+        assert!((y.mean() - 1.0).abs() < 0.03, "mean {}", y.mean());
+    }
+
+    #[test]
+    fn backward_applies_the_same_mask() {
+        let mut d = Dropout::new(0.5, 3).unwrap();
+        let x = Tensor::ones([1, 64]);
+        let y = d.forward_train(&x).unwrap();
+        let g = d.backward(&Tensor::ones([1, 64])).unwrap();
+        // Gradient passes exactly where activations passed.
+        for (yv, gv) in y.as_slice().iter().zip(g.as_slice()) {
+            assert_eq!(yv == &0.0, gv == &0.0);
+        }
+        assert!(
+            d.backward(&Tensor::ones([1, 64])).is_err(),
+            "cache consumed"
+        );
+    }
+
+    #[test]
+    fn zero_rate_is_identity_in_training_too() {
+        let mut d = Dropout::new(0.0, 4).unwrap();
+        let x = Tensor::from_fn([2, 3], |i| i[1] as f32);
+        assert_eq!(d.forward_train(&x).unwrap(), x);
+        let g = d.backward(&Tensor::ones([2, 3])).unwrap();
+        assert!(g.as_slice().iter().all(|&v| v == 1.0));
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let run = |seed| {
+            let mut d = Dropout::new(0.5, seed).unwrap();
+            d.forward_train(&Tensor::ones([1, 32])).unwrap()
+        };
+        assert_eq!(run(7), run(7));
+        assert_ne!(run(7), run(8));
+    }
+
+    #[test]
+    fn has_no_parameters() {
+        let mut d = Dropout::new(0.2, 0).unwrap();
+        assert_eq!(d.param_count(), 0);
+        assert!(d.params_and_grads().is_empty());
+        assert_eq!(d.kind(), LayerKind::Dropout { rate_milli: 200 });
+    }
+}

@@ -1,0 +1,107 @@
+use ndtensor::{Shape, Tensor};
+
+use crate::layer::{Layer, LayerKind};
+use crate::{NeuralError, Result};
+
+/// Collapses all dimensions after the batch dimension:
+/// `[N, d1, d2, …] → [N, d1·d2·…]`. Bridges the convolutional stack and
+/// the dense head of the steering CNN.
+#[derive(Debug, Default)]
+pub struct Flatten {
+    cached_shape: Option<Shape>,
+}
+
+impl Flatten {
+    /// Creates a flatten layer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn flat_shape(input: &Tensor) -> Result<Shape> {
+        if input.rank() < 2 {
+            return Err(NeuralError::invalid(
+                "Flatten::forward",
+                format!("input must have a batch dimension, got {}", input.shape()),
+            ));
+        }
+        let n = input.shape().dims()[0];
+        let rest: usize = input.shape().dims()[1..].iter().product();
+        Ok(Shape::new([n, rest]))
+    }
+}
+
+impl Layer for Flatten {
+    fn kind(&self) -> LayerKind {
+        LayerKind::Flatten
+    }
+
+    fn forward(&self, input: &Tensor) -> Result<Tensor> {
+        let shape = Self::flat_shape(input)?;
+        Ok(input.reshape(shape)?)
+    }
+
+    fn forward_train(&mut self, input: &Tensor) -> Result<Tensor> {
+        let out = self.forward(input)?;
+        self.cached_shape = Some(input.shape().clone());
+        Ok(out)
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor> {
+        let shape = self
+            .cached_shape
+            .take()
+            .ok_or(NeuralError::MissingCache { layer: "Flatten" })?;
+        if grad_output.len() != shape.volume() {
+            return Err(NeuralError::invalid(
+                "Flatten::backward",
+                format!(
+                    "grad has {} elements, cached shape {} has {}",
+                    grad_output.len(),
+                    shape,
+                    shape.volume()
+                ),
+            ));
+        }
+        Ok(grad_output.reshape(shape)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flattens_trailing_dimensions() {
+        let x = Tensor::from_fn([2, 3, 4, 5], |i| {
+            (i[0] * 60 + i[1] * 20 + i[2] * 5 + i[3]) as f32
+        });
+        let y = Flatten::new().forward(&x).unwrap();
+        assert_eq!(y.shape().dims(), &[2, 60]);
+        assert_eq!(y.as_slice(), x.as_slice());
+    }
+
+    #[test]
+    fn backward_restores_shape() {
+        let mut l = Flatten::new();
+        let x = Tensor::zeros([2, 3, 4]);
+        l.forward_train(&x).unwrap();
+        let g = l.backward(&Tensor::ones([2, 12])).unwrap();
+        assert_eq!(g.shape().dims(), &[2, 3, 4]);
+    }
+
+    #[test]
+    fn rejects_rank1_input_and_missing_cache() {
+        assert!(Flatten::new().forward(&Tensor::zeros([5])).is_err());
+        assert!(Flatten::new().backward(&Tensor::zeros([1, 1])).is_err());
+        let mut l = Flatten::new();
+        l.forward_train(&Tensor::zeros([2, 2, 2])).unwrap();
+        assert!(l.backward(&Tensor::zeros([2, 9])).is_err());
+    }
+
+    #[test]
+    fn already_flat_input_is_identity() {
+        let x = Tensor::from_vec([3, 4], (0..12).map(|i| i as f32).collect()).unwrap();
+        let y = Flatten::new().forward(&x).unwrap();
+        assert_eq!(y, x);
+    }
+}

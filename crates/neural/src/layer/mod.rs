@@ -1,0 +1,195 @@
+//! Network layers.
+//!
+//! Every layer implements [`Layer`]: a pure inference [`Layer::forward`],
+//! a caching [`Layer::forward_train`], and a [`Layer::backward`] that
+//! consumes the cache, accumulates parameter gradients and returns the
+//! gradient with respect to its input. Layers are `Send` so networks can
+//! be trained or evaluated from worker threads.
+
+mod activation;
+mod conv;
+mod dense;
+mod dropout;
+mod flatten;
+mod pool;
+
+pub use activation::{ReLU, Sigmoid, Tanh};
+pub use conv::Conv2d;
+pub use dense::Dense;
+pub use dropout::Dropout;
+pub use flatten::Flatten;
+pub use pool::MaxPool2d;
+
+use ndtensor::{Conv2dSpec, Tensor};
+
+use crate::Result;
+
+/// Structural description of a layer, used for introspection (the
+/// saliency crate walks the CNN's conv stack through this) and for
+/// serialization.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LayerKind {
+    /// Fully-connected layer: `[N, in] → [N, out]`.
+    Dense {
+        /// Input feature count.
+        in_features: usize,
+        /// Output feature count.
+        out_features: usize,
+    },
+    /// 2-D convolution: `[N, C, H, W] → [N, F, OH, OW]`.
+    Conv2d {
+        /// Input channel count `C`.
+        in_channels: usize,
+        /// Output channel (filter) count `F`.
+        out_channels: usize,
+        /// Kernel size `(KH, KW)`.
+        kernel: (usize, usize),
+        /// Stride and padding.
+        spec: Conv2dSpec,
+    },
+    /// Rectified linear activation.
+    ReLU,
+    /// Logistic sigmoid activation.
+    Sigmoid,
+    /// Hyperbolic tangent activation.
+    Tanh,
+    /// Collapses all but the batch dimension.
+    Flatten,
+    /// Non-overlapping max pooling with window `(PH, PW)`.
+    MaxPool2d {
+        /// Pooling window `(PH, PW)`; stride equals the window.
+        window: (usize, usize),
+    },
+    /// Inverted dropout (identity at inference).
+    Dropout {
+        /// Drop probability in thousandths (kind must be `Eq`, so the
+        /// f32 rate is stored quantised; 300 = rate 0.3).
+        rate_milli: u32,
+    },
+}
+
+impl LayerKind {
+    /// Short display name of the layer kind.
+    pub fn name(&self) -> &'static str {
+        match self {
+            LayerKind::Dense { .. } => "Dense",
+            LayerKind::Conv2d { .. } => "Conv2d",
+            LayerKind::ReLU => "ReLU",
+            LayerKind::Sigmoid => "Sigmoid",
+            LayerKind::Tanh => "Tanh",
+            LayerKind::Flatten => "Flatten",
+            LayerKind::MaxPool2d { .. } => "MaxPool2d",
+            LayerKind::Dropout { .. } => "Dropout",
+        }
+    }
+}
+
+/// A mutable view of one parameter tensor paired with its accumulated
+/// gradient, handed to optimizers.
+#[derive(Debug)]
+pub struct ParamGrad<'a> {
+    /// The parameter to update.
+    pub param: &'a mut Tensor,
+    /// Its gradient, accumulated by `backward` since the last zeroing.
+    pub grad: &'a mut Tensor,
+}
+
+/// A differentiable network layer.
+pub trait Layer: std::fmt::Debug + Send + Sync {
+    /// The layer's structural description.
+    fn kind(&self) -> LayerKind;
+
+    /// Inference forward pass (no caching, `&self`).
+    ///
+    /// # Errors
+    ///
+    /// Fails when the input shape is incompatible with the layer.
+    fn forward(&self, input: &Tensor) -> Result<Tensor>;
+
+    /// Training forward pass: like [`Layer::forward`] but caches whatever
+    /// the backward pass needs.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the input shape is incompatible with the layer.
+    fn forward_train(&mut self, input: &Tensor) -> Result<Tensor>;
+
+    /// Backward pass: given `∂L/∂output`, accumulates parameter gradients
+    /// and returns `∂L/∂input`. Consumes the cache of the most recent
+    /// [`Layer::forward_train`].
+    ///
+    /// # Errors
+    ///
+    /// Fails when no cache is present or `grad_output` has the wrong
+    /// shape.
+    fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor>;
+
+    /// The layer's parameters paired with their gradients (empty for
+    /// parameter-free layers).
+    fn params_and_grads(&mut self) -> Vec<ParamGrad<'_>> {
+        Vec::new()
+    }
+
+    /// Immutable access to parameter tensors, in the same order as
+    /// [`Layer::params_and_grads`].
+    fn params(&self) -> Vec<&Tensor> {
+        Vec::new()
+    }
+
+    /// Total number of scalar parameters.
+    fn param_count(&self) -> usize {
+        self.params().iter().map(|p| p.len()).sum()
+    }
+
+    /// Resets all accumulated gradients to zero.
+    fn zero_grads(&mut self) {
+        for pg in self.params_and_grads() {
+            pg.grad.map_inplace(|_| 0.0);
+        }
+    }
+
+    /// Replaces the layer's parameters with `values`, in
+    /// [`Layer::params_and_grads`] order.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the number of tensors or any shape differs.
+    fn set_params(&mut self, values: &[Tensor]) -> Result<()> {
+        let mut pgs = self.params_and_grads();
+        if pgs.len() != values.len() {
+            return Err(crate::NeuralError::invalid(
+                "set_params",
+                format!("expected {} tensors, got {}", pgs.len(), values.len()),
+            ));
+        }
+        for (pg, v) in pgs.iter_mut().zip(values) {
+            if pg.param.shape() != v.shape() {
+                return Err(crate::NeuralError::invalid(
+                    "set_params",
+                    format!("shape mismatch: {} vs {}", pg.param.shape(), v.shape()),
+                ));
+            }
+            *pg.param = v.clone();
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_names() {
+        assert_eq!(LayerKind::ReLU.name(), "ReLU");
+        assert_eq!(
+            LayerKind::Dense {
+                in_features: 1,
+                out_features: 2
+            }
+            .name(),
+            "Dense"
+        );
+        assert_eq!(LayerKind::MaxPool2d { window: (2, 2) }.name(), "MaxPool2d");
+    }
+}

@@ -1,0 +1,168 @@
+use ndtensor::Tensor;
+
+use crate::layer::{Layer, LayerKind};
+use crate::{NeuralError, Result};
+
+/// Non-overlapping max pooling over `[N, C, H, W]` inputs with window
+/// `(PH, PW)` and stride equal to the window. Input height/width must be
+/// divisible by the window.
+///
+/// Not part of the paper's architectures (PilotNet uses strided
+/// convolutions), but provided for the architecture-ablation benches.
+#[derive(Debug)]
+pub struct MaxPool2d {
+    window: (usize, usize),
+    /// For each output element, the linear input index that won the max.
+    cached_argmax: Option<(Vec<usize>, ndtensor::Shape)>,
+}
+
+impl MaxPool2d {
+    /// Creates a max-pooling layer.
+    ///
+    /// # Errors
+    ///
+    /// Fails when either window dimension is zero.
+    pub fn new(window: (usize, usize)) -> Result<Self> {
+        if window.0 == 0 || window.1 == 0 {
+            return Err(NeuralError::invalid(
+                "MaxPool2d::new",
+                "window must be non-zero",
+            ));
+        }
+        Ok(MaxPool2d {
+            window,
+            cached_argmax: None,
+        })
+    }
+
+    fn pool(&self, input: &Tensor) -> Result<(Tensor, Vec<usize>)> {
+        if input.rank() != 4 {
+            return Err(NeuralError::invalid(
+                "MaxPool2d::forward",
+                format!("expected [N, C, H, W], got {}", input.shape()),
+            ));
+        }
+        let [n, c, h, w] = [
+            input.shape().dims()[0],
+            input.shape().dims()[1],
+            input.shape().dims()[2],
+            input.shape().dims()[3],
+        ];
+        let (ph, pw) = self.window;
+        if h % ph != 0 || w % pw != 0 {
+            return Err(NeuralError::invalid(
+                "MaxPool2d::forward",
+                format!("input {h}x{w} not divisible by window {ph}x{pw}"),
+            ));
+        }
+        let (oh, ow) = (h / ph, w / pw);
+        let data = input.as_slice();
+        let mut out = Vec::with_capacity(n * c * oh * ow);
+        let mut argmax = Vec::with_capacity(n * c * oh * ow);
+        for ni in 0..n {
+            for ci in 0..c {
+                let plane = (ni * c + ci) * h * w;
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        let mut best = f32::NEG_INFINITY;
+                        let mut best_idx = 0usize;
+                        for dy in 0..ph {
+                            for dx in 0..pw {
+                                let idx = plane + (oy * ph + dy) * w + (ox * pw + dx);
+                                if data[idx] > best {
+                                    best = data[idx];
+                                    best_idx = idx;
+                                }
+                            }
+                        }
+                        out.push(best);
+                        argmax.push(best_idx);
+                    }
+                }
+            }
+        }
+        Ok((Tensor::from_vec([n, c, oh, ow], out)?, argmax))
+    }
+}
+
+impl Layer for MaxPool2d {
+    fn kind(&self) -> LayerKind {
+        LayerKind::MaxPool2d {
+            window: self.window,
+        }
+    }
+
+    fn forward(&self, input: &Tensor) -> Result<Tensor> {
+        Ok(self.pool(input)?.0)
+    }
+
+    fn forward_train(&mut self, input: &Tensor) -> Result<Tensor> {
+        let (out, argmax) = self.pool(input)?;
+        self.cached_argmax = Some((argmax, input.shape().clone()));
+        Ok(out)
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor> {
+        let (argmax, in_shape) = self
+            .cached_argmax
+            .take()
+            .ok_or(NeuralError::MissingCache { layer: "MaxPool2d" })?;
+        if grad_output.len() != argmax.len() {
+            return Err(NeuralError::invalid(
+                "MaxPool2d::backward",
+                format!(
+                    "grad has {} elements, cache expects {}",
+                    grad_output.len(),
+                    argmax.len()
+                ),
+            ));
+        }
+        let mut grad_in = vec![0.0f32; in_shape.volume()];
+        for (&idx, &g) in argmax.iter().zip(grad_output.as_slice()) {
+            grad_in[idx] += g;
+        }
+        Ok(Tensor::from_vec(in_shape, grad_in)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pools_maxima() {
+        let x = Tensor::from_vec([1, 1, 2, 4], vec![1., 5., 2., 0., 3., 4., 8., 6.]).unwrap();
+        let pool = MaxPool2d::new((2, 2)).unwrap();
+        let y = pool.forward(&x).unwrap();
+        assert_eq!(y.shape().dims(), &[1, 1, 1, 2]);
+        assert_eq!(y.as_slice(), &[5., 8.]);
+    }
+
+    #[test]
+    fn backward_routes_gradient_to_argmax() {
+        let x = Tensor::from_vec([1, 1, 2, 2], vec![1., 9., 3., 2.]).unwrap();
+        let mut pool = MaxPool2d::new((2, 2)).unwrap();
+        pool.forward_train(&x).unwrap();
+        let g = pool
+            .backward(&Tensor::from_vec([1, 1, 1, 1], vec![7.0]).unwrap())
+            .unwrap();
+        assert_eq!(g.as_slice(), &[0., 7., 0., 0.]);
+    }
+
+    #[test]
+    fn validates_inputs() {
+        assert!(MaxPool2d::new((0, 2)).is_err());
+        let pool = MaxPool2d::new((2, 2)).unwrap();
+        assert!(pool.forward(&Tensor::zeros([1, 1, 3, 4])).is_err()); // 3 % 2 != 0
+        assert!(pool.forward(&Tensor::zeros([2, 4])).is_err());
+        let mut p = MaxPool2d::new((2, 2)).unwrap();
+        assert!(p.backward(&Tensor::zeros([1, 1, 1, 1])).is_err());
+    }
+
+    #[test]
+    fn multi_channel_pooling_is_independent() {
+        let x = Tensor::from_fn([1, 2, 2, 2], |i| if i[1] == 0 { 1.0 } else { 10.0 });
+        let y = MaxPool2d::new((2, 2)).unwrap().forward(&x).unwrap();
+        assert_eq!(y.as_slice(), &[1.0, 10.0]);
+    }
+}

@@ -1,0 +1,376 @@
+//! Training objectives.
+//!
+//! Every loss returns the scalar loss and its gradient with respect to the
+//! prediction, already averaged over the batch so optimizer step sizes are
+//! batch-size independent.
+//!
+//! [`SsimDissimilarityLoss`] is the paper's contribution-enabling piece:
+//! it trains the autoencoder to *maximise* SSIM by minimising
+//! `1 − mean-SSIM`, using the analytic gradient from
+//! [`metrics::ssim_with_grad`].
+
+use metrics::SsimConfig;
+use ndtensor::Tensor;
+use vision::Image;
+
+use crate::{NeuralError, Result};
+
+/// A differentiable training objective.
+pub trait Loss: std::fmt::Debug + Send {
+    /// Scalar loss for a batch.
+    ///
+    /// # Errors
+    ///
+    /// Fails when prediction and target shapes differ or are incompatible
+    /// with the loss.
+    fn loss(&self, prediction: &Tensor, target: &Tensor) -> Result<f32>;
+
+    /// `∂loss/∂prediction`, same shape as the prediction.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Loss::loss`].
+    fn grad(&self, prediction: &Tensor, target: &Tensor) -> Result<Tensor>;
+
+    /// Short display name for reports.
+    fn name(&self) -> &'static str;
+}
+
+fn check_same_shape(op: &'static str, prediction: &Tensor, target: &Tensor) -> Result<()> {
+    if prediction.shape() != target.shape() {
+        return Err(NeuralError::invalid(
+            op,
+            format!(
+                "prediction shape {} does not match target shape {}",
+                prediction.shape(),
+                target.shape()
+            ),
+        ));
+    }
+    if prediction.is_empty() {
+        return Err(NeuralError::invalid(op, "empty batch"));
+    }
+    Ok(())
+}
+
+/// Mean squared error over all elements: `L = (1/K) Σ (p − t)²`.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct MseLoss;
+
+impl MseLoss {
+    /// Creates an MSE loss.
+    pub fn new() -> Self {
+        MseLoss
+    }
+}
+
+impl Loss for MseLoss {
+    fn loss(&self, prediction: &Tensor, target: &Tensor) -> Result<f32> {
+        check_same_shape("MseLoss", prediction, target)?;
+        let mut acc = 0.0f64;
+        for (&p, &t) in prediction.as_slice().iter().zip(target.as_slice()) {
+            let d = (p - t) as f64;
+            acc += d * d;
+        }
+        Ok((acc / prediction.len() as f64) as f32)
+    }
+
+    fn grad(&self, prediction: &Tensor, target: &Tensor) -> Result<Tensor> {
+        check_same_shape("MseLoss", prediction, target)?;
+        let scale = 2.0 / prediction.len() as f32;
+        Ok(prediction.zip_map(target, |p, t| scale * (p - t))?)
+    }
+
+    fn name(&self) -> &'static str {
+        "mse"
+    }
+}
+
+/// Huber (smooth-L1) loss with transition point `delta`; quadratic near
+/// zero, linear in the tails. More robust to steering-label outliers than
+/// plain MSE.
+#[derive(Debug, Clone, Copy)]
+pub struct HuberLoss {
+    delta: f32,
+}
+
+impl HuberLoss {
+    /// Creates a Huber loss.
+    ///
+    /// # Errors
+    ///
+    /// Fails when `delta` is not finite or not positive.
+    pub fn new(delta: f32) -> Result<Self> {
+        if !delta.is_finite() || delta <= 0.0 {
+            return Err(NeuralError::invalid(
+                "HuberLoss::new",
+                format!("delta must be positive and finite, got {delta}"),
+            ));
+        }
+        Ok(HuberLoss { delta })
+    }
+}
+
+impl Loss for HuberLoss {
+    fn loss(&self, prediction: &Tensor, target: &Tensor) -> Result<f32> {
+        check_same_shape("HuberLoss", prediction, target)?;
+        let d = self.delta;
+        let mut acc = 0.0f64;
+        for (&p, &t) in prediction.as_slice().iter().zip(target.as_slice()) {
+            let r = (p - t).abs();
+            acc += if r <= d {
+                0.5 * (r * r) as f64
+            } else {
+                (d * (r - 0.5 * d)) as f64
+            };
+        }
+        Ok((acc / prediction.len() as f64) as f32)
+    }
+
+    fn grad(&self, prediction: &Tensor, target: &Tensor) -> Result<Tensor> {
+        check_same_shape("HuberLoss", prediction, target)?;
+        let d = self.delta;
+        let scale = 1.0 / prediction.len() as f32;
+        Ok(prediction.zip_map(target, |p, t| {
+            let r = p - t;
+            scale * if r.abs() <= d { r } else { d * r.signum() }
+        })?)
+    }
+
+    fn name(&self) -> &'static str {
+        "huber"
+    }
+}
+
+/// SSIM dissimilarity loss for image reconstruction:
+/// `L = (1/N) Σ_batch (1 − SSIM(target_i, prediction_i))`.
+///
+/// Predictions and targets are flattened images `[N, H·W]`; the
+/// constructor pins the image geometry so rows can be reshaped.
+#[derive(Debug, Clone)]
+pub struct SsimDissimilarityLoss {
+    height: usize,
+    width: usize,
+    config: SsimConfig,
+}
+
+impl SsimDissimilarityLoss {
+    /// Creates the loss for `height × width` images with the given SSIM
+    /// configuration.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the window does not fit the image geometry.
+    pub fn new(height: usize, width: usize, config: SsimConfig) -> Result<Self> {
+        if height == 0 || width == 0 {
+            return Err(NeuralError::invalid(
+                "SsimDissimilarityLoss::new",
+                "image dimensions must be non-zero",
+            ));
+        }
+        if config.window == 0 || config.window > height || config.window > width {
+            return Err(NeuralError::invalid(
+                "SsimDissimilarityLoss::new",
+                format!(
+                    "window {} incompatible with image {height}x{width}",
+                    config.window
+                ),
+            ));
+        }
+        Ok(SsimDissimilarityLoss {
+            height,
+            width,
+            config,
+        })
+    }
+
+    /// The SSIM configuration in use.
+    pub fn config(&self) -> &SsimConfig {
+        &self.config
+    }
+
+    fn rows<'t>(&self, op: &'static str, t: &'t Tensor) -> Result<Vec<&'t [f32]>> {
+        let hw = self.height * self.width;
+        if t.rank() != 2 || t.shape().dims()[1] != hw {
+            return Err(NeuralError::invalid(
+                op,
+                format!("expected [N, {hw}] tensor, got {}", t.shape()),
+            ));
+        }
+        Ok(t.as_slice().chunks(hw).collect())
+    }
+
+    fn to_image(&self, row: &[f32]) -> Result<Image> {
+        Image::from_tensor(Tensor::from_vec([self.height, self.width], row.to_vec())?)
+            .map_err(|e| NeuralError::invalid("SsimDissimilarityLoss", e.to_string()))
+    }
+}
+
+impl Loss for SsimDissimilarityLoss {
+    fn loss(&self, prediction: &Tensor, target: &Tensor) -> Result<f32> {
+        check_same_shape("SsimDissimilarityLoss", prediction, target)?;
+        let preds = self.rows("SsimDissimilarityLoss", prediction)?;
+        let tgts = self.rows("SsimDissimilarityLoss", target)?;
+        let mut acc = 0.0f64;
+        for (p, t) in preds.iter().zip(&tgts) {
+            let xi = self.to_image(t)?;
+            let yi = self.to_image(p)?;
+            let s = metrics::ssim(&xi, &yi, &self.config)
+                .map_err(|e| NeuralError::invalid("SsimDissimilarityLoss", e.to_string()))?;
+            acc += 1.0 - s as f64;
+        }
+        Ok((acc / preds.len() as f64) as f32)
+    }
+
+    fn grad(&self, prediction: &Tensor, target: &Tensor) -> Result<Tensor> {
+        check_same_shape("SsimDissimilarityLoss", prediction, target)?;
+        let preds = self.rows("SsimDissimilarityLoss", prediction)?;
+        let tgts = self.rows("SsimDissimilarityLoss", target)?;
+        let n = preds.len();
+        let hw = self.height * self.width;
+        let mut grad = vec![0.0f32; n * hw];
+        for (i, (p, t)) in preds.iter().zip(&tgts).enumerate() {
+            let xi = self.to_image(t)?;
+            let yi = self.to_image(p)?;
+            let (_, g) = metrics::ssim_with_grad(&xi, &yi, &self.config)
+                .map_err(|e| NeuralError::invalid("SsimDissimilarityLoss", e.to_string()))?;
+            // L = 1 − SSIM, so ∂L/∂y = −∂SSIM/∂y; batch-mean divides by N.
+            for (dst, &gv) in grad[i * hw..(i + 1) * hw].iter_mut().zip(g.as_slice()) {
+                *dst = -gv / n as f32;
+            }
+        }
+        Ok(Tensor::from_vec(prediction.shape().clone(), grad)?)
+    }
+
+    fn name(&self) -> &'static str {
+        "ssim"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pair(p: Vec<f32>, t: Vec<f32>) -> (Tensor, Tensor) {
+        let n = p.len();
+        (
+            Tensor::from_vec([1, n], p).unwrap(),
+            Tensor::from_vec([1, n], t).unwrap(),
+        )
+    }
+
+    #[test]
+    fn mse_known_values() {
+        let (p, t) = pair(vec![1.0, 2.0], vec![0.0, 0.0]);
+        let l = MseLoss::new();
+        assert!((l.loss(&p, &t).unwrap() - 2.5).abs() < 1e-6);
+        let g = l.grad(&p, &t).unwrap();
+        assert_eq!(g.as_slice(), &[1.0, 2.0]); // 2(p−t)/2
+        assert_eq!(l.name(), "mse");
+    }
+
+    #[test]
+    fn mse_zero_at_perfect_prediction() {
+        let (p, t) = pair(vec![0.3, 0.7], vec![0.3, 0.7]);
+        let l = MseLoss::new();
+        assert_eq!(l.loss(&p, &t).unwrap(), 0.0);
+        assert!(l.grad(&p, &t).unwrap().as_slice().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn losses_validate_shapes() {
+        let p = Tensor::zeros([1, 2]);
+        let t = Tensor::zeros([1, 3]);
+        assert!(MseLoss::new().loss(&p, &t).is_err());
+        assert!(HuberLoss::new(1.0).unwrap().grad(&p, &t).is_err());
+        let empty = Tensor::zeros([0, 2]);
+        assert!(MseLoss::new().loss(&empty, &empty).is_err());
+    }
+
+    #[test]
+    fn huber_transitions_at_delta() {
+        let l = HuberLoss::new(1.0).unwrap();
+        // |r| = 0.5 < delta → quadratic: 0.5·0.25 = 0.125
+        let (p, t) = pair(vec![0.5], vec![0.0]);
+        assert!((l.loss(&p, &t).unwrap() - 0.125).abs() < 1e-6);
+        // |r| = 3 > delta → linear: 1·(3 − 0.5) = 2.5
+        let (p, t) = pair(vec![3.0], vec![0.0]);
+        assert!((l.loss(&p, &t).unwrap() - 2.5).abs() < 1e-6);
+        // Gradient saturates at ±delta/len.
+        let g = l.grad(&p, &t).unwrap();
+        assert_eq!(g.as_slice(), &[1.0]);
+        assert!(HuberLoss::new(0.0).is_err());
+        assert!(HuberLoss::new(-1.0).is_err());
+    }
+
+    #[test]
+    fn huber_gradient_matches_finite_differences() {
+        let l = HuberLoss::new(0.7).unwrap();
+        let (p, t) = pair(vec![0.2, -1.5, 0.9], vec![0.0, 0.0, 0.0]);
+        let g = l.grad(&p, &t).unwrap();
+        let eps = 1e-3;
+        for i in 0..3 {
+            let mut pp = p.clone();
+            pp.as_mut_slice()[i] += eps;
+            let mut pm = p.clone();
+            pm.as_mut_slice()[i] -= eps;
+            let numeric = (l.loss(&pp, &t).unwrap() - l.loss(&pm, &t).unwrap()) / (2.0 * eps);
+            assert!((numeric - g.as_slice()[i]).abs() < 1e-3, "at {i}");
+        }
+    }
+
+    fn ssim_fixture() -> (SsimDissimilarityLoss, Tensor, Tensor) {
+        let loss = SsimDissimilarityLoss::new(8, 10, SsimConfig::with_window(5)).unwrap();
+        let target = Tensor::from_fn([2, 80], |i| {
+            0.3 + 0.4 * (((i[1] / 10 + i[1] % 10) % 5) as f32 / 4.0) + i[0] as f32 * 0.05
+        });
+        let pred = target.map(|v| (v + 0.1).min(1.0));
+        (loss, pred, target)
+    }
+
+    #[test]
+    fn ssim_loss_zero_at_identity() {
+        let (loss, _, target) = ssim_fixture();
+        let l = loss.loss(&target, &target).unwrap();
+        assert!(l.abs() < 1e-6, "loss at identity: {l}");
+    }
+
+    #[test]
+    fn ssim_loss_positive_otherwise_and_bounded() {
+        let (loss, pred, target) = ssim_fixture();
+        let l = loss.loss(&pred, &target).unwrap();
+        assert!(l > 0.0 && l <= 2.0);
+        assert_eq!(loss.name(), "ssim");
+    }
+
+    #[test]
+    fn ssim_loss_gradient_matches_finite_differences() {
+        let (loss, pred, target) = ssim_fixture();
+        let g = loss.grad(&pred, &target).unwrap();
+        let eps = 1e-3;
+        for probe in [0usize, 37, 80, 159] {
+            let mut pp = pred.clone();
+            pp.as_mut_slice()[probe] += eps;
+            let mut pm = pred.clone();
+            pm.as_mut_slice()[probe] -= eps;
+            let numeric =
+                (loss.loss(&pp, &target).unwrap() - loss.loss(&pm, &target).unwrap()) / (2.0 * eps);
+            let analytic = g.as_slice()[probe];
+            assert!(
+                (numeric - analytic).abs() < 2e-3 + 0.05 * numeric.abs(),
+                "grad at {probe}: {numeric} vs {analytic}"
+            );
+        }
+    }
+
+    #[test]
+    fn ssim_loss_validates_construction_and_shapes() {
+        assert!(SsimDissimilarityLoss::new(0, 5, SsimConfig::default()).is_err());
+        assert!(SsimDissimilarityLoss::new(5, 5, SsimConfig::with_window(7)).is_err());
+        let loss = SsimDissimilarityLoss::new(4, 4, SsimConfig::with_window(3)).unwrap();
+        let bad = Tensor::zeros([1, 15]);
+        assert!(loss.loss(&bad, &bad).is_err());
+        let not2d = Tensor::zeros([16]);
+        assert!(loss.loss(&not2d, &not2d).is_err());
+    }
+}

@@ -1,0 +1,231 @@
+//! Threshold calibration on training-score distributions.
+//!
+//! Richter & Roy (paper reference 9) flag an input as novel when its
+//! reconstruction error falls outside the 99th percentile of the training
+//! losses' empirical CDF. The paper reuses the same rule for SSIM, where
+//! *low* similarity is suspicious. [`Calibrator`] captures the percentile,
+//! [`Direction`] the orientation, and [`Threshold`] the calibrated
+//! decision rule.
+
+use metrics::ecdf::Ecdf;
+use metrics::separation::ScoreOrientation;
+use serde::{Deserialize, Serialize};
+
+use crate::{NoveltyError, Result};
+
+/// Which side of the training distribution counts as novel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Direction {
+    /// Larger score = more anomalous (reconstruction MSE).
+    HigherIsNovel,
+    /// Larger score = more normal (SSIM similarity).
+    LowerIsNovel,
+}
+
+impl Direction {
+    /// Converts to the orientation type used by `metrics::separation`.
+    pub fn orientation(self) -> ScoreOrientation {
+        match self {
+            Direction::HigherIsNovel => ScoreOrientation::HigherIsNovel,
+            Direction::LowerIsNovel => ScoreOrientation::LowerIsNovel,
+        }
+    }
+}
+
+impl From<Direction> for ScoreOrientation {
+    fn from(d: Direction) -> Self {
+        d.orientation()
+    }
+}
+
+/// A calibrated decision rule: score + direction → novel or not.
+///
+/// # Example
+///
+/// ```
+/// use novelty::{Calibrator, Direction};
+///
+/// # fn main() -> Result<(), novelty::NoveltyError> {
+/// // SSIM-like scores of in-distribution training images.
+/// let train_scores: Vec<f32> = (1..=100).map(|i| 0.5 + i as f32 * 0.004).collect();
+/// let threshold = Calibrator::new(99.0)?.calibrate(&train_scores, Direction::LowerIsNovel)?;
+/// assert!(threshold.is_novel(0.1));   // far below training SSIM → novel
+/// assert!(!threshold.is_novel(0.7));  // typical training SSIM → in-distribution
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Threshold {
+    value: f32,
+    direction: Direction,
+}
+
+impl Threshold {
+    /// Builds a threshold directly (used by deserialization; prefer
+    /// [`Calibrator::calibrate`]).
+    ///
+    /// # Errors
+    ///
+    /// Fails when `value` is not finite.
+    pub fn new(value: f32, direction: Direction) -> Result<Self> {
+        if !value.is_finite() {
+            return Err(NoveltyError::invalid(
+                "Threshold::new",
+                format!("threshold must be finite, got {value}"),
+            ));
+        }
+        Ok(Threshold { value, direction })
+    }
+
+    /// The cut-off score.
+    pub fn value(&self) -> f32 {
+        self.value
+    }
+
+    /// The calibrated direction.
+    pub fn direction(&self) -> Direction {
+        self.direction
+    }
+
+    /// Classifies a score (strict comparison: the threshold itself is not
+    /// novel).
+    pub fn is_novel(&self, score: f32) -> bool {
+        match self.direction {
+            Direction::HigherIsNovel => score > self.value,
+            Direction::LowerIsNovel => score < self.value,
+        }
+    }
+}
+
+/// Calibrates thresholds at a fixed percentile of training scores.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Calibrator {
+    percentile: f32,
+}
+
+impl Calibrator {
+    /// A calibrator keeping `percentile`% of the training distribution
+    /// in-class (the paper uses 99.0).
+    ///
+    /// # Errors
+    ///
+    /// Fails when `percentile` is outside `(0, 100]`.
+    pub fn new(percentile: f32) -> Result<Self> {
+        if !percentile.is_finite() || percentile <= 0.0 || percentile > 100.0 {
+            return Err(NoveltyError::invalid(
+                "Calibrator::new",
+                format!("percentile must be in (0, 100], got {percentile}"),
+            ));
+        }
+        Ok(Calibrator { percentile })
+    }
+
+    /// The paper's 99th-percentile calibrator.
+    pub fn paper() -> Self {
+        Calibrator { percentile: 99.0 }
+    }
+
+    /// The configured percentile.
+    pub fn percentile(&self) -> f32 {
+        self.percentile
+    }
+
+    /// Calibrates a threshold from in-distribution training scores.
+    ///
+    /// # Errors
+    ///
+    /// Fails when `scores` is empty or contains non-finite values.
+    pub fn calibrate(&self, scores: &[f32], direction: Direction) -> Result<Threshold> {
+        let ecdf = Ecdf::new(scores.to_vec())?;
+        let value = match direction {
+            Direction::HigherIsNovel => ecdf.upper_threshold(self.percentile)?,
+            Direction::LowerIsNovel => ecdf.lower_threshold(self.percentile)?,
+        };
+        Threshold::new(value, direction)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scores_1_to_100() -> Vec<f32> {
+        (1..=100).map(|i| i as f32).collect()
+    }
+
+    #[test]
+    fn calibrator_validates_percentile() {
+        assert!(Calibrator::new(0.0).is_err());
+        assert!(Calibrator::new(-5.0).is_err());
+        assert!(Calibrator::new(100.5).is_err());
+        assert!(Calibrator::new(f32::NAN).is_err());
+        assert_eq!(Calibrator::paper().percentile(), 99.0);
+    }
+
+    #[test]
+    fn higher_is_novel_uses_upper_percentile() {
+        let t = Calibrator::paper()
+            .calibrate(&scores_1_to_100(), Direction::HigherIsNovel)
+            .unwrap();
+        assert_eq!(t.value(), 99.0);
+        assert!(t.is_novel(99.5));
+        assert!(!t.is_novel(99.0)); // strict
+        assert!(!t.is_novel(50.0));
+    }
+
+    #[test]
+    fn lower_is_novel_uses_lower_percentile() {
+        let t = Calibrator::paper()
+            .calibrate(&scores_1_to_100(), Direction::LowerIsNovel)
+            .unwrap();
+        assert_eq!(t.value(), 1.0);
+        assert!(t.is_novel(0.5));
+        assert!(!t.is_novel(1.0));
+        assert!(!t.is_novel(50.0));
+    }
+
+    #[test]
+    fn about_one_percent_of_training_scores_flagged() {
+        // The defining property of the 99th-percentile rule.
+        let scores = scores_1_to_100();
+        let t = Calibrator::paper()
+            .calibrate(&scores, Direction::HigherIsNovel)
+            .unwrap();
+        let flagged = scores.iter().filter(|&&s| t.is_novel(s)).count();
+        assert_eq!(flagged, 1);
+    }
+
+    #[test]
+    fn calibrate_rejects_bad_scores() {
+        let c = Calibrator::paper();
+        assert!(c.calibrate(&[], Direction::HigherIsNovel).is_err());
+        assert!(c
+            .calibrate(&[1.0, f32::NAN], Direction::HigherIsNovel)
+            .is_err());
+    }
+
+    #[test]
+    fn threshold_construction_validates() {
+        assert!(Threshold::new(f32::INFINITY, Direction::HigherIsNovel).is_err());
+        let t = Threshold::new(0.5, Direction::LowerIsNovel).unwrap();
+        assert_eq!(t.direction(), Direction::LowerIsNovel);
+    }
+
+    #[test]
+    fn direction_converts_to_orientation() {
+        assert_eq!(
+            Direction::HigherIsNovel.orientation(),
+            ScoreOrientation::HigherIsNovel
+        );
+        let o: ScoreOrientation = Direction::LowerIsNovel.into();
+        assert_eq!(o, ScoreOrientation::LowerIsNovel);
+    }
+
+    #[test]
+    fn threshold_serde_roundtrip() {
+        let t = Threshold::new(0.42, Direction::LowerIsNovel).unwrap();
+        let json = serde_json::to_string(&t).unwrap();
+        let back: Threshold = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, t);
+    }
+}

@@ -1,0 +1,129 @@
+use std::fmt;
+
+use metrics::MetricsError;
+use ndtensor::TensorError;
+use neural::NeuralError;
+use saliency::SaliencyError;
+use vision::VisionError;
+
+/// Error type for pipeline construction, training and classification.
+#[derive(Debug)]
+pub enum NoveltyError {
+    /// Network training or evaluation failed.
+    Neural(NeuralError),
+    /// Saliency computation failed.
+    Saliency(SaliencyError),
+    /// Metric computation failed.
+    Metrics(MetricsError),
+    /// Image processing failed.
+    Vision(VisionError),
+    /// Tensor math failed.
+    Tensor(TensorError),
+    /// A pipeline-level invariant was violated.
+    Invalid {
+        /// Short name of the operation that failed.
+        op: &'static str,
+        /// Human-readable description of the violated invariant.
+        reason: String,
+    },
+    /// Detector (de)serialization failed.
+    Serde(String),
+    /// File I/O failed.
+    Io(std::io::Error),
+}
+
+impl NoveltyError {
+    /// Builds an [`NoveltyError::Invalid`].
+    pub fn invalid(op: &'static str, reason: impl Into<String>) -> Self {
+        NoveltyError::Invalid {
+            op,
+            reason: reason.into(),
+        }
+    }
+}
+
+impl fmt::Display for NoveltyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NoveltyError::Neural(e) => write!(f, "network error: {e}"),
+            NoveltyError::Saliency(e) => write!(f, "saliency error: {e}"),
+            NoveltyError::Metrics(e) => write!(f, "metrics error: {e}"),
+            NoveltyError::Vision(e) => write!(f, "image error: {e}"),
+            NoveltyError::Tensor(e) => write!(f, "tensor error: {e}"),
+            NoveltyError::Invalid { op, reason } => write!(f, "{op}: {reason}"),
+            NoveltyError::Serde(msg) => write!(f, "serialization error: {msg}"),
+            NoveltyError::Io(e) => write!(f, "io error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for NoveltyError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            NoveltyError::Neural(e) => Some(e),
+            NoveltyError::Saliency(e) => Some(e),
+            NoveltyError::Metrics(e) => Some(e),
+            NoveltyError::Vision(e) => Some(e),
+            NoveltyError::Tensor(e) => Some(e),
+            NoveltyError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<NeuralError> for NoveltyError {
+    fn from(e: NeuralError) -> Self {
+        NoveltyError::Neural(e)
+    }
+}
+
+impl From<SaliencyError> for NoveltyError {
+    fn from(e: SaliencyError) -> Self {
+        NoveltyError::Saliency(e)
+    }
+}
+
+impl From<MetricsError> for NoveltyError {
+    fn from(e: MetricsError) -> Self {
+        NoveltyError::Metrics(e)
+    }
+}
+
+impl From<VisionError> for NoveltyError {
+    fn from(e: VisionError) -> Self {
+        NoveltyError::Vision(e)
+    }
+}
+
+impl From<TensorError> for NoveltyError {
+    fn from(e: TensorError) -> Self {
+        NoveltyError::Tensor(e)
+    }
+}
+
+impl From<std::io::Error> for NoveltyError {
+    fn from(e: std::io::Error) -> Self {
+        NoveltyError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        use std::error::Error;
+        let e = NoveltyError::invalid("train", "empty dataset");
+        assert!(e.to_string().contains("train"));
+        assert!(e.source().is_none());
+        let e = NoveltyError::from(NeuralError::invalid("fit", "x"));
+        assert!(e.source().is_some());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<NoveltyError>();
+    }
+}

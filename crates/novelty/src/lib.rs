@@ -1,0 +1,58 @@
+#![warn(missing_docs)]
+
+//! Novelty detection via network saliency — the paper's contribution.
+//!
+//! This crate assembles the substrates (`neural`, `saliency`, `metrics`,
+//! `simdrive`) into the two-layer framework of *"Novelty Detection via
+//! Network Saliency in Visual-based Deep Learning"* (DSN 2019):
+//!
+//! 1. a PilotNet-style CNN is trained to predict steering angles,
+//! 2. **VisualBackProp** masks computed on that CNN become the
+//!    representation of every image (preprocessing layer),
+//! 3. a small feed-forward **autoencoder** (9600→64→16→64→9600, sigmoid
+//!    output) is trained on those masks with an **SSIM** objective,
+//! 4. an incoming image is **novel** when its reconstruction similarity
+//!    falls outside the 99th percentile of the training distribution
+//!    (the Richter & Roy rule, applied to SSIM).
+//!
+//! [`NoveltyDetectorBuilder`] trains the full pipeline from a
+//! [`simdrive::DrivingDataset`]; presets exist for the paper's method
+//! ([`NoveltyDetectorBuilder::paper`]) and both comparison pipelines
+//! (raw+MSE Richter & Roy baseline, VBP+MSE ablation). [`eval`] scores
+//! whole datasets and produces the separation reports behind Figs. 5
+//! and 7.
+//!
+//! # Example
+//!
+//! ```no_run
+//! use novelty::NoveltyDetectorBuilder;
+//! use simdrive::DatasetConfig;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let data = DatasetConfig::outdoor().with_len(500).generate(1);
+//! let detector = NoveltyDetectorBuilder::paper().seed(7).train(&data)?;
+//!
+//! let frame = &data.frames()[0].image;
+//! let verdict = detector.classify(frame)?;
+//! println!("novel: {} (score {:.3})", verdict.is_novel, verdict.score);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod eval;
+pub mod monitor;
+
+mod calibrate;
+mod classifier;
+mod error;
+mod persist;
+mod pipeline;
+
+pub use calibrate::{Calibrator, Direction, Threshold};
+pub use classifier::{AutoencoderClassifier, ClassifierConfig, ReconstructionObjective};
+pub use error::NoveltyError;
+pub use persist::{load_detector, save_detector};
+pub use pipeline::{NoveltyDetector, NoveltyDetectorBuilder, PipelineKind, Preprocessing, Verdict};
+
+/// Convenience alias used across the crate.
+pub type Result<T> = std::result::Result<T, NoveltyError>;

@@ -1,0 +1,212 @@
+//! Streaming alarm logic on top of per-frame verdicts.
+//!
+//! A deployed safety monitor (the paper's motivating setting) should not
+//! disengage on a single flagged frame — transient glare or one noisy
+//! frame is not a novel *situation*. [`StreamMonitor`] debounces
+//! per-frame verdicts with an `m`-of-`k` sliding-window policy: the alarm
+//! raises when at least `min_novel` of the last `window` frames were
+//! flagged, and clears when the window drains below the bound.
+
+use std::collections::VecDeque;
+
+use crate::{NoveltyError, Result, Verdict};
+
+/// Alarm state after an observation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AlarmState {
+    /// Fewer than `min_novel` of the recent frames were novel.
+    Nominal,
+    /// The alarm condition holds: the model's inputs have left the
+    /// training distribution persistently.
+    Raised,
+}
+
+/// An `m`-of-`k` sliding-window alarm over novelty verdicts.
+///
+/// # Example
+///
+/// ```
+/// use novelty::monitor::{AlarmState, StreamMonitor};
+///
+/// # fn main() -> Result<(), novelty::NoveltyError> {
+/// let mut monitor = StreamMonitor::new(4, 3)?;
+/// assert_eq!(monitor.observe_flag(true), AlarmState::Nominal);
+/// assert_eq!(monitor.observe_flag(true), AlarmState::Nominal);
+/// assert_eq!(monitor.observe_flag(true), AlarmState::Raised);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct StreamMonitor {
+    window: usize,
+    min_novel: usize,
+    recent: VecDeque<bool>,
+    novel_in_window: usize,
+    total_observed: u64,
+    total_novel: u64,
+}
+
+impl StreamMonitor {
+    /// Creates a monitor that raises when `min_novel` of the last
+    /// `window` frames are novel.
+    ///
+    /// # Errors
+    ///
+    /// Fails when `window` is zero or `min_novel` is zero or exceeds
+    /// `window`.
+    pub fn new(window: usize, min_novel: usize) -> Result<Self> {
+        if window == 0 {
+            return Err(NoveltyError::invalid(
+                "StreamMonitor::new",
+                "window must be non-zero",
+            ));
+        }
+        if min_novel == 0 || min_novel > window {
+            return Err(NoveltyError::invalid(
+                "StreamMonitor::new",
+                format!("min_novel must be in 1..={window}, got {min_novel}"),
+            ));
+        }
+        Ok(StreamMonitor {
+            window,
+            min_novel,
+            recent: VecDeque::with_capacity(window),
+            novel_in_window: 0,
+            total_observed: 0,
+            total_novel: 0,
+        })
+    }
+
+    /// Feeds one verdict and returns the updated alarm state.
+    pub fn observe(&mut self, verdict: &Verdict) -> AlarmState {
+        self.observe_flag(verdict.is_novel)
+    }
+
+    /// Feeds one pre-extracted novelty flag.
+    pub fn observe_flag(&mut self, is_novel: bool) -> AlarmState {
+        if self.recent.len() == self.window && self.recent.pop_front() == Some(true) {
+            self.novel_in_window -= 1;
+        }
+        self.recent.push_back(is_novel);
+        if is_novel {
+            self.novel_in_window += 1;
+            self.total_novel += 1;
+        }
+        self.total_observed += 1;
+        self.state()
+    }
+
+    /// The current alarm state without observing anything.
+    pub fn state(&self) -> AlarmState {
+        if self.novel_in_window >= self.min_novel {
+            AlarmState::Raised
+        } else {
+            AlarmState::Nominal
+        }
+    }
+
+    /// Number of novel frames currently inside the window.
+    pub fn novel_in_window(&self) -> usize {
+        self.novel_in_window
+    }
+
+    /// Lifetime observation count.
+    pub fn total_observed(&self) -> u64 {
+        self.total_observed
+    }
+
+    /// Lifetime fraction of frames flagged novel (0.0 before any
+    /// observation).
+    pub fn lifetime_novel_rate(&self) -> f32 {
+        if self.total_observed == 0 {
+            0.0
+        } else {
+            self.total_novel as f32 / self.total_observed as f32
+        }
+    }
+
+    /// Clears the window (e.g. after an operator acknowledges the alarm),
+    /// keeping lifetime statistics.
+    pub fn reset_window(&mut self) {
+        self.recent.clear();
+        self.novel_in_window = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Direction;
+
+    fn verdict(is_novel: bool) -> Verdict {
+        Verdict {
+            is_novel,
+            score: if is_novel { 0.1 } else { 0.7 },
+            threshold: 0.5,
+            direction: Direction::LowerIsNovel,
+        }
+    }
+
+    #[test]
+    fn construction_validates() {
+        assert!(StreamMonitor::new(0, 1).is_err());
+        assert!(StreamMonitor::new(4, 0).is_err());
+        assert!(StreamMonitor::new(4, 5).is_err());
+        assert!(StreamMonitor::new(4, 4).is_ok());
+    }
+
+    #[test]
+    fn single_novel_frame_does_not_raise() {
+        let mut m = StreamMonitor::new(5, 3).unwrap();
+        assert_eq!(m.observe(&verdict(true)), AlarmState::Nominal);
+        for _ in 0..10 {
+            assert_eq!(m.observe(&verdict(false)), AlarmState::Nominal);
+        }
+        assert_eq!(m.lifetime_novel_rate(), 1.0 / 11.0);
+    }
+
+    #[test]
+    fn persistent_novelty_raises_and_clears() {
+        let mut m = StreamMonitor::new(4, 3).unwrap();
+        m.observe_flag(true);
+        m.observe_flag(true);
+        assert_eq!(m.state(), AlarmState::Nominal);
+        assert_eq!(m.observe_flag(true), AlarmState::Raised);
+        // Window slides: three nominal frames push the novel ones out.
+        m.observe_flag(false);
+        assert_eq!(m.state(), AlarmState::Raised); // still 3 of last 4
+        m.observe_flag(false);
+        assert_eq!(m.state(), AlarmState::Nominal); // 2 of last 4
+        assert_eq!(m.novel_in_window(), 2);
+    }
+
+    #[test]
+    fn window_eviction_is_exact() {
+        let mut m = StreamMonitor::new(3, 2).unwrap();
+        let pattern = [true, false, true, false, false, true, true];
+        let mut expected_states = Vec::new();
+        for (i, &f) in pattern.iter().enumerate() {
+            let lo = i.saturating_sub(2);
+            let count = pattern[lo..=i].iter().filter(|&&b| b).count();
+            expected_states.push(if count >= 2 {
+                AlarmState::Raised
+            } else {
+                AlarmState::Nominal
+            });
+            assert_eq!(m.observe_flag(f), expected_states[i], "step {i}");
+        }
+        assert_eq!(m.total_observed(), pattern.len() as u64);
+    }
+
+    #[test]
+    fn reset_clears_window_but_keeps_lifetime_stats() {
+        let mut m = StreamMonitor::new(2, 1).unwrap();
+        m.observe_flag(true);
+        assert_eq!(m.state(), AlarmState::Raised);
+        m.reset_window();
+        assert_eq!(m.state(), AlarmState::Nominal);
+        assert_eq!(m.novel_in_window(), 0);
+        assert_eq!(m.total_observed(), 1);
+        assert!(m.lifetime_novel_rate() > 0.99);
+    }
+}

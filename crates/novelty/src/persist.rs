@@ -1,0 +1,171 @@
+//! Saving and loading trained detectors.
+//!
+//! A deployed system trains the pipeline offline and ships the frozen
+//! detector; these helpers serialize the whole bundle (steering CNN,
+//! autoencoder, threshold, configuration) as one JSON document.
+
+use std::path::Path;
+
+use neural::serialize::{from_spec, to_spec, NetworkSpec};
+use serde::{Deserialize, Serialize};
+
+use crate::{
+    AutoencoderClassifier, NoveltyDetector, NoveltyError, Preprocessing, ReconstructionObjective,
+    Result, Threshold,
+};
+
+/// Serialized form of a trained [`NoveltyDetector`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DetectorSpec {
+    /// The steering CNN, present for VBP pipelines.
+    pub steering: Option<NetworkSpec>,
+    /// The autoencoder network.
+    pub autoencoder: NetworkSpec,
+    /// Classifier input height.
+    pub height: usize,
+    /// Classifier input width.
+    pub width: usize,
+    /// Scoring objective.
+    pub objective: ReconstructionObjective,
+    /// Preprocessing layer.
+    pub preprocessing: Preprocessing,
+    /// Calibrated threshold.
+    pub threshold: Threshold,
+    /// Training-score distribution used for calibration.
+    pub training_scores: Vec<f32>,
+}
+
+/// Extracts a serializable spec from a detector.
+///
+/// # Errors
+///
+/// Propagates network spec-extraction errors.
+pub fn detector_to_spec(detector: &NoveltyDetector) -> Result<DetectorSpec> {
+    Ok(DetectorSpec {
+        steering: detector.steering_network().map(to_spec).transpose()?,
+        autoencoder: to_spec(detector.classifier().network())?,
+        height: detector.classifier().height(),
+        width: detector.classifier().width(),
+        objective: detector.classifier().objective().clone(),
+        preprocessing: detector.preprocessing(),
+        threshold: detector.threshold(),
+        training_scores: detector.training_scores().to_vec(),
+    })
+}
+
+/// Reconstructs a detector from its spec.
+///
+/// # Errors
+///
+/// Fails when any stored network or invariant is invalid.
+pub fn detector_from_spec(spec: DetectorSpec) -> Result<NoveltyDetector> {
+    let steering = spec.steering.map(from_spec).transpose()?;
+    let classifier = AutoencoderClassifier::from_parts(
+        from_spec(spec.autoencoder)?,
+        spec.height,
+        spec.width,
+        spec.objective,
+    )?;
+    NoveltyDetector::from_parts(
+        steering,
+        classifier,
+        spec.threshold,
+        spec.preprocessing,
+        spec.training_scores,
+    )
+}
+
+/// Saves a detector to a JSON file.
+///
+/// # Errors
+///
+/// Propagates serialization and I/O errors.
+pub fn save_detector(detector: &NoveltyDetector, path: impl AsRef<Path>) -> Result<()> {
+    let spec = detector_to_spec(detector)?;
+    let json = serde_json::to_string(&spec).map_err(|e| NoveltyError::Serde(e.to_string()))?;
+    std::fs::write(path, json)?;
+    Ok(())
+}
+
+/// Loads a detector from a JSON file.
+///
+/// # Errors
+///
+/// Propagates I/O and deserialization errors.
+pub fn load_detector(path: impl AsRef<Path>) -> Result<NoveltyDetector> {
+    let json = std::fs::read_to_string(path)?;
+    let spec: DetectorSpec =
+        serde_json::from_str(&json).map_err(|e| NoveltyError::Serde(e.to_string()))?;
+    detector_from_spec(spec)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ClassifierConfig, NoveltyDetectorBuilder};
+    use simdrive::DatasetConfig;
+
+    fn trained() -> (NoveltyDetector, simdrive::DrivingDataset) {
+        let data = DatasetConfig::indoor()
+            .with_len(16)
+            .with_size(40, 80)
+            .with_supersample(1)
+            .generate(21);
+        let detector = NoveltyDetectorBuilder::paper()
+            .classifier_config(ClassifierConfig {
+                hidden: vec![12, 6, 12],
+                epochs: 4,
+                warmup_epochs: 1,
+                batch_size: 8,
+                learning_rate: 3e-3,
+                objective: ReconstructionObjective::Ssim { window: 7 },
+            })
+            .cnn_epochs(1)
+            .seed(5)
+            .train(&data)
+            .unwrap();
+        (detector, data)
+    }
+
+    #[test]
+    fn detector_roundtrips_through_spec() {
+        let (detector, data) = trained();
+        let img = &data.frames()[0].image;
+        let before = detector.score(img).unwrap();
+        let spec = detector_to_spec(&detector).unwrap();
+        let back = detector_from_spec(spec).unwrap();
+        let after = back.score(img).unwrap();
+        assert_eq!(before, after);
+        assert_eq!(back.threshold(), detector.threshold());
+        assert_eq!(back.preprocessing(), detector.preprocessing());
+        assert_eq!(back.training_scores(), detector.training_scores());
+    }
+
+    #[test]
+    fn file_roundtrip_preserves_verdicts() {
+        let (detector, data) = trained();
+        let dir = std::env::temp_dir().join("saliency_novelty_persist_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("detector.json");
+        save_detector(&detector, &path).unwrap();
+        let back = load_detector(&path).unwrap();
+        for frame in data.frames().iter().take(3) {
+            let a = detector.classify(&frame.image).unwrap();
+            let b = back.classify(&frame.image).unwrap();
+            assert_eq!(a.is_novel, b.is_novel);
+            assert_eq!(a.score, b.score);
+        }
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn malformed_files_are_rejected() {
+        let dir = std::env::temp_dir().join("saliency_novelty_persist_test2");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bad.json");
+        std::fs::write(&path, "{not json").unwrap();
+        assert!(load_detector(&path).is_err());
+        assert!(load_detector(dir.join("missing.json")).is_err());
+        std::fs::remove_file(&path).unwrap();
+    }
+}

@@ -1,0 +1,647 @@
+//! The end-to-end novelty-detection pipeline (paper Fig. 1).
+//!
+//! `training images → steering CNN → VBP masks → autoencoder → threshold`.
+//!
+//! [`NoveltyDetectorBuilder`] owns every knob; its presets reproduce the
+//! three pipelines the paper compares in Fig. 5:
+//!
+//! | preset | preprocessing | objective | role |
+//! |---|---|---|---|
+//! | [`NoveltyDetectorBuilder::paper`] | VBP | SSIM | the paper's method |
+//! | [`NoveltyDetectorBuilder::vbp_mse_ablation`] | VBP | MSE | middle histogram |
+//! | [`NoveltyDetectorBuilder::richter_roy`] | raw | MSE | prior work (reference 9) |
+
+use ndtensor::Tensor;
+use neural::loss::MseLoss;
+use neural::models::{pilotnet, PilotNetConfig};
+use neural::optim::Adam;
+use neural::{fit, Network, TrainConfig};
+use saliency::visual_backprop;
+use serde::{Deserialize, Serialize};
+use simdrive::DrivingDataset;
+use vision::Image;
+
+use crate::classifier::stack_images;
+use crate::{
+    AutoencoderClassifier, Calibrator, ClassifierConfig, Direction, NoveltyError,
+    ReconstructionObjective, Result, Threshold,
+};
+
+/// The preprocessing layer: feed raw frames to the one-class classifier,
+/// or VisualBackProp masks computed on the trained steering CNN.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Preprocessing {
+    /// Raw grayscale frames (Richter & Roy baseline).
+    Raw,
+    /// VisualBackProp saliency masks (the paper's preprocessing).
+    Vbp,
+}
+
+impl Preprocessing {
+    /// Short name for reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Preprocessing::Raw => "raw",
+            Preprocessing::Vbp => "vbp",
+        }
+    }
+}
+
+/// The three pipeline variants compared in the paper's Fig. 5.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PipelineKind {
+    /// Raw images + MSE autoencoder (Richter & Roy, reference 9).
+    RawMse,
+    /// VBP masks + MSE autoencoder (ablation).
+    VbpMse,
+    /// VBP masks + SSIM autoencoder (the paper's method).
+    VbpSsim,
+}
+
+impl PipelineKind {
+    /// Short name used in figure outputs (matches the paper's labels).
+    pub fn name(&self) -> &'static str {
+        match self {
+            PipelineKind::RawMse => "raw+mse",
+            PipelineKind::VbpMse => "vbp+mse",
+            PipelineKind::VbpSsim => "vbp+ssim",
+        }
+    }
+
+    /// All three variants in Fig. 5's left-to-right order.
+    pub fn all() -> [PipelineKind; 3] {
+        [
+            PipelineKind::RawMse,
+            PipelineKind::VbpMse,
+            PipelineKind::VbpSsim,
+        ]
+    }
+}
+
+/// One classification outcome.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Verdict {
+    /// `true` when the input was flagged novel.
+    pub is_novel: bool,
+    /// The reconstruction score (MSE or SSIM depending on the pipeline).
+    pub score: f32,
+    /// The calibrated threshold the score was compared against.
+    pub threshold: f32,
+    /// Which side of the threshold counts as novel.
+    pub direction: Direction,
+}
+
+/// A trained two-layer novelty detector.
+#[derive(Debug)]
+pub struct NoveltyDetector {
+    steering: Option<Network>,
+    classifier: AutoencoderClassifier,
+    threshold: Threshold,
+    preprocessing: Preprocessing,
+    training_scores: Vec<f32>,
+}
+
+impl NoveltyDetector {
+    pub(crate) fn from_parts(
+        steering: Option<Network>,
+        classifier: AutoencoderClassifier,
+        threshold: Threshold,
+        preprocessing: Preprocessing,
+        training_scores: Vec<f32>,
+    ) -> Result<Self> {
+        if preprocessing == Preprocessing::Vbp && steering.is_none() {
+            return Err(NoveltyError::invalid(
+                "NoveltyDetector",
+                "VBP preprocessing requires a steering network",
+            ));
+        }
+        Ok(NoveltyDetector {
+            steering,
+            classifier,
+            threshold,
+            preprocessing,
+            training_scores,
+        })
+    }
+
+    /// The preprocessing layer in use.
+    pub fn preprocessing(&self) -> Preprocessing {
+        self.preprocessing
+    }
+
+    /// The calibrated threshold.
+    pub fn threshold(&self) -> Threshold {
+        self.threshold
+    }
+
+    /// The one-class classifier.
+    pub fn classifier(&self) -> &AutoencoderClassifier {
+        &self.classifier
+    }
+
+    /// The trained steering network, when the pipeline uses VBP.
+    pub fn steering_network(&self) -> Option<&Network> {
+        self.steering.as_ref()
+    }
+
+    /// The classifier scores of the training images (the empirical
+    /// distribution the threshold was calibrated on).
+    pub fn training_scores(&self) -> &[f32] {
+        &self.training_scores
+    }
+
+    /// Applies the pipeline's preprocessing to an image (identity for
+    /// raw pipelines, VBP mask otherwise).
+    ///
+    /// # Errors
+    ///
+    /// Fails when the image size is incompatible with the CNN.
+    pub fn preprocess(&self, image: &Image) -> Result<Image> {
+        match (self.preprocessing, &self.steering) {
+            (Preprocessing::Raw, _) => Ok(image.clone()),
+            (Preprocessing::Vbp, Some(net)) => Ok(visual_backprop(net, image)?),
+            (Preprocessing::Vbp, None) => unreachable!("validated at construction"),
+        }
+    }
+
+    /// Scores an image (after preprocessing) under the classifier's
+    /// objective.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the image size is incompatible with the pipeline.
+    pub fn score(&self, image: &Image) -> Result<f32> {
+        if image.tensor().has_non_finite() {
+            return Err(NoveltyError::invalid(
+                "score",
+                "image contains NaN or infinite pixels",
+            ));
+        }
+        // Both pipeline variants ultimately require the classifier's
+        // training geometry (VBP masks are input-sized); checking here
+        // gives a direct message instead of a deep conv-layer error.
+        if image.height() != self.classifier.height() || image.width() != self.classifier.width()
+        {
+            return Err(NoveltyError::invalid(
+                "score",
+                format!(
+                    "image is {}x{} but the detector was trained on {}x{} frames",
+                    image.height(),
+                    image.width(),
+                    self.classifier.height(),
+                    self.classifier.width()
+                ),
+            ));
+        }
+        let rep = self.preprocess(image)?;
+        self.classifier.score(&rep)
+    }
+
+    /// Scores a batch of images.
+    ///
+    /// # Errors
+    ///
+    /// Fails on the first incompatible image.
+    pub fn score_batch(&self, images: &[Image]) -> Result<Vec<f32>> {
+        images.iter().map(|img| self.score(img)).collect()
+    }
+
+    /// Classifies an image as novel or in-distribution.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the image size is incompatible with the pipeline.
+    pub fn classify(&self, image: &Image) -> Result<Verdict> {
+        let score = self.score(image)?;
+        Ok(Verdict {
+            is_novel: self.threshold.is_novel(score),
+            score,
+            threshold: self.threshold.value(),
+            direction: self.threshold.direction(),
+        })
+    }
+
+    /// Reconstructs the (preprocessed) image through the autoencoder —
+    /// the qualitative comparison of the paper's Fig. 6.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the image size is incompatible with the pipeline.
+    pub fn reconstruct(&self, image: &Image) -> Result<(Image, Image)> {
+        let rep = self.preprocess(image)?;
+        let recon = self.classifier.reconstruct(&rep)?;
+        Ok((rep, recon))
+    }
+
+    /// Predicts the steering angle for a frame (only for VBP pipelines,
+    /// which carry the trained CNN).
+    ///
+    /// # Errors
+    ///
+    /// Fails for raw pipelines or incompatible image sizes.
+    pub fn predict_steering(&self, image: &Image) -> Result<f32> {
+        let net = self.steering.as_ref().ok_or_else(|| {
+            NoveltyError::invalid("predict_steering", "pipeline has no steering network")
+        })?;
+        let input = image
+            .tensor()
+            .reshape([1, 1, image.height(), image.width()])?;
+        Ok(net.forward(&input)?.as_slice()[0])
+    }
+}
+
+/// Builder for [`NoveltyDetector`]: configure, then [`train`].
+///
+/// [`train`]: NoveltyDetectorBuilder::train
+#[derive(Debug, Clone)]
+pub struct NoveltyDetectorBuilder {
+    preprocessing: Preprocessing,
+    classifier: ClassifierConfig,
+    cnn_config: PilotNetConfig,
+    cnn_epochs: usize,
+    cnn_learning_rate: f32,
+    train_fraction: f32,
+    percentile: f32,
+    seed: u64,
+}
+
+impl Default for NoveltyDetectorBuilder {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+impl NoveltyDetectorBuilder {
+    /// The paper's pipeline: VBP preprocessing + SSIM autoencoder +
+    /// 99th-percentile threshold.
+    pub fn paper() -> Self {
+        NoveltyDetectorBuilder {
+            preprocessing: Preprocessing::Vbp,
+            classifier: ClassifierConfig::paper(),
+            cnn_config: PilotNetConfig::compact(),
+            cnn_epochs: 8,
+            cnn_learning_rate: 1e-3,
+            train_fraction: 0.8,
+            percentile: 99.0,
+            seed: 0,
+        }
+    }
+
+    /// Alias for [`NoveltyDetectorBuilder::paper`] (used by the facade
+    /// crate's quickstart).
+    pub fn new() -> Self {
+        Self::paper()
+    }
+
+    /// The Richter & Roy baseline: raw images + MSE autoencoder.
+    pub fn richter_roy() -> Self {
+        NoveltyDetectorBuilder {
+            preprocessing: Preprocessing::Raw,
+            classifier: ClassifierConfig::paper_with_mse(),
+            ..Self::paper()
+        }
+    }
+
+    /// The VBP+MSE ablation (middle histogram of Fig. 5).
+    pub fn vbp_mse_ablation() -> Self {
+        NoveltyDetectorBuilder {
+            preprocessing: Preprocessing::Vbp,
+            classifier: ClassifierConfig::paper_with_mse(),
+            ..Self::paper()
+        }
+    }
+
+    /// Builder for one of the three named pipeline variants.
+    pub fn for_kind(kind: PipelineKind) -> Self {
+        match kind {
+            PipelineKind::RawMse => Self::richter_roy(),
+            PipelineKind::VbpMse => Self::vbp_mse_ablation(),
+            PipelineKind::VbpSsim => Self::paper(),
+        }
+    }
+
+    /// Sets the master seed (CNN init, AE init, shuffles).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Overrides the preprocessing layer.
+    pub fn preprocessing(mut self, preprocessing: Preprocessing) -> Self {
+        self.preprocessing = preprocessing;
+        self
+    }
+
+    /// Overrides the classifier configuration.
+    pub fn classifier_config(mut self, config: ClassifierConfig) -> Self {
+        self.classifier = config;
+        self
+    }
+
+    /// Overrides the reconstruction objective only.
+    pub fn objective(mut self, objective: ReconstructionObjective) -> Self {
+        self.classifier.objective = objective;
+        self
+    }
+
+    /// Overrides the CNN architecture.
+    pub fn cnn_config(mut self, config: PilotNetConfig) -> Self {
+        self.cnn_config = config;
+        self
+    }
+
+    /// Overrides the CNN training epochs.
+    pub fn cnn_epochs(mut self, epochs: usize) -> Self {
+        self.cnn_epochs = epochs;
+        self
+    }
+
+    /// Overrides the autoencoder training epochs.
+    pub fn ae_epochs(mut self, epochs: usize) -> Self {
+        self.classifier.epochs = epochs;
+        self
+    }
+
+    /// Overrides the train/calibration split fraction (paper: 0.8).
+    pub fn train_fraction(mut self, fraction: f32) -> Self {
+        self.train_fraction = fraction;
+        self
+    }
+
+    /// Overrides the threshold percentile (paper: 99).
+    pub fn percentile(mut self, percentile: f32) -> Self {
+        self.percentile = percentile;
+        self
+    }
+
+    /// The pipeline variant this builder currently describes.
+    pub fn kind(&self) -> PipelineKind {
+        match (self.preprocessing, &self.classifier.objective) {
+            (Preprocessing::Raw, _) => PipelineKind::RawMse,
+            (Preprocessing::Vbp, ReconstructionObjective::Mse) => PipelineKind::VbpMse,
+            (Preprocessing::Vbp, ReconstructionObjective::Ssim { .. }) => PipelineKind::VbpSsim,
+        }
+    }
+
+    /// Trains the steering CNN on a dataset (exposed separately so
+    /// experiments can reuse one CNN across several detectors).
+    ///
+    /// # Errors
+    ///
+    /// Fails when the dataset is empty or image sizes are incompatible
+    /// with the CNN configuration.
+    pub fn train_steering_cnn(&self, dataset: &DrivingDataset) -> Result<Network> {
+        if dataset.is_empty() {
+            return Err(NoveltyError::invalid(
+                "train_steering_cnn",
+                "dataset is empty",
+            ));
+        }
+        let cfg = PilotNetConfig {
+            height: dataset.frames()[0].image.height(),
+            width: dataset.frames()[0].image.width(),
+            ..self.cnn_config.clone()
+        };
+        let mut net = pilotnet(&cfg, self.seed ^ 0xC44)?;
+        let images: Vec<Image> = dataset.frames().iter().map(|f| f.image.clone()).collect();
+        let flat = stack_images(&images)?;
+        let n = images.len();
+        let inputs = flat.reshape([n, 1, cfg.height, cfg.width])?;
+        let targets = Tensor::from_vec([n, 1], dataset.frames().iter().map(|f| f.angle).collect())?;
+        let mut opt = Adam::new(self.cnn_learning_rate)?;
+        let train_cfg = TrainConfig::new(self.cnn_epochs, 32)
+            .with_seed(self.seed ^ 0xC4F)
+            .with_grad_clip(10.0);
+        fit(
+            &mut net,
+            &MseLoss::new(),
+            &mut opt,
+            &inputs,
+            &targets,
+            &train_cfg,
+        )?;
+        Ok(net)
+    }
+
+    /// Trains the full pipeline on a driving dataset, using the paper's
+    /// protocol: `train_fraction` of the frames train the CNN and the
+    /// autoencoder and provide the calibration distribution.
+    ///
+    /// # Errors
+    ///
+    /// Fails on empty datasets, incompatible image sizes, or divergent
+    /// training.
+    pub fn train(&self, dataset: &DrivingDataset) -> Result<NoveltyDetector> {
+        self.train_with_cnn(dataset, None)
+    }
+
+    /// Like [`NoveltyDetectorBuilder::train`], but reuses an
+    /// already-trained steering CNN instead of training one — used by the
+    /// figure experiments, which compare several autoencoder variants on
+    /// the *same* VBP representation (and by deployments that retrain the
+    /// one-class layer without touching the steering model).
+    ///
+    /// For [`Preprocessing::Raw`] pipelines the provided CNN is ignored.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`NoveltyDetectorBuilder::train`].
+    pub fn train_with_cnn(
+        &self,
+        dataset: &DrivingDataset,
+        pretrained_cnn: Option<Network>,
+    ) -> Result<NoveltyDetector> {
+        if !(0.0..=1.0).contains(&self.train_fraction) {
+            return Err(NoveltyError::invalid(
+                "train",
+                format!(
+                    "train_fraction must be in [0, 1], got {}",
+                    self.train_fraction
+                ),
+            ));
+        }
+        let (train_split, _held_out) = dataset.split(self.train_fraction);
+        if train_split.is_empty() {
+            return Err(NoveltyError::invalid("train", "training split is empty"));
+        }
+
+        let steering = match self.preprocessing {
+            Preprocessing::Raw => None,
+            Preprocessing::Vbp => match pretrained_cnn {
+                Some(net) => Some(net),
+                None => Some(self.train_steering_cnn(&train_split)?),
+            },
+        };
+
+        // Preprocess the training images into the classifier's input space.
+        let representations: Vec<Image> = match (&steering, self.preprocessing) {
+            (None, _) => train_split
+                .frames()
+                .iter()
+                .map(|f| f.image.clone())
+                .collect(),
+            (Some(net), _) => train_split
+                .frames()
+                .iter()
+                .map(|f| visual_backprop(net, &f.image))
+                .collect::<saliency::Result<_>>()?,
+        };
+
+        let classifier =
+            AutoencoderClassifier::train(&representations, &self.classifier, self.seed ^ 0xAE5)?;
+
+        // Calibrate on the training distribution (Richter & Roy rule).
+        let training_scores: Vec<f32> = representations
+            .iter()
+            .map(|rep| classifier.score(rep))
+            .collect::<Result<_>>()?;
+        let threshold = Calibrator::new(self.percentile)?
+            .calibrate(&training_scores, classifier.direction())?;
+
+        NoveltyDetector::from_parts(
+            steering,
+            classifier,
+            threshold,
+            self.preprocessing,
+            training_scores,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simdrive::DatasetConfig;
+
+    /// A small, fast dataset for pipeline tests (images are tiny so VBP
+    /// still works through the compact CNN's geometry).
+    fn tiny_dataset(seed: u64) -> DrivingDataset {
+        DatasetConfig::outdoor()
+            .with_len(24)
+            .with_size(40, 80)
+            .with_supersample(1)
+            .generate(seed)
+    }
+
+    fn fast_builder() -> NoveltyDetectorBuilder {
+        NoveltyDetectorBuilder::paper()
+            .classifier_config(ClassifierConfig {
+                hidden: vec![16, 8, 16],
+                epochs: 6,
+                warmup_epochs: 2,
+                batch_size: 8,
+                learning_rate: 3e-3,
+                objective: ReconstructionObjective::Ssim { window: 7 },
+            })
+            .cnn_epochs(1)
+            .seed(1)
+    }
+
+    #[test]
+    fn kinds_and_presets_are_consistent() {
+        assert_eq!(
+            NoveltyDetectorBuilder::paper().kind(),
+            PipelineKind::VbpSsim
+        );
+        assert_eq!(
+            NoveltyDetectorBuilder::richter_roy().kind(),
+            PipelineKind::RawMse
+        );
+        assert_eq!(
+            NoveltyDetectorBuilder::vbp_mse_ablation().kind(),
+            PipelineKind::VbpMse
+        );
+        for kind in PipelineKind::all() {
+            assert_eq!(NoveltyDetectorBuilder::for_kind(kind).kind(), kind);
+        }
+        assert_eq!(PipelineKind::VbpSsim.name(), "vbp+ssim");
+        assert_eq!(Preprocessing::Vbp.name(), "vbp");
+    }
+
+    #[test]
+    fn raw_mse_pipeline_trains_and_classifies() {
+        let data = tiny_dataset(3);
+        let detector = NoveltyDetectorBuilder::richter_roy()
+            .classifier_config(ClassifierConfig {
+                hidden: vec![16, 8, 16],
+                epochs: 10,
+                warmup_epochs: 0,
+                batch_size: 8,
+                learning_rate: 3e-3,
+                objective: ReconstructionObjective::Mse,
+            })
+            .seed(2)
+            .train(&data)
+            .unwrap();
+        assert_eq!(detector.preprocessing(), Preprocessing::Raw);
+        assert!(detector.steering_network().is_none());
+        // In-distribution frames mostly not flagged.
+        let verdicts: Vec<Verdict> = data
+            .frames()
+            .iter()
+            .take(10)
+            .map(|f| detector.classify(&f.image).unwrap())
+            .collect();
+        let flagged = verdicts.iter().filter(|v| v.is_novel).count();
+        assert!(flagged <= 2, "{flagged} of 10 in-class frames flagged");
+        // Preprocess is identity for raw pipelines.
+        let img = &data.frames()[0].image;
+        assert_eq!(&detector.preprocess(img).unwrap(), img);
+        assert!(detector.predict_steering(img).is_err());
+    }
+
+    #[test]
+    fn vbp_ssim_pipeline_trains_and_carries_cnn() {
+        let data = tiny_dataset(5);
+        let detector = fast_builder().train(&data).unwrap();
+        assert!(detector.steering_network().is_some());
+        let img = &data.frames()[0].image;
+        // Steering prediction in [−1, 1].
+        let angle = detector.predict_steering(img).unwrap();
+        assert!((-1.0..=1.0).contains(&angle));
+        // Preprocessing yields a same-size mask.
+        let mask = detector.preprocess(img).unwrap();
+        assert_eq!((mask.height(), mask.width()), (40, 80));
+        // Reconstruction pair has consistent sizes.
+        let (rep, recon) = detector.reconstruct(img).unwrap();
+        assert_eq!((rep.height(), rep.width()), (recon.height(), recon.width()));
+        // Training scores recorded, threshold consistent with them.
+        assert!(!detector.training_scores().is_empty());
+        let t = detector.threshold();
+        assert_eq!(t.direction(), Direction::LowerIsNovel);
+    }
+
+    #[test]
+    fn score_batch_matches_individual_scores() {
+        let data = tiny_dataset(7);
+        let detector = fast_builder().train(&data).unwrap();
+        let images: Vec<Image> = data
+            .frames()
+            .iter()
+            .take(3)
+            .map(|f| f.image.clone())
+            .collect();
+        let batch = detector.score_batch(&images).unwrap();
+        for (img, &s) in images.iter().zip(&batch) {
+            assert_eq!(detector.score(img).unwrap(), s);
+        }
+    }
+
+    #[test]
+    fn training_validates_config() {
+        let data = tiny_dataset(1);
+        assert!(fast_builder().train_fraction(1.5).train(&data).is_err());
+        assert!(fast_builder().percentile(0.0).train(&data).is_err());
+        let empty = DatasetConfig::outdoor().with_len(0).generate(0);
+        assert!(fast_builder().train(&empty).is_err());
+    }
+
+    #[test]
+    fn training_is_deterministic_per_seed() {
+        let data = tiny_dataset(9);
+        let a = fast_builder().seed(4).train(&data).unwrap();
+        let b = fast_builder().seed(4).train(&data).unwrap();
+        assert_eq!(a.training_scores(), b.training_scores());
+        assert_eq!(a.threshold().value(), b.threshold().value());
+    }
+}

@@ -1,0 +1,174 @@
+//! Saliency-mask utilities: overlays and agreement scores.
+//!
+//! Experiment E1 (Fig. 2) needs a way to *quantify* "the VBP mask lands on
+//! road features": [`mass_fraction_on`] measures the fraction of total
+//! saliency mass that falls on ground-truth lane pixels, and
+//! [`overlay`] reproduces the paper's qualitative mask-on-image figures.
+
+use vision::{Image, RgbImage};
+
+use crate::{Result, SaliencyError};
+
+fn check_same_size(op: &'static str, a: &Image, b: &Image) -> Result<()> {
+    if a.height() != b.height() || a.width() != b.width() {
+        return Err(SaliencyError::invalid(
+            op,
+            format!(
+                "sizes differ: {}x{} vs {}x{}",
+                a.height(),
+                a.width(),
+                b.height(),
+                b.width()
+            ),
+        ));
+    }
+    Ok(())
+}
+
+/// Renders a red-tinted overlay of `mask` on the grayscale `frame`
+/// (mask 0 → original pixel, mask 1 → strong red), like the bottom row of
+/// the paper's Fig. 4.
+///
+/// # Errors
+///
+/// Fails when the images differ in size.
+pub fn overlay(frame: &Image, mask: &Image) -> Result<RgbImage> {
+    check_same_size("overlay", frame, mask)?;
+    let mut out = RgbImage::new(frame.height(), frame.width()).map_err(SaliencyError::from)?;
+    for y in 0..frame.height() {
+        for x in 0..frame.width() {
+            let g = frame.get(y, x).clamp(0.0, 1.0);
+            let m = mask.get(y, x).clamp(0.0, 1.0);
+            out.put(
+                y,
+                x,
+                [
+                    g + (1.0 - g) * m, // pull red channel up with mask
+                    g * (1.0 - 0.6 * m),
+                    g * (1.0 - 0.6 * m),
+                ],
+            );
+        }
+    }
+    Ok(out.clamp_unit())
+}
+
+/// Fraction of the mask's total mass that lies on pixels where
+/// `ground_truth > threshold`. 1.0 = all saliency on the ground-truth
+/// region; the region's own area fraction is the chance level.
+///
+/// # Errors
+///
+/// Fails when the images differ in size or the mask has no mass.
+pub fn mass_fraction_on(mask: &Image, ground_truth: &Image, threshold: f32) -> Result<f32> {
+    check_same_size("mass_fraction_on", mask, ground_truth)?;
+    let mut on = 0.0f64;
+    let mut total = 0.0f64;
+    for (m, g) in mask.as_slice().iter().zip(ground_truth.as_slice()) {
+        total += *m as f64;
+        if *g > threshold {
+            on += *m as f64;
+        }
+    }
+    if total <= 0.0 {
+        return Err(SaliencyError::invalid(
+            "mass_fraction_on",
+            "mask has no mass",
+        ));
+    }
+    Ok((on / total) as f32)
+}
+
+/// Area fraction of the region where `ground_truth > threshold` — the
+/// chance level for [`mass_fraction_on`].
+pub fn area_fraction(ground_truth: &Image, threshold: f32) -> f32 {
+    let on = ground_truth
+        .as_slice()
+        .iter()
+        .filter(|&&g| g > threshold)
+        .count();
+    on as f32 / ground_truth.len() as f32
+}
+
+/// The ratio of saliency mass on the ground-truth region to its chance
+/// level (`> 1` means the mask concentrates on the region). Used as the
+/// quantitative statement of Fig. 2.
+///
+/// # Errors
+///
+/// Fails when sizes differ, the mask has no mass, or the ground-truth
+/// region is empty.
+pub fn concentration_ratio(mask: &Image, ground_truth: &Image, threshold: f32) -> Result<f32> {
+    let area = area_fraction(ground_truth, threshold);
+    if area == 0.0 {
+        return Err(SaliencyError::invalid(
+            "concentration_ratio",
+            "ground-truth region is empty",
+        ));
+    }
+    Ok(mass_fraction_on(mask, ground_truth, threshold)? / area)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn half_mask() -> (Image, Image) {
+        // Ground truth: left half. Mask: all mass on the left half.
+        let gt = Image::from_fn(4, 8, |_, x| if x < 4 { 1.0 } else { 0.0 }).unwrap();
+        let mask = Image::from_fn(4, 8, |_, x| if x < 4 { 0.5 } else { 0.0 }).unwrap();
+        (gt, mask)
+    }
+
+    #[test]
+    fn mass_fraction_extremes() {
+        let (gt, mask) = half_mask();
+        assert_eq!(mass_fraction_on(&mask, &gt, 0.5).unwrap(), 1.0);
+        // Uniform mask: fraction equals the area fraction.
+        let uniform = Image::filled(4, 8, 0.3).unwrap();
+        assert!((mass_fraction_on(&uniform, &gt, 0.5).unwrap() - 0.5).abs() < 1e-6);
+        // Empty mask errors.
+        let empty = Image::new(4, 8).unwrap();
+        assert!(mass_fraction_on(&empty, &gt, 0.5).is_err());
+    }
+
+    #[test]
+    fn concentration_ratio_reads_as_lift() {
+        let (gt, mask) = half_mask();
+        assert!((concentration_ratio(&mask, &gt, 0.5).unwrap() - 2.0).abs() < 1e-6);
+        let uniform = Image::filled(4, 8, 0.3).unwrap();
+        assert!((concentration_ratio(&uniform, &gt, 0.5).unwrap() - 1.0).abs() < 1e-6);
+        let no_region = Image::new(4, 8).unwrap();
+        assert!(concentration_ratio(&mask, &no_region, 0.5).is_err());
+    }
+
+    #[test]
+    fn area_fraction_counts_pixels() {
+        let gt = Image::from_fn(2, 4, |_, x| if x == 0 { 1.0 } else { 0.0 }).unwrap();
+        assert!((area_fraction(&gt, 0.5) - 0.25).abs() < 1e-6);
+    }
+
+    #[test]
+    fn overlay_reddens_masked_pixels() {
+        let frame = Image::filled(2, 2, 0.4).unwrap();
+        let mut mask = Image::new(2, 2).unwrap();
+        mask.put(0, 0, 1.0);
+        let rgb = overlay(&frame, &mask).unwrap();
+        let masked = rgb.get(0, 0);
+        let unmasked = rgb.get(1, 1);
+        assert!(
+            masked[0] > masked[1],
+            "masked pixel not reddened: {masked:?}"
+        );
+        assert!((unmasked[0] - 0.4).abs() < 1e-6);
+        assert_eq!(unmasked[0], unmasked[1]);
+    }
+
+    #[test]
+    fn size_mismatch_errors() {
+        let a = Image::new(2, 2).unwrap();
+        let b = Image::new(2, 3).unwrap();
+        assert!(overlay(&a, &b).is_err());
+        assert!(mass_fraction_on(&a, &b, 0.5).is_err());
+    }
+}

@@ -1,0 +1,130 @@
+//! SmoothGrad (Smilkov et al., 2017): input-gradient saliency averaged
+//! over noisy copies of the input.
+//!
+//! Vanilla gradients are visually noisy; averaging `|∂out/∂(x + ε)|`
+//! over several Gaussian perturbations `ε` yields markedly cleaner maps
+//! at `n ×` the cost. Included as an extension baseline between vanilla
+//! gradients and VBP in the saliency comparison.
+
+use neural::Network;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use vision::{perturb, Image};
+
+use crate::{gradient_saliency, Result, SaliencyError};
+
+/// Configuration for [`smoothgrad`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SmoothGradConfig {
+    /// Number of noisy samples to average (Smilkov et al. suggest 10–50).
+    pub samples: usize,
+    /// Standard deviation of the Gaussian input noise.
+    pub sigma: f32,
+    /// Seed for the noise draws.
+    pub seed: u64,
+}
+
+impl Default for SmoothGradConfig {
+    fn default() -> Self {
+        SmoothGradConfig {
+            samples: 12,
+            sigma: 0.08,
+            seed: 0,
+        }
+    }
+}
+
+/// Computes SmoothGrad saliency: the mean of [`gradient_saliency`] maps
+/// over `samples` noisy copies of `image`, re-normalised to `[0, 1]`.
+///
+/// # Errors
+///
+/// Fails when `samples` is zero, `sigma` is negative/non-finite, or the
+/// network rejects the input.
+pub fn smoothgrad(
+    network: &mut Network,
+    image: &Image,
+    config: &SmoothGradConfig,
+) -> Result<Image> {
+    if config.samples == 0 {
+        return Err(SaliencyError::invalid(
+            "smoothgrad",
+            "samples must be non-zero",
+        ));
+    }
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut acc = Image::new(image.height(), image.width())?;
+    for _ in 0..config.samples {
+        let noisy = perturb::add_gaussian_noise(image, &mut rng, config.sigma)?;
+        let g = gradient_saliency(network, &noisy)?;
+        for (a, &v) in acc.as_mut_slice().iter_mut().zip(g.as_slice()) {
+            *a += v;
+        }
+    }
+    Ok(acc.normalize_minmax())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use neural::models::{pilotnet, PilotNetConfig};
+
+    fn net_and_image() -> (Network, Image) {
+        let net = pilotnet(&PilotNetConfig::compact(), 3).unwrap();
+        let img = Image::from_fn(60, 160, |y, x| ((y * 3 + x * 2) % 17) as f32 / 16.0).unwrap();
+        (net, img)
+    }
+
+    #[test]
+    fn map_is_input_sized_and_normalised() {
+        let (mut net, img) = net_and_image();
+        let m = smoothgrad(&mut net, &img, &SmoothGradConfig::default()).unwrap();
+        assert_eq!((m.height(), m.width()), (60, 160));
+        assert!(m.tensor().min_value() >= 0.0);
+        assert!(m.tensor().max_value() <= 1.0);
+        assert!(!m.tensor().has_non_finite());
+    }
+
+    #[test]
+    fn zero_sigma_reduces_to_vanilla_gradient() {
+        let (mut net, img) = net_and_image();
+        let cfg = SmoothGradConfig {
+            samples: 3,
+            sigma: 0.0,
+            seed: 1,
+        };
+        let sg = smoothgrad(&mut net, &img, &cfg).unwrap();
+        let vg = gradient_saliency(&mut net, &img).unwrap();
+        for (a, b) in sg.as_slice().iter().zip(vg.as_slice()) {
+            assert!((a - b).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let (mut net, img) = net_and_image();
+        let cfg = SmoothGradConfig {
+            samples: 4,
+            sigma: 0.1,
+            seed: 9,
+        };
+        let a = smoothgrad(&mut net, &img, &cfg).unwrap();
+        let b = smoothgrad(&mut net, &img, &cfg).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn validates_config() {
+        let (mut net, img) = net_and_image();
+        let bad = SmoothGradConfig {
+            samples: 0,
+            ..Default::default()
+        };
+        assert!(smoothgrad(&mut net, &img, &bad).is_err());
+        let bad_sigma = SmoothGradConfig {
+            sigma: -0.1,
+            ..Default::default()
+        };
+        assert!(smoothgrad(&mut net, &img, &bad_sigma).is_err());
+    }
+}

@@ -1,0 +1,320 @@
+//! Dataset and world configuration.
+
+/// Default image height used throughout the paper (60×160 grayscale).
+pub const DEFAULT_HEIGHT: usize = 60;
+/// Default image width used throughout the paper (60×160 grayscale).
+pub const DEFAULT_WIDTH: usize = 160;
+
+/// Which synthetic driving world a frame comes from.
+///
+/// The two worlds play the roles of the paper's datasets:
+///
+/// * [`World::Outdoor`] — DSU stand-in: varied terrain texture, clouds,
+///   roadside clutter, wide asphalt road with dashed centre line, strong
+///   photometric jitter.
+/// * [`World::Indoor`] — DSI stand-in: uniform floor, tape-marked narrow
+///   track, walls, sparse box-shaped obstacles, mild lighting variation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum World {
+    /// Outdoor highway-like world (stand-in for the Udacity dataset, DSU).
+    Outdoor,
+    /// Indoor RC-track world (stand-in for the in-house dataset, DSI).
+    Indoor,
+}
+
+impl World {
+    /// Short lowercase name (`"outdoor"` / `"indoor"`), used in reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            World::Outdoor => "outdoor",
+            World::Indoor => "indoor",
+        }
+    }
+
+    /// Camera height above the ground plane, metres.
+    pub fn camera_height(&self) -> f32 {
+        match self {
+            World::Outdoor => 1.4,
+            World::Indoor => 0.12,
+        }
+    }
+
+    /// Half-width of the drivable road surface, metres.
+    pub fn road_half_width(&self) -> f32 {
+        match self {
+            World::Outdoor => 3.4,
+            World::Indoor => 0.35,
+        }
+    }
+
+    /// Maximum |curvature| sampled for scenes, 1/metres.
+    pub fn max_curvature(&self) -> f32 {
+        match self {
+            World::Outdoor => 0.012,
+            World::Indoor => 0.45,
+        }
+    }
+
+    /// Look-ahead distance used by the steering controller, metres.
+    pub fn lookahead(&self) -> f32 {
+        match self {
+            World::Outdoor => 25.0,
+            World::Indoor => 1.2,
+        }
+    }
+}
+
+impl std::fmt::Display for World {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Weather conditions applied to outdoor scenes (extension beyond the
+/// paper, exercising its future-work direction of "altered, yet similar
+/// images of a seen environment"). Indoor scenes ignore weather.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Weather {
+    /// Clear conditions (the paper's setting).
+    #[default]
+    Clear,
+    /// Dense fog: strong depth haze, washed-out contrast.
+    Fog,
+    /// Rain: darker exposure, streak overlay, wet-road sheen.
+    Rain,
+}
+
+impl Weather {
+    /// Short lowercase name for reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Weather::Clear => "clear",
+            Weather::Fog => "fog",
+            Weather::Rain => "rain",
+        }
+    }
+}
+
+impl std::fmt::Display for Weather {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Builder-style configuration for generating a [`crate::DrivingDataset`].
+///
+/// # Example
+///
+/// ```
+/// use simdrive::{DatasetConfig, World};
+///
+/// let cfg = DatasetConfig::indoor().with_len(100).with_size(48, 128);
+/// assert_eq!(cfg.world(), World::Indoor);
+/// assert_eq!(cfg.len(), 100);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct DatasetConfig {
+    world: World,
+    len: usize,
+    height: usize,
+    width: usize,
+    supersample: usize,
+    clutter_density: f32,
+    weather: Weather,
+}
+
+impl DatasetConfig {
+    /// Configuration for the outdoor (DSU stand-in) world with the paper's
+    /// 60×160 image size.
+    pub fn outdoor() -> Self {
+        DatasetConfig {
+            world: World::Outdoor,
+            len: 1000,
+            height: DEFAULT_HEIGHT,
+            width: DEFAULT_WIDTH,
+            supersample: 2,
+            clutter_density: 1.0,
+            weather: Weather::Clear,
+        }
+    }
+
+    /// Configuration for the indoor (DSI stand-in) world with the paper's
+    /// 60×160 image size.
+    pub fn indoor() -> Self {
+        DatasetConfig {
+            world: World::Indoor,
+            len: 1000,
+            height: DEFAULT_HEIGHT,
+            width: DEFAULT_WIDTH,
+            supersample: 2,
+            clutter_density: 1.0,
+            weather: Weather::Clear,
+        }
+    }
+
+    /// Configuration for an arbitrary world.
+    pub fn for_world(world: World) -> Self {
+        match world {
+            World::Outdoor => Self::outdoor(),
+            World::Indoor => Self::indoor(),
+        }
+    }
+
+    /// Sets the number of frames to generate.
+    pub fn with_len(mut self, len: usize) -> Self {
+        self.len = len;
+        self
+    }
+
+    /// Sets the output image size.
+    ///
+    /// # Panics
+    ///
+    /// Panics when either dimension is zero.
+    pub fn with_size(mut self, height: usize, width: usize) -> Self {
+        assert!(height > 0 && width > 0, "image dimensions must be non-zero");
+        self.height = height;
+        self.width = width;
+        self
+    }
+
+    /// Sets the supersampling factor (render at `factor ×` resolution,
+    /// then box-downsample). 1 disables antialiasing.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `factor` is zero.
+    pub fn with_supersample(mut self, factor: usize) -> Self {
+        assert!(factor > 0, "supersample factor must be non-zero");
+        self.supersample = factor;
+        self
+    }
+
+    /// Scales the amount of roadside clutter (0.0 = bare road,
+    /// 1.0 = default density).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `density` is negative or not finite.
+    pub fn with_clutter_density(mut self, density: f32) -> Self {
+        assert!(
+            density.is_finite() && density >= 0.0,
+            "clutter density must be finite and non-negative"
+        );
+        self.clutter_density = density;
+        self
+    }
+
+    /// The configured world.
+    pub fn world(&self) -> World {
+        self.world
+    }
+
+    /// The configured number of frames.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` when configured to generate zero frames.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The configured image height.
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// The configured image width.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// The configured supersampling factor.
+    pub fn supersample(&self) -> usize {
+        self.supersample
+    }
+
+    /// The configured clutter density multiplier.
+    pub fn clutter_density(&self) -> f32 {
+        self.clutter_density
+    }
+
+    /// Sets the weather condition (outdoor scenes only; see [`Weather`]).
+    pub fn with_weather(mut self, weather: Weather) -> Self {
+        self.weather = weather;
+        self
+    }
+
+    /// The configured weather condition.
+    pub fn weather(&self) -> Weather {
+        self.weather
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builders_set_fields() {
+        let cfg = DatasetConfig::outdoor()
+            .with_len(5)
+            .with_size(30, 80)
+            .with_supersample(1)
+            .with_clutter_density(0.5);
+        assert_eq!(cfg.world(), World::Outdoor);
+        assert_eq!(cfg.len(), 5);
+        assert_eq!((cfg.height(), cfg.width()), (30, 80));
+        assert_eq!(cfg.supersample(), 1);
+        assert_eq!(cfg.clutter_density(), 0.5);
+        assert!(!cfg.is_empty());
+        assert!(DatasetConfig::indoor().with_len(0).is_empty());
+    }
+
+    #[test]
+    fn for_world_matches_direct_constructors() {
+        assert_eq!(
+            DatasetConfig::for_world(World::Outdoor),
+            DatasetConfig::outdoor()
+        );
+        assert_eq!(
+            DatasetConfig::for_world(World::Indoor),
+            DatasetConfig::indoor()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_size_panics() {
+        let _ = DatasetConfig::outdoor().with_size(0, 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_supersample_panics() {
+        let _ = DatasetConfig::outdoor().with_supersample(0);
+    }
+
+    #[test]
+    fn weather_builder_and_names() {
+        let cfg = DatasetConfig::outdoor().with_weather(Weather::Fog);
+        assert_eq!(cfg.weather(), Weather::Fog);
+        assert_eq!(DatasetConfig::outdoor().weather(), Weather::Clear);
+        assert_eq!(Weather::Rain.to_string(), "rain");
+        assert_eq!(Weather::default(), Weather::Clear);
+    }
+
+    #[test]
+    fn world_names() {
+        assert_eq!(World::Outdoor.to_string(), "outdoor");
+        assert_eq!(World::Indoor.name(), "indoor");
+    }
+
+    #[test]
+    fn worlds_have_distinct_geometry() {
+        assert!(World::Outdoor.camera_height() > World::Indoor.camera_height());
+        assert!(World::Outdoor.road_half_width() > World::Indoor.road_half_width());
+        assert!(World::Indoor.max_curvature() > World::Outdoor.max_curvature());
+    }
+}

@@ -1,0 +1,326 @@
+//! Dataset generation, splitting and labelled frames.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use vision::Image;
+
+use crate::{render_frame, steering_angle, DatasetConfig, SceneParams, World};
+
+/// One labelled sample: a grayscale frame, its steering label and the
+/// scene it was rendered from.
+#[derive(Debug, Clone)]
+pub struct Frame {
+    /// Grayscale image, pixels in `[0, 1]`.
+    pub image: Image,
+    /// Normalized ground-truth steering angle in `[-1, 1]`.
+    pub angle: f32,
+    /// The scene parameters the frame was rendered from (ground truth for
+    /// diagnostics; not available to the learner in the paper's setting).
+    pub scene: SceneParams,
+    /// Lane-marking ground-truth mask (for saliency evaluation, Fig. 2).
+    pub lane_mask: Image,
+}
+
+/// A generated driving dataset: frames plus the configuration that
+/// produced them.
+///
+/// # Example
+///
+/// ```
+/// use simdrive::DatasetConfig;
+///
+/// let ds = DatasetConfig::indoor().with_len(10).generate(7);
+/// let (train, test) = ds.split(0.8);
+/// assert_eq!(train.len(), 8);
+/// assert_eq!(test.len(), 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct DrivingDataset {
+    config: DatasetConfig,
+    frames: Vec<Frame>,
+}
+
+impl DatasetConfig {
+    /// Generates the dataset deterministically from `seed`.
+    pub fn generate(&self, seed: u64) -> DrivingDataset {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let frames = (0..self.len())
+            .map(|_| {
+                let scene =
+                    SceneParams::sample(self.world(), &mut rng).with_weather(self.weather());
+                let rendered = render_frame(
+                    &scene,
+                    self.height(),
+                    self.width(),
+                    self.supersample(),
+                    self.clutter_density(),
+                );
+                Frame {
+                    angle: steering_angle(&scene),
+                    image: rendered.gray,
+                    lane_mask: rendered.lane_mask,
+                    scene,
+                }
+            })
+            .collect();
+        DrivingDataset {
+            config: self.clone(),
+            frames,
+        }
+    }
+}
+
+impl DrivingDataset {
+    /// Builds a dataset from pre-existing frames (used by tests and by
+    /// transformations such as [`DrivingDataset::with_random_angles`]).
+    pub fn from_frames(config: DatasetConfig, frames: Vec<Frame>) -> Self {
+        DrivingDataset { config, frames }
+    }
+
+    /// The configuration that produced this dataset.
+    pub fn config(&self) -> &DatasetConfig {
+        &self.config
+    }
+
+    /// The world the frames come from.
+    pub fn world(&self) -> World {
+        self.config.world()
+    }
+
+    /// Number of frames.
+    pub fn len(&self) -> usize {
+        self.frames.len()
+    }
+
+    /// `true` when the dataset holds no frames.
+    pub fn is_empty(&self) -> bool {
+        self.frames.is_empty()
+    }
+
+    /// All frames.
+    pub fn frames(&self) -> &[Frame] {
+        &self.frames
+    }
+
+    /// The grayscale images, in order.
+    pub fn images(&self) -> Vec<&Image> {
+        self.frames.iter().map(|f| &f.image).collect()
+    }
+
+    /// The steering labels, in order.
+    pub fn angles(&self) -> Vec<f32> {
+        self.frames.iter().map(|f| f.angle).collect()
+    }
+
+    /// Splits into `(front, back)` at `fraction` (e.g. 0.8 → 80 % / 20 %),
+    /// preserving order. The paper uses an 80/20 train/test split.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `fraction` is outside `[0, 1]`.
+    pub fn split(&self, fraction: f32) -> (DrivingDataset, DrivingDataset) {
+        assert!(
+            (0.0..=1.0).contains(&fraction),
+            "split fraction must be in [0, 1]"
+        );
+        let k = ((self.frames.len() as f32) * fraction).round() as usize;
+        let k = k.min(self.frames.len());
+        (
+            DrivingDataset {
+                config: self.config.clone(),
+                frames: self.frames[..k].to_vec(),
+            },
+            DrivingDataset {
+                config: self.config.clone(),
+                frames: self.frames[k..].to_vec(),
+            },
+        )
+    }
+
+    /// Draws `n` frames uniformly at random (without replacement when
+    /// possible) — the paper samples 500 test images this way.
+    pub fn sample(&self, n: usize, seed: u64) -> DrivingDataset {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut idx: Vec<usize> = (0..self.frames.len()).collect();
+        // Fisher–Yates prefix shuffle.
+        let take = n.min(idx.len());
+        for i in 0..take {
+            let j = rng.gen_range(i..idx.len());
+            idx.swap(i, j);
+        }
+        DrivingDataset {
+            config: self.config.clone(),
+            frames: idx[..take]
+                .iter()
+                .map(|&i| self.frames[i].clone())
+                .collect(),
+        }
+    }
+
+    /// Returns a copy whose steering labels are replaced with uniform
+    /// random angles in `[-1, 1]` — the control condition of Fig. 2
+    /// (a network trained on random labels learns no road features, so
+    /// its VBP masks are unstructured).
+    pub fn with_random_angles(&self, seed: u64) -> DrivingDataset {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let frames = self
+            .frames
+            .iter()
+            .map(|f| {
+                let mut f = f.clone();
+                f.angle = rng.gen_range(-1.0..1.0);
+                f
+            })
+            .collect();
+        DrivingDataset {
+            config: self.config.clone(),
+            frames,
+        }
+    }
+
+    /// Applies `f` to every image, keeping labels and scenes — used to
+    /// build perturbed (noisy / brightened) variants of a dataset.
+    pub fn map_images(&self, mut f: impl FnMut(&Image) -> Image) -> DrivingDataset {
+        let frames = self
+            .frames
+            .iter()
+            .map(|fr| {
+                let mut fr = fr.clone();
+                fr.image = f(&fr.image);
+                fr
+            })
+            .collect();
+        DrivingDataset {
+            config: self.config.clone(),
+            frames,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny(world: World, n: usize, seed: u64) -> DrivingDataset {
+        DatasetConfig::for_world(world)
+            .with_len(n)
+            .with_size(24, 64)
+            .with_supersample(1)
+            .generate(seed)
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = tiny(World::Outdoor, 4, 9);
+        let b = tiny(World::Outdoor, 4, 9);
+        assert_eq!(a.len(), 4);
+        for (fa, fb) in a.frames().iter().zip(b.frames()) {
+            assert_eq!(fa.image, fb.image);
+            assert_eq!(fa.angle, fb.angle);
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = tiny(World::Outdoor, 3, 1);
+        let b = tiny(World::Outdoor, 3, 2);
+        assert_ne!(a.frames()[0].image, b.frames()[0].image);
+    }
+
+    #[test]
+    fn angles_match_scenes() {
+        let ds = tiny(World::Indoor, 6, 3);
+        for f in ds.frames() {
+            assert_eq!(f.angle, steering_angle(&f.scene));
+        }
+    }
+
+    #[test]
+    fn split_preserves_all_frames() {
+        let ds = tiny(World::Outdoor, 10, 4);
+        let (train, test) = ds.split(0.8);
+        assert_eq!(train.len(), 8);
+        assert_eq!(test.len(), 2);
+        assert_eq!(train.frames()[0].image, ds.frames()[0].image);
+        assert_eq!(test.frames()[0].image, ds.frames()[8].image);
+        let (all, none) = ds.split(1.0);
+        assert_eq!(all.len(), 10);
+        assert!(none.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "fraction")]
+    fn split_rejects_bad_fraction() {
+        tiny(World::Outdoor, 2, 0).split(1.5);
+    }
+
+    #[test]
+    fn sample_without_replacement() {
+        let ds = tiny(World::Outdoor, 8, 5);
+        let s = ds.sample(5, 11);
+        assert_eq!(s.len(), 5);
+        // Oversampling caps at the dataset size.
+        assert_eq!(ds.sample(100, 11).len(), 8);
+        // Deterministic.
+        let s2 = ds.sample(5, 11);
+        for (a, b) in s.frames().iter().zip(s2.frames()) {
+            assert_eq!(a.image, b.image);
+        }
+    }
+
+    #[test]
+    fn random_angles_replace_labels_but_keep_images() {
+        let ds = tiny(World::Outdoor, 6, 6);
+        let rnd = ds.with_random_angles(42);
+        assert_eq!(ds.len(), rnd.len());
+        let mut changed = 0;
+        for (a, b) in ds.frames().iter().zip(rnd.frames()) {
+            assert_eq!(a.image, b.image);
+            assert!((-1.0..=1.0).contains(&b.angle));
+            if a.angle != b.angle {
+                changed += 1;
+            }
+        }
+        assert!(changed >= 5);
+    }
+
+    #[test]
+    fn map_images_transforms_pixels_only() {
+        let ds = tiny(World::Indoor, 3, 7);
+        let inverted = ds.map_images(|img| img.map(|v| 1.0 - v));
+        for (a, b) in ds.frames().iter().zip(inverted.frames()) {
+            assert_eq!(a.angle, b.angle);
+            assert!((a.image.get(10, 10) + b.image.get(10, 10) - 1.0).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn weather_config_flows_into_frames() {
+        let clear = DatasetConfig::outdoor()
+            .with_len(2)
+            .with_size(24, 64)
+            .with_supersample(1)
+            .generate(3);
+        let foggy = DatasetConfig::outdoor()
+            .with_len(2)
+            .with_size(24, 64)
+            .with_supersample(1)
+            .with_weather(crate::Weather::Fog)
+            .generate(3);
+        assert_eq!(foggy.frames()[0].scene.weather, crate::Weather::Fog);
+        // Same geometry seeds, different appearance.
+        assert_eq!(clear.frames()[0].angle, foggy.frames()[0].angle);
+        assert_ne!(clear.frames()[0].image, foggy.frames()[0].image);
+    }
+
+    #[test]
+    fn steering_labels_have_variance() {
+        // If all labels were identical the CNN could not learn steering.
+        let ds = tiny(World::Indoor, 40, 8);
+        let angles = ds.angles();
+        let mean = angles.iter().sum::<f32>() / angles.len() as f32;
+        let var: f32 =
+            angles.iter().map(|a| (a - mean) * (a - mean)).sum::<f32>() / angles.len() as f32;
+        assert!(var > 1e-3, "steering labels nearly constant: var {var}");
+    }
+}

@@ -1,0 +1,310 @@
+//! Temporally-coherent drive simulation.
+//!
+//! The datasets of [`crate::DatasetConfig::generate`] are i.i.d. frames —
+//! fine for training, but a deployed detector (the paper's motivating
+//! setting) sees a *stream*. [`DriveConfig`] simulates one: road
+//! curvature evolves as a mean-reverting random walk, the vehicle's
+//! lateral offset and heading integrate simple kinematics under the
+//! pure-pursuit steering law (the loop is closed — the controller that
+//! labels the data also drives the car), scenery textures stay fixed and
+//! clutter streams past the camera.
+//!
+//! Pairs with `novelty::monitor::StreamMonitor` for the end-to-end
+//! "alarm on persistent novelty" scenario (see the `drive_monitor`
+//! example).
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rand_distr::{Distribution, Normal};
+
+use crate::{
+    render_frame, steering_angle, DatasetConfig, DrivingDataset, Frame, SceneParams, Weather, World,
+};
+
+/// Configuration for a simulated drive.
+///
+/// # Example
+///
+/// ```
+/// use simdrive::{DriveConfig, World};
+///
+/// let drive = DriveConfig::new(World::Outdoor).with_len(16).simulate(3);
+/// assert_eq!(drive.len(), 16);
+/// // Consecutive frames share scenery: textures are frozen per drive.
+/// assert_eq!(
+///     drive.frames()[0].scene.texture_seed,
+///     drive.frames()[15].scene.texture_seed
+/// );
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct DriveConfig {
+    world: World,
+    len: usize,
+    height: usize,
+    width: usize,
+    supersample: usize,
+    clutter_density: f32,
+    weather: Weather,
+    /// Distance travelled between frames, metres.
+    step_m: f32,
+}
+
+impl DriveConfig {
+    /// A drive through `world` with the paper's 60×160 frame geometry.
+    pub fn new(world: World) -> Self {
+        let step_m = match world {
+            World::Outdoor => 1.8, // ~65 km/h at 10 fps
+            World::Indoor => 0.08,
+        };
+        DriveConfig {
+            world,
+            len: 100,
+            height: crate::DEFAULT_HEIGHT,
+            width: crate::DEFAULT_WIDTH,
+            supersample: 2,
+            clutter_density: 1.0,
+            weather: Weather::Clear,
+            step_m,
+        }
+    }
+
+    /// Sets the number of frames.
+    pub fn with_len(mut self, len: usize) -> Self {
+        self.len = len;
+        self
+    }
+
+    /// Sets the frame size.
+    ///
+    /// # Panics
+    ///
+    /// Panics when either dimension is zero.
+    pub fn with_size(mut self, height: usize, width: usize) -> Self {
+        assert!(height > 0 && width > 0, "frame dimensions must be non-zero");
+        self.height = height;
+        self.width = width;
+        self
+    }
+
+    /// Sets the supersampling factor.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `factor` is zero.
+    pub fn with_supersample(mut self, factor: usize) -> Self {
+        assert!(factor > 0, "supersample factor must be non-zero");
+        self.supersample = factor;
+        self
+    }
+
+    /// Sets the weather for the whole drive.
+    pub fn with_weather(mut self, weather: Weather) -> Self {
+        self.weather = weather;
+        self
+    }
+
+    /// Sets the per-frame travel distance in metres.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `step_m` is not finite or not positive.
+    pub fn with_step_m(mut self, step_m: f32) -> Self {
+        assert!(
+            step_m.is_finite() && step_m > 0.0,
+            "step_m must be positive and finite"
+        );
+        self.step_m = step_m;
+        self
+    }
+
+    /// The configured world.
+    pub fn world(&self) -> World {
+        self.world
+    }
+
+    /// The configured frame count.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` when configured for zero frames.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Simulates the drive deterministically from `seed`.
+    ///
+    /// The returned dataset's frames are temporally ordered; scene
+    /// geometry evolves smoothly and the steering labels are the
+    /// closed-loop controls that keep the vehicle on the road.
+    pub fn simulate(&self, seed: u64) -> DrivingDataset {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let world = self.world;
+        let max_curv = world.max_curvature();
+        // Mean-reverting curvature innovation, scaled so typical drives
+        // use about half the curvature envelope.
+        let curv_noise = Normal::new(0.0f32, max_curv * 0.18).expect("valid std");
+        let offset_noise = Normal::new(0.0f32, world.road_half_width() * 0.02).expect("valid std");
+
+        let mut scene = SceneParams::sample(world, &mut rng).with_weather(self.weather);
+        scene.lateral_offset = 0.0;
+        scene.heading_error = 0.0;
+        let texture_seed = scene.texture_seed;
+        let clutter_seed = scene.clutter_seed;
+
+        let mut travel = 0.0f32;
+        let mut frames = Vec::with_capacity(self.len);
+        for _ in 0..self.len {
+            scene.texture_seed = texture_seed;
+            scene.clutter_seed = clutter_seed;
+            scene.clutter_travel = travel;
+            scene.weather = self.weather;
+
+            let rendered = render_frame(
+                &scene,
+                self.height,
+                self.width,
+                self.supersample,
+                self.clutter_density,
+            );
+            let angle = steering_angle(&scene);
+            frames.push(Frame {
+                image: rendered.gray,
+                angle,
+                lane_mask: rendered.lane_mask,
+                scene: scene.clone(),
+            });
+
+            // Advance the world: curvature drifts, the vehicle steers,
+            // lighting drifts back toward nominal (clouds pass).
+            let ds = self.step_m;
+            scene.exposure +=
+                0.08 * (1.0 - scene.exposure) + curv_noise.sample(&mut rng) / max_curv * 0.01;
+            scene.exposure = scene.exposure.clamp(0.75, 1.25);
+            scene.curvature =
+                (0.92 * scene.curvature + curv_noise.sample(&mut rng)).clamp(-max_curv, max_curv);
+            // Steering command turns the vehicle; the road's curvature
+            // turns the road. The heading error integrates the difference.
+            let commanded_curv = angle * max_curv;
+            scene.heading_error =
+                (scene.heading_error + (commanded_curv - scene.curvature) * ds).clamp(-0.2, 0.2);
+            // Lateral offset integrates the heading error plus drift.
+            scene.lateral_offset =
+                (scene.lateral_offset + scene.heading_error * ds + offset_noise.sample(&mut rng))
+                    .clamp(
+                        -0.6 * world.road_half_width(),
+                        0.6 * world.road_half_width(),
+                    );
+            travel += ds;
+        }
+
+        let config = DatasetConfig::for_world(world)
+            .with_len(self.len)
+            .with_size(self.height, self.width)
+            .with_supersample(self.supersample)
+            .with_weather(self.weather);
+        DrivingDataset::from_frames(config, frames)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use metrics::{ssim, SsimConfig};
+
+    fn quick(world: World, len: usize, seed: u64) -> DrivingDataset {
+        DriveConfig::new(world)
+            .with_len(len)
+            .with_size(40, 80)
+            .with_supersample(1)
+            .simulate(seed)
+    }
+
+    #[test]
+    fn drive_is_deterministic_and_sized() {
+        let a = quick(World::Outdoor, 6, 1);
+        let b = quick(World::Outdoor, 6, 1);
+        assert_eq!(a.len(), 6);
+        for (fa, fb) in a.frames().iter().zip(b.frames()) {
+            assert_eq!(fa.image, fb.image);
+            assert_eq!(fa.angle, fb.angle);
+        }
+        let c = quick(World::Outdoor, 6, 2);
+        assert_ne!(a.frames()[0].image, c.frames()[0].image);
+    }
+
+    #[test]
+    fn consecutive_frames_are_more_similar_than_distant_ones() {
+        // The defining property of a temporally-coherent stream.
+        let drive = quick(World::Outdoor, 12, 3);
+        let cfg = SsimConfig::with_window(7);
+        let f = drive.frames();
+        let mut near = 0.0;
+        let mut far = 0.0;
+        for i in 0..6 {
+            near += ssim(&f[i].image, &f[i + 1].image, &cfg).unwrap();
+            far += ssim(&f[i].image, &f[i + 6].image, &cfg).unwrap();
+        }
+        assert!(near > far, "near {near} vs far {far}");
+    }
+
+    #[test]
+    fn vehicle_stays_on_the_road() {
+        for world in [World::Outdoor, World::Indoor] {
+            let drive = quick(world, 60, 4);
+            for (i, frame) in drive.frames().iter().enumerate() {
+                assert!(
+                    frame.scene.lateral_offset.abs() <= world.road_half_width(),
+                    "frame {i}: off-road at offset {}",
+                    frame.scene.lateral_offset
+                );
+                assert!(frame.angle.is_finite() && frame.angle.abs() <= 1.0);
+            }
+        }
+    }
+
+    #[test]
+    fn curvature_path_is_smooth_and_bounded() {
+        let drive = quick(World::Outdoor, 40, 5);
+        let max_curv = World::Outdoor.max_curvature();
+        let mut prev = drive.frames()[0].scene.curvature;
+        for frame in &drive.frames()[1..] {
+            let c = frame.scene.curvature;
+            assert!(c.abs() <= max_curv);
+            assert!((c - prev).abs() <= max_curv, "curvature jump {prev} → {c}");
+            prev = c;
+        }
+    }
+
+    #[test]
+    fn scenery_is_frozen_but_clutter_streams() {
+        let drive = quick(World::Outdoor, 5, 6);
+        let f = drive.frames();
+        assert_eq!(f[0].scene.texture_seed, f[4].scene.texture_seed);
+        assert_eq!(f[0].scene.clutter_seed, f[4].scene.clutter_seed);
+        assert!(f[4].scene.clutter_travel > f[0].scene.clutter_travel);
+    }
+
+    #[test]
+    fn weather_applies_to_every_frame() {
+        let drive = DriveConfig::new(World::Outdoor)
+            .with_len(3)
+            .with_size(40, 80)
+            .with_supersample(1)
+            .with_weather(Weather::Fog)
+            .simulate(7);
+        for frame in drive.frames() {
+            assert_eq!(frame.scene.weather, Weather::Fog);
+            assert!(frame.scene.haze > 0.7);
+        }
+    }
+
+    #[test]
+    fn builder_accessors() {
+        let cfg = DriveConfig::new(World::Indoor).with_len(9).with_step_m(0.2);
+        assert_eq!(cfg.world(), World::Indoor);
+        assert_eq!(cfg.len(), 9);
+        assert!(!cfg.is_empty());
+        assert!(DriveConfig::new(World::Indoor).with_len(0).is_empty());
+    }
+}

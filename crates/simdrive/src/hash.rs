@@ -1,0 +1,99 @@
+//! Deterministic per-pixel hash noise.
+//!
+//! Terrain texture, road speckle and cloud placement need noise that is a
+//! pure function of `(seed, coordinates)` so rendering the same frame twice
+//! yields identical pixels, independent of evaluation order.
+
+/// SplitMix64-style avalanche of a 64-bit state.
+fn avalanche(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E3779B97F4A7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
+
+/// Hashes a seed and two coordinates into a uniform value in `[0, 1)`.
+pub fn hash01(seed: u64, a: u64, b: u64) -> f32 {
+    let h = avalanche(seed ^ avalanche(a.wrapping_mul(0x9E3779B97F4A7C15) ^ b.rotate_left(32)));
+    (h >> 40) as f32 / (1u64 << 24) as f32
+}
+
+/// Hashes into a symmetric value in `[-1, 1)`.
+pub fn hash_sym(seed: u64, a: u64, b: u64) -> f32 {
+    2.0 * hash01(seed, a, b) - 1.0
+}
+
+/// Smooth value noise in `[0, 1]`: bilinear interpolation of lattice hashes
+/// at integer coordinates, with `scale` lattice cells per unit.
+pub fn value_noise(seed: u64, x: f32, y: f32, scale: f32) -> f32 {
+    let fx = x * scale;
+    let fy = y * scale;
+    let x0 = fx.floor();
+    let y0 = fy.floor();
+    let tx = fx - x0;
+    let ty = fy - y0;
+    // Smoothstep for C1 continuity.
+    let sx = tx * tx * (3.0 - 2.0 * tx);
+    let sy = ty * ty * (3.0 - 2.0 * ty);
+    let xi = x0 as i64 as u64;
+    let yi = y0 as i64 as u64;
+    let v00 = hash01(seed, xi, yi);
+    let v10 = hash01(seed, xi.wrapping_add(1), yi);
+    let v01 = hash01(seed, xi, yi.wrapping_add(1));
+    let v11 = hash01(seed, xi.wrapping_add(1), yi.wrapping_add(1));
+    let top = v00 + sx * (v10 - v00);
+    let bot = v01 + sx * (v11 - v01);
+    top + sy * (bot - top)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hash_is_deterministic_and_seed_sensitive() {
+        assert_eq!(hash01(1, 2, 3), hash01(1, 2, 3));
+        assert_ne!(hash01(1, 2, 3), hash01(2, 2, 3));
+        assert_ne!(hash01(1, 2, 3), hash01(1, 3, 2));
+    }
+
+    #[test]
+    fn hash_is_in_unit_interval_and_well_spread() {
+        let mut sum = 0.0f64;
+        let n = 10_000u64;
+        for i in 0..n {
+            let v = hash01(7, i, i * 31);
+            assert!((0.0..1.0).contains(&v));
+            sum += v as f64;
+        }
+        let mean = sum / n as f64;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean}");
+    }
+
+    #[test]
+    fn sym_hash_covers_both_signs() {
+        let vals: Vec<f32> = (0..100).map(|i| hash_sym(3, i, 0)).collect();
+        assert!(vals.iter().any(|&v| v > 0.0));
+        assert!(vals.iter().any(|&v| v < 0.0));
+        assert!(vals.iter().all(|&v| (-1.0..1.0).contains(&v)));
+    }
+
+    #[test]
+    fn value_noise_is_smooth() {
+        // Adjacent samples differ much less than distant ones on average.
+        let mut near = 0.0f32;
+        let mut far = 0.0f32;
+        for i in 0..200 {
+            let x = i as f32 * 0.01;
+            near += (value_noise(5, x + 0.01, 0.3, 1.0) - value_noise(5, x, 0.3, 1.0)).abs();
+            far += (value_noise(5, x + 7.3, 0.3, 1.0) - value_noise(5, x, 0.3, 1.0)).abs();
+        }
+        assert!(near < far, "near {near} vs far {far}");
+    }
+
+    #[test]
+    fn value_noise_handles_negative_coordinates() {
+        let v = value_noise(9, -3.7, -12.2, 2.0);
+        assert!((0.0..=1.0).contains(&v));
+    }
+}

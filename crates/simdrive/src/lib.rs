@@ -1,0 +1,48 @@
+#![warn(missing_docs)]
+
+//! Synthetic driving-scene data generator.
+//!
+//! The paper evaluates on two datasets we cannot ship: the Udacity
+//! self-driving dataset (45k dash-cam frames, Mountain View) and an
+//! in-house indoor RC-track set. This crate substitutes both with a
+//! procedural renderer that preserves the properties the experiments
+//! actually exercise:
+//!
+//! * **ground-plane road geometry** (curvature, lateral offset, heading
+//!   error) that determines a ground-truth steering angle — so a CNN can
+//!   genuinely *learn* lane following,
+//! * **nuisance variance** (terrain texture, clutter objects, clouds,
+//!   photometric jitter) that defeats raw-pixel autoencoders exactly as
+//!   real backgrounds do,
+//! * **two visually distinct worlds** ([`World::Outdoor`] ≈ DSU,
+//!   [`World::Indoor`] ≈ DSI) so the cross-dataset novelty experiment is
+//!   meaningful.
+//!
+//! Everything is deterministic given a `u64` seed.
+//!
+//! # Example
+//!
+//! ```
+//! use simdrive::DatasetConfig;
+//!
+//! let ds = DatasetConfig::outdoor().with_len(8).generate(42);
+//! assert_eq!(ds.len(), 8);
+//! assert_eq!(ds.images()[0].height(), 60);
+//! assert_eq!(ds.images()[0].width(), 160);
+//! assert!(ds.angles().iter().all(|a| a.abs() <= 1.0));
+//! ```
+
+mod config;
+mod dataset;
+mod drive;
+mod hash;
+mod render;
+mod scene;
+mod steering;
+
+pub use config::{DatasetConfig, Weather, World, DEFAULT_HEIGHT, DEFAULT_WIDTH};
+pub use dataset::{DrivingDataset, Frame};
+pub use drive::DriveConfig;
+pub use render::{region_masks, render_frame, RegionMasks, RenderedFrame};
+pub use scene::SceneParams;
+pub use steering::steering_angle;

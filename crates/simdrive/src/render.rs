@@ -1,0 +1,760 @@
+//! Software renderer for driving scenes.
+//!
+//! Frames are painted with a classical ground-plane projection: every pixel
+//! below the horizon back-projects to a point on the road plane, whose
+//! lateral distance from the quadratic lane model decides whether it shows
+//! asphalt, lane marking or terrain. Clutter objects (trees, buildings,
+//! boxes) are billboarded rectangles sorted far-to-near. Rendering happens
+//! at `supersample ×` resolution and is box-downsampled for antialiasing.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use vision::{draw, Image, RgbImage};
+
+use crate::hash::{hash_sym, value_noise};
+use crate::{SceneParams, Weather, World};
+
+/// A rendered frame: the colour image, its grayscale version, and the
+/// ground-truth lane-marking mask (1.0 where a lane marking is visible).
+///
+/// The lane mask is not part of the paper's pipeline — it is ground truth
+/// used by experiment E1 (Fig. 2) to quantify how much VBP saliency mass
+/// falls on the features that matter.
+#[derive(Debug, Clone)]
+pub struct RenderedFrame {
+    /// Colour frame at the configured output resolution.
+    pub rgb: RgbImage,
+    /// Grayscale frame (BT.601 luma), pixels in `[0, 1]`.
+    pub gray: Image,
+    /// Lane-marking ground truth in `[0, 1]` (antialiased at borders).
+    pub lane_mask: Image,
+}
+
+struct Camera {
+    focal: f32,
+    cx: f32,
+    horizon: f32,
+    cam_height: f32,
+    z_far: f32,
+}
+
+impl Camera {
+    fn for_world(world: World, width: usize, height: usize) -> Self {
+        let (horizon_frac, z_far) = match world {
+            World::Outdoor => (0.34, 130.0),
+            World::Indoor => (0.30, 7.0),
+        };
+        Camera {
+            focal: width as f32 * 0.9,
+            cx: width as f32 / 2.0,
+            horizon: height as f32 * horizon_frac,
+            cam_height: world.camera_height(),
+            z_far,
+        }
+    }
+
+    /// Depth of the ground-plane point seen by image row `y` (below the
+    /// horizon), metres.
+    fn depth_at_row(&self, y: f32) -> f32 {
+        self.focal * self.cam_height / (y - self.horizon).max(1e-3)
+    }
+
+    /// Lateral world coordinate of column `x` at depth `z`, metres.
+    fn lateral_at(&self, x: f32, z: f32) -> f32 {
+        (x - self.cx) * z / self.focal
+    }
+
+    /// Screen row of the ground contact at depth `z`.
+    fn row_of_depth(&self, z: f32) -> f32 {
+        self.horizon + self.focal * self.cam_height / z
+    }
+
+    /// Screen column of lateral coordinate `lat` at depth `z`.
+    fn col_of_lateral(&self, lat: f32, z: f32) -> f32 {
+        self.cx + self.focal * lat / z
+    }
+}
+
+fn mix(a: [f32; 3], b: [f32; 3], t: f32) -> [f32; 3] {
+    [
+        a[0] + (b[0] - a[0]) * t,
+        a[1] + (b[1] - a[1]) * t,
+        a[2] + (b[2] - a[2]) * t,
+    ]
+}
+
+fn scale_rgb(c: [f32; 3], s: f32) -> [f32; 3] {
+    [c[0] * s, c[1] * s, c[2] * s]
+}
+
+const OUTDOOR_SKY_TOP: [f32; 3] = [0.62, 0.74, 0.92];
+const OUTDOOR_SKY_HORIZON: [f32; 3] = [0.84, 0.88, 0.94];
+const OUTDOOR_ASPHALT: [f32; 3] = [0.33, 0.33, 0.35];
+const OUTDOOR_MARKING: [f32; 3] = [0.93, 0.93, 0.88];
+const INDOOR_FLOOR: [f32; 3] = [0.62, 0.60, 0.56];
+const INDOOR_TRACK: [f32; 3] = [0.20, 0.20, 0.22];
+const INDOOR_TAPE: [f32; 3] = [0.95, 0.95, 0.92];
+const INDOOR_WALL: [f32; 3] = [0.52, 0.50, 0.47];
+
+/// Lane-marking membership for a ground point `d` metres from the road
+/// centre at depth `z`. Returns `true` when the point lies on a painted
+/// marking.
+fn is_marking(world: World, d: f32, z: f32) -> bool {
+    let half = world.road_half_width();
+    match world {
+        World::Outdoor => {
+            let edge = d.abs() >= half - 0.35 && d.abs() <= half - 0.12;
+            let dashed = d.abs() <= 0.10 && (z / 4.0).fract() < 0.55;
+            edge || dashed
+        }
+        World::Indoor => {
+            let tape = d.abs() >= half - 0.045 && d.abs() <= half;
+            let dashed = d.abs() <= 0.012 && (z / 0.45).fract() < 0.6;
+            tape || dashed
+        }
+    }
+}
+
+fn sky_color(scene: &SceneParams, x: f32, y: f32, cam: &Camera, width: f32) -> [f32; 3] {
+    match scene.world {
+        World::Outdoor => {
+            let t = (y / cam.horizon.max(1.0)).clamp(0.0, 1.0);
+            let base = mix(OUTDOOR_SKY_TOP, OUTDOOR_SKY_HORIZON, t);
+            // Clouds: thresholded smooth noise, denser near the top.
+            let n = value_noise(
+                scene.texture_seed ^ 0xC10D,
+                x / width * 8.0,
+                y / width * 8.0,
+                1.0,
+            );
+            let cloud = ((n - 0.55) * 4.0).clamp(0.0, 1.0) * (1.0 - t * 0.6);
+            mix(base, [0.97, 0.97, 0.97], cloud)
+        }
+        World::Indoor => {
+            // Wall with vertical panel stripes and a dark baseboard just
+            // above the horizon.
+            let stripe = value_noise(scene.texture_seed ^ 0x3A11, x * 0.045, 0.0, 1.0);
+            let mut c = scale_rgb(INDOOR_WALL, 0.9 + 0.2 * stripe);
+            let from_horizon = cam.horizon - y;
+            if from_horizon < cam.horizon * 0.08 {
+                c = scale_rgb(c, 0.55);
+            }
+            c
+        }
+    }
+}
+
+fn ground_color(
+    scene: &SceneParams,
+    d: f32,
+    z: f32,
+    world_x: f32,
+    cam: &Camera,
+) -> ([f32; 3], bool) {
+    let world = scene.world;
+    let half = world.road_half_width();
+    let on_road = d.abs() <= half;
+    let marking = on_road && is_marking(world, d, z);
+    let color = match world {
+        World::Outdoor => {
+            if marking {
+                OUTDOOR_MARKING
+            } else if on_road {
+                // Asphalt speckle.
+                let n = value_noise(scene.texture_seed, world_x * 1.8, z * 1.8, 1.0);
+                scale_rgb(OUTDOOR_ASPHALT, 0.9 + 0.2 * n)
+            } else {
+                // Terrain: grass/dirt patches from two noise octaves.
+                let n1 = value_noise(scene.texture_seed ^ 1, world_x * 0.25, z * 0.25, 1.0);
+                let n2 = value_noise(scene.texture_seed ^ 2, world_x * 1.1, z * 1.1, 1.0);
+                let grass = [0.28 + 0.16 * n2, 0.42 + 0.18 * n1, 0.20 + 0.10 * n2];
+                let dirt = [0.48 + 0.1 * n2, 0.40 + 0.08 * n2, 0.30];
+                mix(grass, dirt, ((n1 - 0.45) * 3.0).clamp(0.0, 1.0))
+            }
+        }
+        World::Indoor => {
+            if marking {
+                INDOOR_TAPE
+            } else if on_road {
+                let n = value_noise(scene.texture_seed, world_x * 6.0, z * 6.0, 1.0);
+                scale_rgb(INDOOR_TRACK, 0.92 + 0.16 * n)
+            } else {
+                let n = value_noise(scene.texture_seed ^ 3, world_x * 2.0, z * 2.0, 1.0);
+                scale_rgb(INDOOR_FLOOR, 0.95 + 0.1 * n)
+            }
+        }
+    };
+    // Haze: fade distant ground toward the horizon colour.
+    let hazed = if scene.haze > 0.0 {
+        let t = (scene.haze * (z / cam.z_far)).clamp(0.0, 1.0);
+        mix(color, OUTDOOR_SKY_HORIZON, t)
+    } else {
+        color
+    };
+    (hazed, marking)
+}
+
+struct Clutter {
+    z: f32,
+    lateral: f32,
+    width_m: f32,
+    height_m: f32,
+    color: [f32; 3],
+}
+
+fn sample_clutter(scene: &SceneParams, density: f32) -> Vec<Clutter> {
+    let mut rng = StdRng::seed_from_u64(scene.clutter_seed);
+    let world = scene.world;
+    let base = match world {
+        World::Outdoor => 14.0,
+        World::Indoor => 5.0,
+    };
+    let count = (base * density).round() as usize;
+    let half = world.road_half_width();
+    let mut objs = Vec::with_capacity(count);
+    for _ in 0..count {
+        let (z, side_span, wm, hm, color) = match world {
+            World::Outdoor => {
+                let z = rng.gen_range(8.0f32..100.0);
+                let lat = rng.gen_range(1.0f32..18.0);
+                let tree = rng.gen_bool(0.6);
+                let (wm, hm, color) = if tree {
+                    let g = rng.gen_range(0.25f32..0.5);
+                    (
+                        rng.gen_range(1.5f32..4.0),
+                        rng.gen_range(3.0f32..9.0),
+                        [0.12, g, 0.10],
+                    )
+                } else {
+                    let v = rng.gen_range(0.35f32..0.75);
+                    (
+                        rng.gen_range(4.0f32..12.0),
+                        rng.gen_range(3.0f32..10.0),
+                        [v, v * rng.gen_range(0.85..1.0), v * rng.gen_range(0.8..1.0)],
+                    )
+                };
+                (z, lat, wm, hm, color)
+            }
+            World::Indoor => {
+                let z = rng.gen_range(1.0f32..6.0);
+                let lat = rng.gen_range(0.15f32..1.6);
+                let v = rng.gen_range(0.3f32..0.8);
+                (
+                    z,
+                    lat,
+                    rng.gen_range(0.15f32..0.5),
+                    rng.gen_range(0.1f32..0.45),
+                    [v, v * rng.gen_range(0.7..1.0), rng.gen_range(0.2..0.9)],
+                )
+            }
+        };
+        let sign = if rng.gen_bool(0.5) { 1.0 } else { -1.0 };
+        // Drive simulation: objects stream toward the camera as the
+        // vehicle travels, recycling over the sampled depth range.
+        let (z_near, z_far_range) = match world {
+            World::Outdoor => (8.0f32, 92.0f32),
+            World::Indoor => (1.0f32, 5.0f32),
+        };
+        let z = z_near + (z - z_near - scene.clutter_travel).rem_euclid(z_far_range);
+        objs.push(Clutter {
+            z,
+            lateral: scene.centerline_at(z) + sign * (half + side_span),
+            width_m: wm,
+            height_m: hm,
+            color,
+        });
+    }
+    // Far-to-near painter's order.
+    objs.sort_by(|a, b| b.z.partial_cmp(&a.z).expect("depths are finite"));
+    objs
+}
+
+fn paint_clutter(img: &mut RgbImage, cam: &Camera, objs: &[Clutter], exposure: f32) {
+    for o in objs {
+        if o.z <= 0.5 || o.z > cam.z_far {
+            continue;
+        }
+        let ground_y = cam.row_of_depth(o.z);
+        let top_y = ground_y - cam.focal * o.height_m / o.z;
+        let x_mid = cam.col_of_lateral(o.lateral, o.z);
+        let half_w = cam.focal * o.width_m / o.z / 2.0;
+        draw::fill_rect(
+            img,
+            (x_mid - half_w).round() as i64,
+            top_y.round() as i64,
+            (x_mid + half_w).round() as i64,
+            ground_y.round() as i64,
+            scale_rgb(o.color, exposure),
+        );
+    }
+}
+
+/// Rain overlay: slanted bright streaks plus a wet-road sheen band near
+/// the bottom of the frame (a crude specular reflection of the sky).
+fn paint_rain(img: &mut RgbImage, scene: &SceneParams, cam: &Camera) {
+    let (h, w) = (img.height(), img.width());
+    let mut rng = StdRng::seed_from_u64(scene.texture_seed ^ 0x4A1A);
+    let streaks = (h * w) / 180;
+    for _ in 0..streaks {
+        let x0 = rng.gen_range(0.0..w as f32);
+        let y0 = rng.gen_range(0.0..h as f32);
+        let len = rng.gen_range(2.0f32..6.0);
+        let slant = rng.gen_range(0.2f32..0.5);
+        draw::draw_line(
+            img,
+            draw::Point::new(x0, y0),
+            draw::Point::new(x0 + slant * len, y0 + len),
+            0.9,
+            [0.78, 0.80, 0.84],
+        );
+    }
+    // Wet sheen: blend the near road rows toward the sky colour.
+    let sheen_top = (cam.horizon as usize + (h - cam.horizon as usize) / 2).min(h);
+    for y in sheen_top..h {
+        let t = 0.25 * (y - sheen_top) as f32 / (h - sheen_top).max(1) as f32;
+        for x in 0..w {
+            img.put(y, x, mix(img.get(y, x), OUTDOOR_SKY_HORIZON, t));
+        }
+    }
+}
+
+fn box_downsample_rgb(src: &RgbImage, factor: usize) -> RgbImage {
+    if factor == 1 {
+        return src.clone();
+    }
+    let h = src.height() / factor;
+    let w = src.width() / factor;
+    let mut out = RgbImage::new(h, w).expect("non-zero output size");
+    let inv = 1.0 / (factor * factor) as f32;
+    for y in 0..h {
+        for x in 0..w {
+            let mut acc = [0.0f32; 3];
+            for sy in 0..factor {
+                for sx in 0..factor {
+                    let p = src.get(y * factor + sy, x * factor + sx);
+                    acc[0] += p[0];
+                    acc[1] += p[1];
+                    acc[2] += p[2];
+                }
+            }
+            out.put(y, x, scale_rgb(acc, inv));
+        }
+    }
+    out
+}
+
+fn box_downsample_gray(src: &Image, factor: usize) -> Image {
+    if factor == 1 {
+        return src.clone();
+    }
+    let h = src.height() / factor;
+    let w = src.width() / factor;
+    let inv = 1.0 / (factor * factor) as f32;
+    Image::from_fn(h, w, |y, x| {
+        let mut acc = 0.0;
+        for sy in 0..factor {
+            for sx in 0..factor {
+                acc += src.get(y * factor + sy, x * factor + sx);
+            }
+        }
+        acc * inv
+    })
+    .expect("non-zero output size")
+}
+
+/// Ground-truth region masks for saliency evaluation (experiment E1):
+/// which pixels belong to the road surface, its edge band, and the
+/// painted markings.
+#[derive(Debug, Clone)]
+pub struct RegionMasks {
+    /// 1.0 where the pixel shows the drivable road surface.
+    pub road: Image,
+    /// 1.0 in a band around the road boundary (the paper's "edge of the
+    /// road" — the feature a steering network should attend to).
+    pub edge_band: Image,
+    /// 1.0 on painted lane markings (same definition as
+    /// [`RenderedFrame::lane_mask`]).
+    pub markings: Image,
+}
+
+/// Computes the analytic ground-truth region masks of a scene at the
+/// given output resolution (no rendering involved; pure geometry).
+///
+/// # Panics
+///
+/// Panics when `height` or `width` is zero.
+pub fn region_masks(scene: &SceneParams, height: usize, width: usize) -> RegionMasks {
+    assert!(
+        height > 0 && width > 0,
+        "region_masks: dimensions must be non-zero"
+    );
+    let cam = Camera::for_world(scene.world, width, height);
+    let half = scene.world.road_half_width();
+    // Edge band: ±12 % of the road half-width around each boundary.
+    let band = half * 0.24;
+    let mut road = Image::new(height, width).expect("non-zero size");
+    let mut edge = Image::new(height, width).expect("non-zero size");
+    let mut markings = Image::new(height, width).expect("non-zero size");
+    for y in 0..height {
+        let yf = y as f32;
+        if yf < cam.horizon {
+            continue;
+        }
+        let z = cam.depth_at_row(yf + 0.5);
+        if z > cam.z_far {
+            continue;
+        }
+        for x in 0..width {
+            let lat = cam.lateral_at(x as f32 + 0.5, z);
+            let d = lat - scene.centerline_at(z);
+            if d.abs() <= half {
+                road.put(y, x, 1.0);
+                if is_marking(scene.world, d, z) {
+                    markings.put(y, x, 1.0);
+                }
+            }
+            if (d.abs() - half).abs() <= band {
+                edge.put(y, x, 1.0);
+            }
+        }
+    }
+    RegionMasks {
+        road,
+        edge_band: edge,
+        markings,
+    }
+}
+
+/// Renders a scene to a [`RenderedFrame`] of `height × width` pixels.
+///
+/// `supersample` renders at that multiple of the output resolution and
+/// box-downsamples (2 is a good default); `clutter_density` scales the
+/// number of roadside objects (1.0 = default).
+///
+/// # Panics
+///
+/// Panics when `height`, `width` or `supersample` is zero (these are
+/// validated by [`crate::DatasetConfig`]; direct callers must uphold them).
+pub fn render_frame(
+    scene: &SceneParams,
+    height: usize,
+    width: usize,
+    supersample: usize,
+    clutter_density: f32,
+) -> RenderedFrame {
+    assert!(
+        height > 0 && width > 0 && supersample > 0,
+        "render_frame: dimensions and supersample must be non-zero"
+    );
+    let hh = height * supersample;
+    let ww = width * supersample;
+    let cam = Camera::for_world(scene.world, ww, hh);
+    let mut rgb = RgbImage::new(hh, ww).expect("non-zero size");
+    let mut mask = Image::new(hh, ww).expect("non-zero size");
+
+    for y in 0..hh {
+        let yf = y as f32;
+        let below_horizon = yf >= cam.horizon;
+        let z = if below_horizon {
+            cam.depth_at_row(yf + 0.5)
+        } else {
+            0.0
+        };
+        for x in 0..ww {
+            let xf = x as f32;
+            let color = if below_horizon && z <= cam.z_far {
+                // Sample at the pixel centre so straight roads render
+                // mirror-symmetrically.
+                let lat = cam.lateral_at(xf + 0.5, z);
+                let d = lat - scene.centerline_at(z);
+                let (c, marking) = ground_color(scene, d, z, lat, &cam);
+                if marking {
+                    mask.put(y, x, 1.0);
+                }
+                c
+            } else {
+                sky_color(scene, xf, yf.min(cam.horizon), &cam, ww as f32)
+            };
+            // Lateral light bias + global exposure.
+            let shade =
+                scene.exposure * (1.0 + 0.08 * scene.light_bias * (xf / ww as f32 * 2.0 - 1.0));
+            rgb.put(y, x, scale_rgb(color, shade));
+        }
+    }
+
+    let clutter = sample_clutter(scene, clutter_density);
+    paint_clutter(&mut rgb, &cam, &clutter, scene.exposure);
+
+    if scene.weather == Weather::Rain && scene.world == World::Outdoor {
+        paint_rain(&mut rgb, scene, &cam);
+    }
+
+    // Subtle per-pixel sensor noise so no two pixels are bitwise-flat.
+    let hw = ww as u64;
+    for y in 0..hh {
+        for x in 0..ww {
+            let p = rgb.get(y, x);
+            let n = hash_sym(scene.texture_seed ^ 0x5EED, y as u64 * hw + x as u64, 17) * 0.0075;
+            rgb.put(y, x, [p[0] + n, p[1] + n, p[2] + n]);
+        }
+    }
+
+    let rgb = box_downsample_rgb(&rgb, supersample).clamp_unit();
+    let mask = box_downsample_gray(&mask, supersample);
+    let gray = rgb.to_grayscale();
+    RenderedFrame {
+        rgb,
+        gray,
+        lane_mask: mask,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn neutral_frame(world: World) -> RenderedFrame {
+        render_frame(&SceneParams::neutral(world), 60, 160, 1, 1.0)
+    }
+
+    #[test]
+    fn output_dimensions_match_request() {
+        let f = render_frame(&SceneParams::neutral(World::Outdoor), 30, 80, 2, 1.0);
+        assert_eq!((f.rgb.height(), f.rgb.width()), (30, 80));
+        assert_eq!((f.gray.height(), f.gray.width()), (30, 80));
+        assert_eq!((f.lane_mask.height(), f.lane_mask.width()), (30, 80));
+    }
+
+    #[test]
+    fn pixels_are_in_unit_range() {
+        for world in [World::Outdoor, World::Indoor] {
+            let f = neutral_frame(world);
+            assert!(f.gray.tensor().min_value() >= 0.0);
+            assert!(f.gray.tensor().max_value() <= 1.0);
+            assert!(!f.gray.tensor().has_non_finite());
+        }
+    }
+
+    #[test]
+    fn rendering_is_deterministic() {
+        let s = SceneParams::neutral(World::Outdoor);
+        let a = render_frame(&s, 40, 100, 2, 1.0);
+        let b = render_frame(&s, 40, 100, 2, 1.0);
+        assert_eq!(a.gray, b.gray);
+        assert_eq!(a.rgb, b.rgb);
+        assert_eq!(a.lane_mask, b.lane_mask);
+    }
+
+    #[test]
+    fn straight_road_is_left_right_symmetricish() {
+        // On a neutral straight road, the lane mask must be (nearly)
+        // mirror-symmetric.
+        let f = neutral_frame(World::Outdoor);
+        let m = &f.lane_mask;
+        let mut asym = 0.0;
+        let mut total = 0.0;
+        for y in 0..m.height() {
+            for x in 0..m.width() {
+                asym += (m.get(y, x) - m.get(y, m.width() - 1 - x)).abs();
+                total += m.get(y, x);
+            }
+        }
+        assert!(total > 0.0, "no lane markings rendered");
+        assert!(asym / total < 0.2, "asymmetry {asym} vs mass {total}");
+    }
+
+    #[test]
+    fn lane_mask_lies_on_bright_road_pixels() {
+        // Markings are painted bright; where the mask is 1 the grayscale
+        // must be brighter than the road average.
+        let f = neutral_frame(World::Outdoor);
+        let mut marked = Vec::new();
+        let mut unmarked_road_rows = Vec::new();
+        for y in (f.gray.height() * 2 / 3)..f.gray.height() {
+            for x in 0..f.gray.width() {
+                if f.lane_mask.get(y, x) > 0.9 {
+                    marked.push(f.gray.get(y, x));
+                } else {
+                    unmarked_road_rows.push(f.gray.get(y, x));
+                }
+            }
+        }
+        assert!(!marked.is_empty());
+        let mean = |v: &[f32]| v.iter().sum::<f32>() / v.len() as f32;
+        assert!(mean(&marked) > mean(&unmarked_road_rows) + 0.2);
+    }
+
+    #[test]
+    fn worlds_are_visually_distinct() {
+        let a = neutral_frame(World::Outdoor).gray;
+        let b = neutral_frame(World::Indoor).gray;
+        let diff: f32 = a
+            .as_slice()
+            .iter()
+            .zip(b.as_slice())
+            .map(|(x, y)| (x - y).abs())
+            .sum::<f32>()
+            / a.len() as f32;
+        assert!(diff > 0.05, "worlds too similar: mean abs diff {diff}");
+    }
+
+    #[test]
+    fn curvature_bends_the_lane_mask() {
+        let mut left = SceneParams::neutral(World::Outdoor);
+        left.curvature = -0.01;
+        let mut right = SceneParams::neutral(World::Outdoor);
+        right.curvature = 0.01;
+        let fl = render_frame(&left, 60, 160, 1, 0.0);
+        let fr = render_frame(&right, 60, 160, 1, 0.0);
+        // Compare mask centroids in the upper (far) half of the road region.
+        let centroid = |m: &Image| {
+            let mut sx = 0.0;
+            let mut n = 0.0;
+            for y in 22..34 {
+                for x in 0..m.width() {
+                    let v = m.get(y, x);
+                    sx += v * x as f32;
+                    n += v;
+                }
+            }
+            sx / n.max(1e-9)
+        };
+        assert!(
+            centroid(&fr.lane_mask) > centroid(&fl.lane_mask) + 2.0,
+            "curvature did not shift mask centroid"
+        );
+    }
+
+    #[test]
+    fn region_masks_are_geometrically_consistent() {
+        let scene = SceneParams::neutral(World::Outdoor);
+        let regions = region_masks(&scene, 60, 160);
+        let frame = render_frame(&scene, 60, 160, 1, 0.0);
+        // Markings from the analytic mask agree with the rendered mask.
+        let mut agree = 0usize;
+        let mut total = 0usize;
+        for (a, b) in regions
+            .markings
+            .as_slice()
+            .iter()
+            .zip(frame.lane_mask.as_slice())
+        {
+            if *b > 0.5 || *a > 0.5 {
+                total += 1;
+                if (*a > 0.5) == (*b > 0.5) {
+                    agree += 1;
+                }
+            }
+        }
+        assert!(total > 0);
+        assert!(agree as f32 / total as f32 > 0.95, "{agree}/{total}");
+        // Markings lie on the road; the edge band straddles the boundary.
+        for i in 0..regions.road.len() {
+            if regions.markings.as_slice()[i] > 0.5 {
+                assert!(regions.road.as_slice()[i] > 0.5);
+            }
+        }
+        let road_area: f32 = regions.road.as_slice().iter().sum();
+        let edge_area: f32 = regions.edge_band.as_slice().iter().sum();
+        assert!(road_area > 0.0 && edge_area > 0.0);
+        assert!(edge_area < road_area);
+    }
+
+    #[test]
+    fn clutter_travel_moves_objects() {
+        let mut a = SceneParams::neutral(World::Outdoor);
+        a.clutter_seed = 42;
+        let mut b = a.clone();
+        b.clutter_travel = 15.0;
+        let fa = render_frame(&a, 60, 160, 1, 1.0);
+        let fb = render_frame(&b, 60, 160, 1, 1.0);
+        assert_ne!(fa.gray, fb.gray, "travel must move clutter");
+        assert_eq!(fa.lane_mask, fb.lane_mask, "travel must not move the road");
+    }
+
+    #[test]
+    fn weather_variants_change_appearance_not_geometry() {
+        let base = SceneParams::neutral(World::Outdoor);
+        let clear = render_frame(&base, 60, 160, 1, 0.0);
+        let fog = render_frame(
+            &base.clone().with_weather(crate::Weather::Fog),
+            60,
+            160,
+            1,
+            0.0,
+        );
+        let rain = render_frame(
+            &base.clone().with_weather(crate::Weather::Rain),
+            60,
+            160,
+            1,
+            0.0,
+        );
+        assert_ne!(clear.gray, fog.gray);
+        assert_ne!(clear.gray, rain.gray);
+        // Geometry (lane mask) is weather-independent.
+        assert_eq!(clear.lane_mask, fog.lane_mask);
+        assert_eq!(clear.lane_mask, rain.lane_mask);
+        // Fog lifts the dark far-field pixels toward the bright sky
+        // colour: the 10th-percentile intensity of the band just below
+        // the horizon rises substantially.
+        let dark_level = |img: &vision::Image| {
+            let mut vals = Vec::new();
+            for y in 22..30 {
+                for x in 0..img.width() {
+                    vals.push(img.get(y, x));
+                }
+            }
+            vals.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            vals[vals.len() / 10]
+        };
+        assert!(
+            dark_level(&fog.gray) > dark_level(&clear.gray) + 0.05,
+            "fog did not wash out the far field: {} vs {}",
+            dark_level(&fog.gray),
+            dark_level(&clear.gray)
+        );
+    }
+
+    #[test]
+    fn exposure_scales_brightness() {
+        let mut dark = SceneParams::neutral(World::Outdoor);
+        dark.exposure = 0.7;
+        let mut bright = SceneParams::neutral(World::Outdoor);
+        bright.exposure = 1.3;
+        let fd = render_frame(&dark, 30, 80, 1, 0.0);
+        let fb = render_frame(&bright, 30, 80, 1, 0.0);
+        assert!(fb.gray.mean() > fd.gray.mean() + 0.1);
+    }
+
+    #[test]
+    fn clutter_density_zero_removes_objects() {
+        let mut s = SceneParams::neutral(World::Outdoor);
+        s.clutter_seed = 1234;
+        let with = render_frame(&s, 60, 160, 1, 1.0);
+        let without = render_frame(&s, 60, 160, 1, 0.0);
+        let diff: f32 = with
+            .gray
+            .as_slice()
+            .iter()
+            .zip(without.gray.as_slice())
+            .map(|(a, b)| (a - b).abs())
+            .sum();
+        assert!(diff > 0.0, "clutter had no visual effect");
+    }
+
+    #[test]
+    fn different_texture_seeds_change_background_not_geometry() {
+        let mut a = SceneParams::neutral(World::Outdoor);
+        a.texture_seed = 1;
+        let mut b = SceneParams::neutral(World::Outdoor);
+        b.texture_seed = 2;
+        let fa = render_frame(&a, 60, 160, 1, 0.0);
+        let fb = render_frame(&b, 60, 160, 1, 0.0);
+        assert_eq!(
+            fa.lane_mask, fb.lane_mask,
+            "geometry must not depend on texture seed"
+        );
+        assert_ne!(fa.gray, fb.gray, "texture seed must change appearance");
+    }
+}

@@ -1,0 +1,97 @@
+//! Ground-truth steering from scene geometry.
+
+use crate::SceneParams;
+
+/// Computes the normalized ground-truth steering angle in `[-1, 1]` for a
+/// scene, using a pure-pursuit controller: aim at the lane centre one
+/// look-ahead distance ahead and steer with the curvature of the arc that
+/// reaches it, normalized by the world's maximum curvature.
+///
+/// Positive values steer right (toward positive lateral coordinates).
+///
+/// # Example
+///
+/// ```
+/// use simdrive::{steering_angle, SceneParams, World};
+///
+/// let straight = SceneParams::neutral(World::Outdoor);
+/// assert_eq!(steering_angle(&straight), 0.0);
+///
+/// let mut right_curve = SceneParams::neutral(World::Outdoor);
+/// right_curve.curvature = 0.01;
+/// assert!(steering_angle(&right_curve) > 0.0);
+/// ```
+pub fn steering_angle(scene: &SceneParams) -> f32 {
+    let lookahead = scene.world.lookahead();
+    let target_x = scene.centerline_at(lookahead);
+    // Pure pursuit: curvature of the circular arc through the origin
+    // (vehicle) and the target point, tangent to the heading axis.
+    let kappa = 2.0 * target_x / (lookahead * lookahead + target_x * target_x);
+    (kappa / scene.world.max_curvature()).clamp(-1.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::World;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn straight_centred_scene_steers_zero() {
+        for world in [World::Outdoor, World::Indoor] {
+            assert_eq!(steering_angle(&SceneParams::neutral(world)), 0.0);
+        }
+    }
+
+    #[test]
+    fn steering_sign_follows_curvature() {
+        let mut s = SceneParams::neutral(World::Outdoor);
+        s.curvature = 0.008;
+        assert!(steering_angle(&s) > 0.0);
+        s.curvature = -0.008;
+        assert!(steering_angle(&s) < 0.0);
+    }
+
+    #[test]
+    fn offset_correction_steers_back_to_centre() {
+        let mut s = SceneParams::neutral(World::Indoor);
+        // Vehicle right of centre → centreline appears left → steer left.
+        s.lateral_offset = 0.2;
+        assert!(steering_angle(&s) < 0.0);
+        s.lateral_offset = -0.2;
+        assert!(steering_angle(&s) > 0.0);
+    }
+
+    #[test]
+    fn heading_error_is_corrected() {
+        let mut s = SceneParams::neutral(World::Outdoor);
+        s.heading_error = 0.1; // pointing right of road → road centre drifts right ahead
+        assert!(steering_angle(&s) > 0.0);
+    }
+
+    #[test]
+    fn output_is_bounded_for_sampled_scenes() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for world in [World::Outdoor, World::Indoor] {
+            for _ in 0..500 {
+                let s = SceneParams::sample(world, &mut rng);
+                let a = steering_angle(&s);
+                assert!((-1.0..=1.0).contains(&a));
+                assert!(a.is_finite());
+            }
+        }
+    }
+
+    #[test]
+    fn steering_is_monotone_in_curvature() {
+        let mut prev = f32::NEG_INFINITY;
+        for i in 0..20 {
+            let mut s = SceneParams::neutral(World::Outdoor);
+            s.curvature = -0.012 + i as f32 * 0.0012;
+            let a = steering_angle(&s);
+            assert!(a >= prev, "not monotone at step {i}");
+            prev = a;
+        }
+    }
+}

@@ -1,0 +1,292 @@
+//! Rasterisation primitives used by the synthetic scene renderer.
+//!
+//! These are deliberately simple software-rendering routines: filled convex
+//! polygons (scanline), thick anti-alias-free line segments, axis-aligned
+//! rectangles and disks. They operate on [`RgbImage`] because the renderer
+//! paints in colour before the pipeline grayscales.
+
+use crate::RgbImage;
+
+/// A 2-D point in pixel coordinates (`x` right, `y` down). Fractional
+/// positions are supported; rasterisation rounds per primitive.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Point {
+    /// Horizontal coordinate in pixels.
+    pub x: f32,
+    /// Vertical coordinate in pixels.
+    pub y: f32,
+}
+
+impl Point {
+    /// Creates a point.
+    pub fn new(x: f32, y: f32) -> Self {
+        Point { x, y }
+    }
+}
+
+impl From<(f32, f32)> for Point {
+    fn from((x, y): (f32, f32)) -> Self {
+        Point { x, y }
+    }
+}
+
+/// Fills the axis-aligned rectangle `[x0, x1) × [y0, y1)` (clipped to the
+/// image) with a constant colour.
+pub fn fill_rect(img: &mut RgbImage, x0: i64, y0: i64, x1: i64, y1: i64, rgb: [f32; 3]) {
+    let (h, w) = (img.height() as i64, img.width() as i64);
+    let xa = x0.clamp(0, w);
+    let xb = x1.clamp(0, w);
+    let ya = y0.clamp(0, h);
+    let yb = y1.clamp(0, h);
+    for y in ya..yb {
+        for x in xa..xb {
+            img.put(y as usize, x as usize, rgb);
+        }
+    }
+}
+
+/// Fills a polygon given by its vertices (in order, convex or mildly
+/// concave) using even-odd scanline filling. Degenerate polygons (< 3
+/// vertices) are ignored.
+pub fn fill_polygon(img: &mut RgbImage, vertices: &[Point], rgb: [f32; 3]) {
+    if vertices.len() < 3 {
+        return;
+    }
+    let h = img.height();
+    let w = img.width();
+    let min_y = vertices.iter().map(|p| p.y).fold(f32::INFINITY, f32::min);
+    let max_y = vertices
+        .iter()
+        .map(|p| p.y)
+        .fold(f32::NEG_INFINITY, f32::max);
+    let y_start = min_y.floor().max(0.0) as usize;
+    let y_end = (max_y.ceil() as i64).clamp(0, h as i64) as usize;
+    let mut crossings: Vec<f32> = Vec::with_capacity(8);
+    for y in y_start..y_end {
+        let scan = y as f32 + 0.5;
+        crossings.clear();
+        for i in 0..vertices.len() {
+            let a = vertices[i];
+            let b = vertices[(i + 1) % vertices.len()];
+            if (a.y <= scan && b.y > scan) || (b.y <= scan && a.y > scan) {
+                let t = (scan - a.y) / (b.y - a.y);
+                crossings.push(a.x + t * (b.x - a.x));
+            }
+        }
+        crossings.sort_by(|p, q| p.partial_cmp(q).expect("crossings are finite"));
+        for pair in crossings.chunks(2) {
+            if pair.len() < 2 {
+                continue;
+            }
+            let xa = pair[0].round().max(0.0) as i64;
+            let xb = (pair[1].round() as i64).min(w as i64);
+            for x in xa..xb {
+                img.put(y, x as usize, rgb);
+            }
+        }
+    }
+}
+
+/// Draws a line segment of the given thickness (in pixels) by stamping
+/// disks along the segment.
+pub fn draw_line(img: &mut RgbImage, a: Point, b: Point, thickness: f32, rgb: [f32; 3]) {
+    let dx = b.x - a.x;
+    let dy = b.y - a.y;
+    let len = (dx * dx + dy * dy).sqrt();
+    let steps = (len.ceil() as usize).max(1) * 2;
+    for s in 0..=steps {
+        let t = s as f32 / steps as f32;
+        fill_disk(
+            img,
+            Point::new(a.x + t * dx, a.y + t * dy),
+            thickness / 2.0,
+            rgb,
+        );
+    }
+}
+
+/// Fills a disk of the given radius centred at `c` (clipped to the image).
+/// Radii below 0.5 paint the single nearest pixel.
+pub fn fill_disk(img: &mut RgbImage, c: Point, radius: f32, rgb: [f32; 3]) {
+    let (h, w) = (img.height() as i64, img.width() as i64);
+    if radius < 0.5 {
+        let x = c.x.round() as i64;
+        let y = c.y.round() as i64;
+        if x >= 0 && x < w && y >= 0 && y < h {
+            img.put(y as usize, x as usize, rgb);
+        }
+        return;
+    }
+    let r2 = radius * radius;
+    let y0 = ((c.y - radius).floor() as i64).clamp(0, h);
+    let y1 = ((c.y + radius).ceil() as i64).clamp(0, h);
+    let x0 = ((c.x - radius).floor() as i64).clamp(0, w);
+    let x1 = ((c.x + radius).ceil() as i64).clamp(0, w);
+    for y in y0..y1 {
+        for x in x0..x1 {
+            let ddx = x as f32 - c.x;
+            let ddy = y as f32 - c.y;
+            if ddx * ddx + ddy * ddy <= r2 {
+                img.put(y as usize, x as usize, rgb);
+            }
+        }
+    }
+}
+
+/// Fills the whole image with a vertical linear gradient from `top` (row 0)
+/// to `bottom` (last row).
+pub fn vertical_gradient(img: &mut RgbImage, top: [f32; 3], bottom: [f32; 3]) {
+    let h = img.height();
+    let w = img.width();
+    for y in 0..h {
+        let t = if h > 1 {
+            y as f32 / (h - 1) as f32
+        } else {
+            0.0
+        };
+        let rgb = [
+            top[0] + t * (bottom[0] - top[0]),
+            top[1] + t * (bottom[1] - top[1]),
+            top[2] + t * (bottom[2] - top[2]),
+        ];
+        for x in 0..w {
+            img.put(y, x, rgb);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const RED: [f32; 3] = [1.0, 0.0, 0.0];
+
+    fn count_red(img: &RgbImage) -> usize {
+        let mut n = 0;
+        for y in 0..img.height() {
+            for x in 0..img.width() {
+                if img.get(y, x) == RED {
+                    n += 1;
+                }
+            }
+        }
+        n
+    }
+
+    #[test]
+    fn rect_fills_expected_area() {
+        let mut img = RgbImage::new(10, 10).unwrap();
+        fill_rect(&mut img, 2, 3, 5, 7, RED);
+        assert_eq!(count_red(&img), 3 * 4);
+        assert_eq!(img.get(3, 2), RED);
+        assert_eq!(img.get(2, 2), [0.0; 3]); // y<y0 untouched? (y0=3) — yes
+    }
+
+    #[test]
+    fn rect_clips_to_image() {
+        let mut img = RgbImage::new(4, 4).unwrap();
+        fill_rect(&mut img, -10, -10, 100, 100, RED);
+        assert_eq!(count_red(&img), 16);
+        // Fully outside: no panic, no paint.
+        let mut img2 = RgbImage::new(4, 4).unwrap();
+        fill_rect(&mut img2, 10, 10, 20, 20, RED);
+        assert_eq!(count_red(&img2), 0);
+    }
+
+    #[test]
+    fn polygon_fills_square() {
+        let mut img = RgbImage::new(10, 10).unwrap();
+        let square = [
+            Point::new(2.0, 2.0),
+            Point::new(8.0, 2.0),
+            Point::new(8.0, 8.0),
+            Point::new(2.0, 8.0),
+        ];
+        fill_polygon(&mut img, &square, RED);
+        let n = count_red(&img);
+        assert!((30..=42).contains(&n), "filled {n} pixels");
+        assert_eq!(img.get(5, 5), RED);
+        assert_eq!(img.get(0, 0), [0.0; 3]);
+    }
+
+    #[test]
+    fn polygon_triangle_covers_interior_only() {
+        let mut img = RgbImage::new(12, 12).unwrap();
+        let tri = [
+            Point::new(6.0, 1.0),
+            Point::new(11.0, 11.0),
+            Point::new(1.0, 11.0),
+        ];
+        fill_polygon(&mut img, &tri, RED);
+        assert_eq!(img.get(8, 6), RED); // deep inside
+        assert_eq!(img.get(2, 1), [0.0; 3]); // outside top-left
+    }
+
+    #[test]
+    fn degenerate_polygon_is_noop() {
+        let mut img = RgbImage::new(4, 4).unwrap();
+        fill_polygon(&mut img, &[Point::new(1.0, 1.0), Point::new(2.0, 2.0)], RED);
+        assert_eq!(count_red(&img), 0);
+    }
+
+    #[test]
+    fn line_connects_endpoints() {
+        let mut img = RgbImage::new(10, 10).unwrap();
+        draw_line(
+            &mut img,
+            Point::new(1.0, 1.0),
+            Point::new(8.0, 8.0),
+            1.0,
+            RED,
+        );
+        assert_eq!(img.get(1, 1), RED);
+        assert_eq!(img.get(8, 8), RED);
+        assert_eq!(img.get(4, 4), RED); // diagonal midpoint painted
+        assert_eq!(img.get(1, 8), [0.0; 3]);
+    }
+
+    #[test]
+    fn thick_line_is_wider() {
+        let mut thin = RgbImage::new(20, 20).unwrap();
+        let mut thick = RgbImage::new(20, 20).unwrap();
+        let (a, b) = (Point::new(2.0, 10.0), Point::new(18.0, 10.0));
+        draw_line(&mut thin, a, b, 1.0, RED);
+        draw_line(&mut thick, a, b, 5.0, RED);
+        assert!(count_red(&thick) > 2 * count_red(&thin));
+    }
+
+    #[test]
+    fn disk_paints_center_and_respects_radius() {
+        let mut img = RgbImage::new(20, 20).unwrap();
+        fill_disk(&mut img, Point::new(10.0, 10.0), 4.0, RED);
+        assert_eq!(img.get(10, 10), RED);
+        assert_eq!(img.get(10, 17), [0.0; 3]);
+        let n = count_red(&img) as f32;
+        let area = std::f32::consts::PI * 16.0;
+        assert!((n - area).abs() / area < 0.35, "disk area {n} vs {area}");
+    }
+
+    #[test]
+    fn tiny_disk_paints_one_pixel() {
+        let mut img = RgbImage::new(5, 5).unwrap();
+        fill_disk(&mut img, Point::new(2.2, 2.7), 0.3, RED);
+        assert_eq!(count_red(&img), 1);
+        assert_eq!(img.get(3, 2), RED);
+    }
+
+    #[test]
+    fn disk_outside_image_is_noop() {
+        let mut img = RgbImage::new(5, 5).unwrap();
+        fill_disk(&mut img, Point::new(-10.0, -10.0), 2.0, RED);
+        assert_eq!(count_red(&img), 0);
+    }
+
+    #[test]
+    fn gradient_interpolates_vertically() {
+        let mut img = RgbImage::new(3, 2).unwrap();
+        vertical_gradient(&mut img, [0.0; 3], [1.0, 0.0, 0.0]);
+        assert_eq!(img.get(0, 0), [0.0; 3]);
+        assert_eq!(img.get(2, 1), [1.0, 0.0, 0.0]);
+        assert!((img.get(1, 0)[0] - 0.5).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,87 @@
+use std::fmt;
+
+use ndtensor::TensorError;
+
+/// Error type for image construction, processing and I/O.
+#[derive(Debug)]
+pub enum VisionError {
+    /// An underlying tensor operation failed.
+    Tensor(TensorError),
+    /// An image-level invariant was violated.
+    Invalid {
+        /// Short name of the operation that failed.
+        op: &'static str,
+        /// Human-readable description of the violated invariant.
+        reason: String,
+    },
+    /// File I/O failed while reading or writing an image.
+    Io(std::io::Error),
+    /// A PGM/PPM stream was malformed.
+    Format(String),
+}
+
+impl VisionError {
+    /// Builds an [`VisionError::Invalid`] with the given operation and reason.
+    pub fn invalid(op: &'static str, reason: impl Into<String>) -> Self {
+        VisionError::Invalid {
+            op,
+            reason: reason.into(),
+        }
+    }
+}
+
+impl fmt::Display for VisionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VisionError::Tensor(e) => write!(f, "tensor error: {e}"),
+            VisionError::Invalid { op, reason } => write!(f, "{op}: {reason}"),
+            VisionError::Io(e) => write!(f, "io error: {e}"),
+            VisionError::Format(msg) => write!(f, "malformed image stream: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for VisionError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            VisionError::Tensor(e) => Some(e),
+            VisionError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<TensorError> for VisionError {
+    fn from(e: TensorError) -> Self {
+        VisionError::Tensor(e)
+    }
+}
+
+impl From<std::io::Error> for VisionError {
+    fn from(e: std::io::Error) -> Self {
+        VisionError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        use std::error::Error;
+        let e = VisionError::from(TensorError::invalid("x", "boom"));
+        assert!(e.to_string().contains("boom"));
+        assert!(e.source().is_some());
+
+        let e = VisionError::invalid("resize", "zero target");
+        assert!(e.to_string().contains("resize"));
+        assert!(e.source().is_none());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<VisionError>();
+    }
+}

@@ -1,0 +1,438 @@
+use ndtensor::{resize_bilinear, Tensor};
+
+use crate::{Result, VisionError};
+
+/// A single-channel (grayscale) image with `f32` pixels, nominally in
+/// `[0, 1]`, stored row-major as a rank-2 tensor `[height, width]`.
+///
+/// This is the unit of data flowing through the paper's pipeline: camera
+/// frames are grayscaled into `Image`s, VisualBackProp masks are `Image`s,
+/// and the autoencoder consumes flattened `Image`s.
+///
+/// # Example
+///
+/// ```
+/// use vision::Image;
+///
+/// # fn main() -> Result<(), vision::VisionError> {
+/// let mut img = Image::new(60, 160)?;
+/// img.put(10, 20, 0.5);
+/// assert_eq!(img.get(10, 20), 0.5);
+/// assert_eq!(img.len(), 9600);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Image {
+    data: Tensor,
+}
+
+impl Image {
+    /// Creates a black image of the given size.
+    ///
+    /// # Errors
+    ///
+    /// Fails when either dimension is zero.
+    pub fn new(height: usize, width: usize) -> Result<Self> {
+        if height == 0 || width == 0 {
+            return Err(VisionError::invalid(
+                "Image::new",
+                "dimensions must be non-zero",
+            ));
+        }
+        Ok(Image {
+            data: Tensor::zeros([height, width]),
+        })
+    }
+
+    /// Creates an image filled with a constant intensity.
+    ///
+    /// # Errors
+    ///
+    /// Fails when either dimension is zero.
+    pub fn filled(height: usize, width: usize, value: f32) -> Result<Self> {
+        let mut img = Self::new(height, width)?;
+        img.data.map_inplace(|_| value);
+        Ok(img)
+    }
+
+    /// Wraps a rank-2 tensor as an image.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the tensor is not rank 2 or has a zero dimension.
+    pub fn from_tensor(data: Tensor) -> Result<Self> {
+        if data.rank() != 2 {
+            return Err(VisionError::invalid(
+                "Image::from_tensor",
+                format!("expected rank-2 tensor, got shape {}", data.shape()),
+            ));
+        }
+        if data.is_empty() {
+            return Err(VisionError::invalid(
+                "Image::from_tensor",
+                "dimensions must be non-zero",
+            ));
+        }
+        Ok(Image { data })
+    }
+
+    /// Creates an image by evaluating `f(y, x)` at every pixel.
+    ///
+    /// # Errors
+    ///
+    /// Fails when either dimension is zero.
+    pub fn from_fn(height: usize, width: usize, f: impl Fn(usize, usize) -> f32) -> Result<Self> {
+        if height == 0 || width == 0 {
+            return Err(VisionError::invalid(
+                "Image::from_fn",
+                "dimensions must be non-zero",
+            ));
+        }
+        Ok(Image {
+            data: Tensor::from_fn([height, width], |idx| f(idx[0], idx[1])),
+        })
+    }
+
+    /// Image height in pixels.
+    pub fn height(&self) -> usize {
+        self.data.shape().dims()[0]
+    }
+
+    /// Image width in pixels.
+    pub fn width(&self) -> usize {
+        self.data.shape().dims()[1]
+    }
+
+    /// Total number of pixels.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Always `false`: images are validated non-empty at construction.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Reads the pixel at `(y, x)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when out of bounds (images are dense and bounds are the
+    /// caller's responsibility in inner loops; use [`Image::get_checked`]
+    /// at trust boundaries).
+    pub fn get(&self, y: usize, x: usize) -> f32 {
+        self.data.as_slice()[y * self.width() + x]
+    }
+
+    /// Reads the pixel at `(y, x)`, or `None` when out of bounds.
+    pub fn get_checked(&self, y: usize, x: usize) -> Option<f32> {
+        if y < self.height() && x < self.width() {
+            Some(self.get(y, x))
+        } else {
+            None
+        }
+    }
+
+    /// Writes the pixel at `(y, x)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when out of bounds.
+    pub fn put(&mut self, y: usize, x: usize, value: f32) {
+        let w = self.width();
+        self.data.as_mut_slice()[y * w + x] = value;
+    }
+
+    /// Immutable view of the underlying tensor.
+    pub fn tensor(&self) -> &Tensor {
+        &self.data
+    }
+
+    /// Consumes the image and returns the underlying tensor.
+    pub fn into_tensor(self) -> Tensor {
+        self.data
+    }
+
+    /// Immutable view of the row-major pixel buffer.
+    pub fn as_slice(&self) -> &[f32] {
+        self.data.as_slice()
+    }
+
+    /// Mutable view of the row-major pixel buffer.
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        self.data.as_mut_slice()
+    }
+
+    /// Applies `f` to every pixel, producing a new image.
+    pub fn map(&self, f: impl Fn(f32) -> f32) -> Image {
+        Image {
+            data: self.data.map(f),
+        }
+    }
+
+    /// Clamps all pixels into `[0, 1]`.
+    pub fn clamp_unit(&self) -> Image {
+        self.map(|v| v.clamp(0.0, 1.0))
+    }
+
+    /// Linearly rescales pixels so min → 0 and max → 1 (constant images
+    /// map to black).
+    pub fn normalize_minmax(&self) -> Image {
+        Image {
+            data: self.data.normalize_minmax(),
+        }
+    }
+
+    /// Mean intensity.
+    pub fn mean(&self) -> f32 {
+        self.data.mean()
+    }
+
+    /// Bilinearly resizes to `out_h × out_w`.
+    ///
+    /// # Errors
+    ///
+    /// Fails when either target dimension is zero.
+    pub fn resize_bilinear(&self, out_h: usize, out_w: usize) -> Result<Image> {
+        Ok(Image {
+            data: resize_bilinear(&self.data, out_h, out_w)?,
+        })
+    }
+}
+
+/// A three-channel colour image stored planar as `[3, height, width]`
+/// (channel order R, G, B), pixels nominally in `[0, 1]`.
+///
+/// The synthetic driving-scene renderer paints `RgbImage`s; the pipeline
+/// converts them to grayscale with [`RgbImage::to_grayscale`] as the paper
+/// does before feeding its autoencoder.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RgbImage {
+    data: Tensor,
+}
+
+/// Index of the red channel plane.
+pub const CH_R: usize = 0;
+/// Index of the green channel plane.
+pub const CH_G: usize = 1;
+/// Index of the blue channel plane.
+pub const CH_B: usize = 2;
+
+impl RgbImage {
+    /// Creates a black colour image.
+    ///
+    /// # Errors
+    ///
+    /// Fails when either dimension is zero.
+    pub fn new(height: usize, width: usize) -> Result<Self> {
+        if height == 0 || width == 0 {
+            return Err(VisionError::invalid(
+                "RgbImage::new",
+                "dimensions must be non-zero",
+            ));
+        }
+        Ok(RgbImage {
+            data: Tensor::zeros([3, height, width]),
+        })
+    }
+
+    /// Creates a colour image filled with a constant colour.
+    ///
+    /// # Errors
+    ///
+    /// Fails when either dimension is zero.
+    pub fn filled(height: usize, width: usize, rgb: [f32; 3]) -> Result<Self> {
+        let mut img = Self::new(height, width)?;
+        for (c, &v) in rgb.iter().enumerate() {
+            let plane = img.plane_mut(c);
+            for p in plane {
+                *p = v;
+            }
+        }
+        Ok(img)
+    }
+
+    /// Image height in pixels.
+    pub fn height(&self) -> usize {
+        self.data.shape().dims()[1]
+    }
+
+    /// Image width in pixels.
+    pub fn width(&self) -> usize {
+        self.data.shape().dims()[2]
+    }
+
+    /// Reads the `(r, g, b)` pixel at `(y, x)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when out of bounds.
+    pub fn get(&self, y: usize, x: usize) -> [f32; 3] {
+        let (h, w) = (self.height(), self.width());
+        let d = self.data.as_slice();
+        [d[y * w + x], d[h * w + y * w + x], d[2 * h * w + y * w + x]]
+    }
+
+    /// Writes the `(r, g, b)` pixel at `(y, x)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when out of bounds.
+    pub fn put(&mut self, y: usize, x: usize, rgb: [f32; 3]) {
+        let (h, w) = (self.height(), self.width());
+        let d = self.data.as_mut_slice();
+        d[y * w + x] = rgb[0];
+        d[h * w + y * w + x] = rgb[1];
+        d[2 * h * w + y * w + x] = rgb[2];
+    }
+
+    /// Immutable view of channel plane `c` (use [`CH_R`]/[`CH_G`]/[`CH_B`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `c >= 3`.
+    pub fn plane(&self, c: usize) -> &[f32] {
+        assert!(c < 3, "channel index {c} out of range");
+        let hw = self.height() * self.width();
+        &self.data.as_slice()[c * hw..(c + 1) * hw]
+    }
+
+    /// Mutable view of channel plane `c`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `c >= 3`.
+    pub fn plane_mut(&mut self, c: usize) -> &mut [f32] {
+        assert!(c < 3, "channel index {c} out of range");
+        let hw = self.height() * self.width();
+        &mut self.data.as_mut_slice()[c * hw..(c + 1) * hw]
+    }
+
+    /// Immutable view of the underlying `[3, H, W]` tensor.
+    pub fn tensor(&self) -> &Tensor {
+        &self.data
+    }
+
+    /// Converts to grayscale with the ITU-R BT.601 luma weights
+    /// (0.299 R + 0.587 G + 0.114 B), as conventional for driving-camera
+    /// preprocessing.
+    pub fn to_grayscale(&self) -> Image {
+        let (h, w) = (self.height(), self.width());
+        let hw = h * w;
+        let d = self.data.as_slice();
+        let mut out = Vec::with_capacity(hw);
+        for i in 0..hw {
+            out.push(0.299 * d[i] + 0.587 * d[hw + i] + 0.114 * d[2 * hw + i]);
+        }
+        Image {
+            data: Tensor::from_vec([h, w], out).expect("length matches by construction"),
+        }
+    }
+
+    /// Clamps all channels into `[0, 1]`.
+    pub fn clamp_unit(&self) -> RgbImage {
+        RgbImage {
+            data: self.data.clamp_values(0.0, 1.0),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_validates_dimensions() {
+        assert!(Image::new(0, 5).is_err());
+        assert!(Image::new(5, 0).is_err());
+        assert!(RgbImage::new(0, 1).is_err());
+        assert!(Image::from_tensor(Tensor::zeros([3])).is_err());
+        assert!(Image::from_tensor(Tensor::zeros([0, 4])).is_err());
+        assert!(Image::from_fn(0, 1, |_, _| 0.0).is_err());
+    }
+
+    #[test]
+    fn pixel_roundtrip() {
+        let mut img = Image::new(4, 6).unwrap();
+        img.put(3, 5, 0.25);
+        assert_eq!(img.get(3, 5), 0.25);
+        assert_eq!(img.get_checked(3, 5), Some(0.25));
+        assert_eq!(img.get_checked(4, 0), None);
+        assert_eq!(img.get_checked(0, 6), None);
+    }
+
+    #[test]
+    fn filled_and_mean() {
+        let img = Image::filled(2, 3, 0.5).unwrap();
+        assert_eq!(img.mean(), 0.5);
+        assert_eq!(img.len(), 6);
+    }
+
+    #[test]
+    fn from_fn_addresses_y_then_x() {
+        let img = Image::from_fn(2, 3, |y, x| (y * 10 + x) as f32).unwrap();
+        assert_eq!(img.get(1, 2), 12.0);
+        assert_eq!(img.as_slice(), &[0., 1., 2., 10., 11., 12.]);
+    }
+
+    #[test]
+    fn clamp_and_normalize() {
+        let img = Image::from_fn(1, 3, |_, x| x as f32 - 1.0).unwrap(); // [-1, 0, 1]
+        assert_eq!(img.clamp_unit().as_slice(), &[0., 0., 1.]);
+        assert_eq!(img.normalize_minmax().as_slice(), &[0., 0.5, 1.]);
+    }
+
+    #[test]
+    fn resize_changes_dimensions() {
+        let img = Image::from_fn(4, 8, |y, x| (y + x) as f32 / 12.0).unwrap();
+        let small = img.resize_bilinear(2, 4).unwrap();
+        assert_eq!((small.height(), small.width()), (2, 4));
+        assert!(small.resize_bilinear(0, 4).is_err());
+    }
+
+    #[test]
+    fn rgb_pixel_roundtrip_and_planes() {
+        let mut img = RgbImage::new(2, 2).unwrap();
+        img.put(1, 0, [0.1, 0.2, 0.3]);
+        assert_eq!(img.get(1, 0), [0.1, 0.2, 0.3]);
+        assert_eq!(img.plane(CH_R)[2], 0.1);
+        assert_eq!(img.plane(CH_G)[2], 0.2);
+        assert_eq!(img.plane(CH_B)[2], 0.3);
+    }
+
+    #[test]
+    fn grayscale_uses_luma_weights() {
+        let mut img = RgbImage::new(1, 3).unwrap();
+        img.put(0, 0, [1.0, 0.0, 0.0]);
+        img.put(0, 1, [0.0, 1.0, 0.0]);
+        img.put(0, 2, [0.0, 0.0, 1.0]);
+        let g = img.to_grayscale();
+        assert!((g.get(0, 0) - 0.299).abs() < 1e-6);
+        assert!((g.get(0, 1) - 0.587).abs() < 1e-6);
+        assert!((g.get(0, 2) - 0.114).abs() < 1e-6);
+    }
+
+    #[test]
+    fn grayscale_of_gray_pixel_is_identity() {
+        let img = RgbImage::filled(3, 3, [0.4, 0.4, 0.4]).unwrap();
+        let g = img.to_grayscale();
+        for &v in g.as_slice() {
+            assert!((v - 0.4).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn rgb_clamp() {
+        let mut img = RgbImage::new(1, 1).unwrap();
+        img.put(0, 0, [-0.5, 0.5, 1.5]);
+        assert_eq!(img.clamp_unit().get(0, 0), [0.0, 0.5, 1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "channel index")]
+    fn plane_bounds_checked() {
+        let img = RgbImage::new(1, 1).unwrap();
+        let _ = img.plane(3);
+    }
+}

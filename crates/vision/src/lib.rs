@@ -1,0 +1,33 @@
+#![warn(missing_docs)]
+
+//! Image representation and processing for the `saliency-novelty` workspace.
+//!
+//! Provides the grayscale [`Image`] and colour [`RgbImage`] containers used
+//! by the synthetic driving-scene renderer (`simdrive`), the saliency
+//! methods (`saliency`), and the novelty pipeline (`novelty`), together
+//! with:
+//!
+//! * resizing ([`Image::resize_bilinear`]) and filtering
+//!   ([`filter::gaussian_blur`]),
+//! * the photometric and geometric perturbations of the paper's
+//!   experiments ([`perturb`]: Gaussian noise for Fig. 3/7, brightness for
+//!   Fig. 3, plus the rotation/translation attacks of reference 6),
+//! * rasterisation primitives used by the renderer ([`draw`]),
+//! * portable any-map I/O for inspecting results ([`io`]: PGM/PPM).
+//!
+//! Pixels are `f32` in `[0, 1]`; the crate never silently clamps except in
+//! operations documented to do so.
+
+mod error;
+mod image;
+
+pub mod draw;
+pub mod filter;
+pub mod io;
+pub mod perturb;
+
+pub use error::VisionError;
+pub use image::{Image, RgbImage, CH_B, CH_G, CH_R};
+
+/// Convenience alias used across the crate.
+pub type Result<T> = std::result::Result<T, VisionError>;

@@ -1,0 +1,84 @@
+//! Perturbation detection — the paper's noise experiment (Fig. 7) plus
+//! the simple spatial attacks of its ref. [6] (rotation / translation)
+//! and sensor occlusion.
+//!
+//! ```text
+//! cargo run --release --example noise_attack
+//! ```
+//!
+//! Trains the paper's detector on clean outdoor frames, then feeds it
+//! perturbed versions of *in-distribution* frames and reports how often
+//! each perturbation is flagged as novel.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use saliency_novelty::prelude::*;
+use vision::perturb;
+
+/// A named image perturbation under test.
+type Perturbation<'a> = (&'a str, Box<dyn FnMut(&Image) -> Image>);
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let dataset = DatasetConfig::outdoor().with_len(140).generate(33);
+    let (train, test) = dataset.split(0.8);
+    println!(
+        "training the paper's detector on {} clean frames…\n",
+        train.len()
+    );
+    let detector = NoveltyDetectorBuilder::paper()
+        .cnn_epochs(3)
+        .ae_epochs(12)
+        .seed(3)
+        .train(&train)?;
+
+    let frames: Vec<Image> = test.frames().iter().map(|f| f.image.clone()).collect();
+    let mut rng = StdRng::seed_from_u64(99);
+
+    let perturbations: Vec<Perturbation> = vec![
+        ("clean (control)", Box::new(|img: &Image| img.clone())),
+        (
+            "gaussian noise σ=0.10",
+            Box::new(move |img: &Image| {
+                perturb::add_gaussian_noise(img, &mut rng, 0.10).expect("valid sigma")
+            }),
+        ),
+        (
+            "brightness +0.10",
+            Box::new(|img: &Image| perturb::adjust_brightness(img, 0.10)),
+        ),
+        (
+            "rotation 10°",
+            Box::new(|img: &Image| perturb::rotate(img, 10.0, 0.5)),
+        ),
+        (
+            "translation 12px right",
+            Box::new(|img: &Image| perturb::translate(img, 0.0, 12.0, 0.5)),
+        ),
+        (
+            "occlusion 20×50 patch",
+            Box::new(|img: &Image| perturb::occlude_rect(img, 30, 50, 20, 50, 0.0)),
+        ),
+    ];
+
+    println!("perturbation              flagged novel    mean SSIM score");
+    println!("---------------------     -------------    ---------------");
+    for (name, mut f) in perturbations {
+        let mut flagged = 0usize;
+        let mut score_sum = 0.0f32;
+        for img in &frames {
+            let verdict = detector.classify(&f(img))?;
+            flagged += verdict.is_novel as usize;
+            score_sum += verdict.score;
+        }
+        println!(
+            "{name:<25} {:>6.1}%          {:>8.3}",
+            flagged as f32 / frames.len() as f32 * 100.0,
+            score_sum / frames.len() as f32
+        );
+    }
+    println!();
+    println!("expected shape (paper + refs [6], [15]): noise is flagged far more often than");
+    println!("brightness (CNNs — and SSIM — are robust to photometric change), and spatial");
+    println!("attacks land between the two.");
+    Ok(())
+}

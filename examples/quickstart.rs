@@ -1,0 +1,70 @@
+//! Quickstart: train the paper's pipeline end-to-end and classify frames.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+//!
+//! Trains on a small synthetic outdoor dataset (stand-in for the Udacity
+//! data), then classifies one in-distribution frame and one frame from a
+//! different driving world, and shows the detector surviving a save/load
+//! round-trip.
+
+use saliency_novelty::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Data: the outdoor world plays the role of the Udacity dataset.
+    println!("generating synthetic driving data…");
+    let dataset = DatasetConfig::outdoor().with_len(200).generate(42);
+
+    // 2. Train the full pipeline: steering CNN → VBP masks → SSIM
+    //    autoencoder → 99th-percentile threshold. (Epoch counts are kept
+    //    small so the example runs in about a minute; the figure binaries
+    //    in `crates/bench` use the paper-scale settings.)
+    println!("training the paper's pipeline (VBP + SSIM autoencoder)…");
+    let detector = NoveltyDetectorBuilder::paper()
+        .cnn_epochs(6)
+        .ae_epochs(40)
+        .seed(7)
+        .train(&dataset)?;
+
+    // 3. Classify an in-distribution frame…
+    let familiar = &dataset.frames()[dataset.len() - 1].image;
+    let verdict = detector.classify(familiar)?;
+    println!(
+        "in-distribution frame: novel = {} (SSIM {:.3}, threshold {:.3})",
+        verdict.is_novel, verdict.score, verdict.threshold
+    );
+
+    // …and frames from a different world (the indoor RC track).
+    let foreign = DatasetConfig::indoor().with_len(8).generate(1);
+    let mut flagged = 0;
+    let mut mean_score = 0.0;
+    for frame in foreign.frames() {
+        let verdict = detector.classify(&frame.image)?;
+        flagged += verdict.is_novel as usize;
+        mean_score += verdict.score / foreign.len() as f32;
+    }
+    println!(
+        "cross-world frames:    {flagged}/{} flagged novel (mean SSIM {mean_score:.3}, threshold {:.3})",
+        foreign.len(),
+        detector.threshold().value()
+    );
+    println!("(at this demo scale separation is partial; the paper-scale run in");
+    println!(" crates/bench/src/bin/fig5_dataset_comparison.rs flags ~100 %)");
+
+    // 4. The steering model is part of the pipeline — use it too.
+    let angle = detector.predict_steering(familiar)?;
+    println!("predicted steering angle for the familiar frame: {angle:+.3}");
+
+    // 5. Freeze the detector for deployment and reload it.
+    let path = std::env::temp_dir().join("saliency_novelty_quickstart_detector.json");
+    novelty::save_detector(&detector, &path)?;
+    let reloaded = novelty::load_detector(&path)?;
+    assert_eq!(
+        reloaded.classify(familiar)?.is_novel,
+        detector.classify(familiar)?.is_novel
+    );
+    println!("detector saved to {} and reloaded intact", path.display());
+    std::fs::remove_file(&path).ok();
+    Ok(())
+}

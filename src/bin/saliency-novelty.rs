@@ -1,0 +1,335 @@
+//! Command-line interface for the saliency-novelty pipeline.
+//!
+//! ```text
+//! saliency-novelty generate --world outdoor --len 20 --out frames/
+//! saliency-novelty train    --world outdoor --len 200 --pipeline vbp+ssim --out detector.json
+//! saliency-novelty classify --detector detector.json --image frames/frame_0003.pgm
+//! saliency-novelty eval     --detector detector.json --novel-world indoor --len 50
+//! saliency-novelty info     --detector detector.json
+//! ```
+//!
+//! Flags are `--key value` pairs; `--help` (or no arguments) prints usage.
+//! The argument parser is deliberately dependency-free.
+
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use novelty::eval::evaluate;
+use novelty::{load_detector, save_detector, NoveltyDetectorBuilder, PipelineKind};
+use simdrive::{DatasetConfig, Weather, World};
+use vision::Image;
+
+const USAGE: &str = "\
+saliency-novelty — novelty detection via network saliency (DSN 2019 reproduction)
+
+USAGE:
+  saliency-novelty <command> [--key value]...
+
+COMMANDS:
+  generate   render a synthetic driving dataset to PGM files
+             --world outdoor|indoor   (default outdoor)
+             --weather clear|fog|rain (default clear)
+             --len N                  (default 20)
+             --seed S                 (default 0)
+             --out DIR                (default frames/)
+  train      train a detector and save it as JSON
+             --world outdoor|indoor   (default outdoor)
+             --pipeline vbp+ssim|vbp+mse|raw+mse (default vbp+ssim)
+             --len N                  (default 200)
+             --seed S                 (default 0)
+             --cnn-epochs N           (default 8)
+             --ae-epochs N            (default 60)
+             --out FILE               (default detector.json)
+  classify   score one PGM image with a saved detector
+             --detector FILE          (required)
+             --image FILE.pgm         (required)
+  eval       compare target vs novel synthetic data under a detector
+             --detector FILE          (required)
+             --target-world outdoor|indoor (default outdoor)
+             --novel-world outdoor|indoor  (default indoor)
+             --len N                  (default 50)
+             --seed S                 (default 1)
+  info       print a saved detector's configuration
+             --detector FILE          (required)
+";
+
+struct Args {
+    flags: HashMap<String, String>,
+}
+
+impl Args {
+    fn parse(raw: &[String]) -> Result<Args, String> {
+        let mut flags = HashMap::new();
+        let mut i = 0;
+        while i < raw.len() {
+            let key = raw[i]
+                .strip_prefix("--")
+                .ok_or_else(|| format!("expected --flag, got {:?}", raw[i]))?;
+            let value = raw
+                .get(i + 1)
+                .ok_or_else(|| format!("flag --{key} is missing its value"))?;
+            flags.insert(key.to_string(), value.clone());
+            i += 2;
+        }
+        Ok(Args { flags })
+    }
+
+    /// Rejects flags this command does not understand — a typo'd flag
+    /// silently falling back to a default is worse than an error.
+    fn reject_unknown(&self, allowed: &[&str]) -> Result<(), String> {
+        for key in self.flags.keys() {
+            if !allowed.contains(&key.as_str()) {
+                return Err(format!(
+                    "unknown flag --{key} (expected one of: {})",
+                    allowed
+                        .iter()
+                        .map(|k| format!("--{k}"))
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    fn get(&self, key: &str, default: &str) -> String {
+        self.flags
+            .get(key)
+            .cloned()
+            .unwrap_or_else(|| default.to_string())
+    }
+
+    fn required(&self, key: &str) -> Result<String, String> {
+        self.flags
+            .get(key)
+            .cloned()
+            .ok_or_else(|| format!("missing required flag --{key}"))
+    }
+
+    fn usize(&self, key: &str, default: usize) -> Result<usize, String> {
+        match self.flags.get(key) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("--{key} must be an integer, got {v:?}")),
+        }
+    }
+
+    fn u64(&self, key: &str, default: u64) -> Result<u64, String> {
+        match self.flags.get(key) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("--{key} must be an integer, got {v:?}")),
+        }
+    }
+}
+
+fn parse_world(s: &str) -> Result<World, String> {
+    match s {
+        "outdoor" => Ok(World::Outdoor),
+        "indoor" => Ok(World::Indoor),
+        other => Err(format!("unknown world {other:?} (outdoor|indoor)")),
+    }
+}
+
+fn parse_weather(s: &str) -> Result<Weather, String> {
+    match s {
+        "clear" => Ok(Weather::Clear),
+        "fog" => Ok(Weather::Fog),
+        "rain" => Ok(Weather::Rain),
+        other => Err(format!("unknown weather {other:?} (clear|fog|rain)")),
+    }
+}
+
+fn parse_pipeline(s: &str) -> Result<PipelineKind, String> {
+    match s {
+        "vbp+ssim" => Ok(PipelineKind::VbpSsim),
+        "vbp+mse" => Ok(PipelineKind::VbpMse),
+        "raw+mse" => Ok(PipelineKind::RawMse),
+        other => Err(format!(
+            "unknown pipeline {other:?} (vbp+ssim|vbp+mse|raw+mse)"
+        )),
+    }
+}
+
+fn cmd_generate(args: &Args) -> Result<(), String> {
+    args.reject_unknown(&["world", "weather", "len", "seed", "out"])?;
+    let world = parse_world(&args.get("world", "outdoor"))?;
+    let weather = parse_weather(&args.get("weather", "clear"))?;
+    let len = args.usize("len", 20)?;
+    let seed = args.u64("seed", 0)?;
+    let out = PathBuf::from(args.get("out", "frames"));
+    std::fs::create_dir_all(&out).map_err(|e| format!("cannot create {}: {e}", out.display()))?;
+
+    let dataset = DatasetConfig::for_world(world)
+        .with_len(len)
+        .with_weather(weather)
+        .generate(seed);
+    let mut index = String::from("frame,angle\n");
+    for (i, frame) in dataset.frames().iter().enumerate() {
+        let name = format!("frame_{i:04}.pgm");
+        vision::io::save_pgm(&frame.image, out.join(&name))
+            .map_err(|e| format!("cannot write {name}: {e}"))?;
+        index.push_str(&format!("{name},{:.6}\n", frame.angle));
+    }
+    std::fs::write(out.join("angles.csv"), index)
+        .map_err(|e| format!("cannot write angles.csv: {e}"))?;
+    println!(
+        "wrote {len} {world} frames ({weather}) and angles.csv to {}",
+        out.display()
+    );
+    Ok(())
+}
+
+fn cmd_train(args: &Args) -> Result<(), String> {
+    args.reject_unknown(&["world", "pipeline", "len", "seed", "cnn-epochs", "ae-epochs", "out"])?;
+    let world = parse_world(&args.get("world", "outdoor"))?;
+    let pipeline = parse_pipeline(&args.get("pipeline", "vbp+ssim"))?;
+    let len = args.usize("len", 200)?;
+    let seed = args.u64("seed", 0)?;
+    let cnn_epochs = args.usize("cnn-epochs", 8)?;
+    let ae_epochs = args.usize("ae-epochs", 60)?;
+    let out = args.get("out", "detector.json");
+
+    println!("generating {len} {world} training frames…");
+    let dataset = DatasetConfig::for_world(world).with_len(len).generate(seed);
+    println!(
+        "training {} pipeline (cnn {cnn_epochs} ep, ae {ae_epochs} ep)…",
+        pipeline.name()
+    );
+    let detector = NoveltyDetectorBuilder::for_kind(pipeline)
+        .cnn_epochs(cnn_epochs)
+        .ae_epochs(ae_epochs)
+        .seed(seed)
+        .train(&dataset)
+        .map_err(|e| format!("training failed: {e}"))?;
+    save_detector(&detector, &out).map_err(|e| format!("cannot save {out}: {e}"))?;
+    println!(
+        "saved detector to {out} (threshold {:.4}, {} training scores)",
+        detector.threshold().value(),
+        detector.training_scores().len()
+    );
+    Ok(())
+}
+
+fn load_image(path: &str) -> Result<Image, String> {
+    vision::io::load_pgm(path).map_err(|e| format!("cannot read {path}: {e}"))
+}
+
+fn cmd_classify(args: &Args) -> Result<(), String> {
+    args.reject_unknown(&["detector", "image"])?;
+    let detector = load_detector(args.required("detector")?)
+        .map_err(|e| format!("cannot load detector: {e}"))?;
+    let image = load_image(&args.required("image")?)?;
+    let verdict = detector
+        .classify(&image)
+        .map_err(|e| format!("classification failed: {e}"))?;
+    println!(
+        "{{\"is_novel\": {}, \"score\": {:.6}, \"threshold\": {:.6}, \"metric\": \"{}\"}}",
+        verdict.is_novel,
+        verdict.score,
+        verdict.threshold,
+        detector.classifier().objective().name()
+    );
+    Ok(())
+}
+
+fn cmd_eval(args: &Args) -> Result<(), String> {
+    args.reject_unknown(&["detector", "target-world", "novel-world", "len", "seed"])?;
+    let detector = load_detector(args.required("detector")?)
+        .map_err(|e| format!("cannot load detector: {e}"))?;
+    let target_world = parse_world(&args.get("target-world", "outdoor"))?;
+    let novel_world = parse_world(&args.get("novel-world", "indoor"))?;
+    let len = args.usize("len", 50)?;
+    let seed = args.u64("seed", 1)?;
+    let images = |world: World, seed: u64| -> Vec<Image> {
+        DatasetConfig::for_world(world)
+            .with_len(len)
+            .generate(seed)
+            .frames()
+            .iter()
+            .map(|f| f.image.clone())
+            .collect()
+    };
+    let report = evaluate(
+        &detector,
+        &images(target_world, seed),
+        &images(novel_world, seed + 1),
+    )
+    .map_err(|e| format!("evaluation failed: {e}"))?;
+    println!("{report}");
+    Ok(())
+}
+
+fn cmd_info(args: &Args) -> Result<(), String> {
+    args.reject_unknown(&["detector"])?;
+    let detector = load_detector(args.required("detector")?)
+        .map_err(|e| format!("cannot load detector: {e}"))?;
+    println!("preprocessing: {}", detector.preprocessing().name());
+    println!(
+        "objective:     {}",
+        detector.classifier().objective().name()
+    );
+    println!(
+        "input size:    {}x{}",
+        detector.classifier().height(),
+        detector.classifier().width()
+    );
+    println!(
+        "threshold:     {:.4} ({:?})",
+        detector.threshold().value(),
+        detector.threshold().direction()
+    );
+    println!(
+        "training set:  {} calibration scores",
+        detector.training_scores().len()
+    );
+    if let Some(cnn) = detector.steering_network() {
+        println!(
+            "steering CNN:  {} layers, {} parameters",
+            cnn.layer_count(),
+            cnn.param_count()
+        );
+    } else {
+        println!("steering CNN:  none (raw pipeline)");
+    }
+    println!(
+        "autoencoder:   {} layers, {} parameters",
+        detector.classifier().network().layer_count(),
+        detector.classifier().network().param_count()
+    );
+    Ok(())
+}
+
+fn run() -> Result<(), String> {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = argv.first() else {
+        print!("{USAGE}");
+        return Ok(());
+    };
+    if command == "--help" || command == "help" {
+        print!("{USAGE}");
+        return Ok(());
+    }
+    let args = Args::parse(&argv[1..])?;
+    match command.as_str() {
+        "generate" => cmd_generate(&args),
+        "train" => cmd_train(&args),
+        "classify" => cmd_classify(&args),
+        "eval" => cmd_eval(&args),
+        "info" => cmd_info(&args),
+        other => Err(format!("unknown command {other:?}\n\n{USAGE}")),
+    }
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

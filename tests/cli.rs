@@ -1,0 +1,183 @@
+//! End-to-end tests of the `saliency-novelty` CLI binary: generate →
+//! train → info/classify/eval against real subprocess invocations.
+
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+
+fn bin() -> &'static str {
+    env!("CARGO_BIN_EXE_saliency-novelty")
+}
+
+fn run(args: &[&str]) -> Output {
+    Command::new(bin())
+        .args(args)
+        .output()
+        .expect("binary launches")
+}
+
+fn stdout(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+fn stderr(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stderr).into_owned()
+}
+
+fn temp_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("saliency_novelty_cli_{name}"));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// Trains a tiny detector once; several tests reuse the file.
+fn trained_detector_path() -> &'static Path {
+    use std::sync::OnceLock;
+    static PATH: OnceLock<PathBuf> = OnceLock::new();
+    PATH.get_or_init(|| {
+        let dir = temp_dir("train");
+        let detector = dir.join("detector.json");
+        let out = run(&[
+            "train",
+            "--world",
+            "outdoor",
+            "--len",
+            "30",
+            "--seed",
+            "3",
+            "--cnn-epochs",
+            "1",
+            "--ae-epochs",
+            "3",
+            "--out",
+            detector.to_str().unwrap(),
+        ]);
+        assert!(
+            out.status.success(),
+            "train failed: {}\n{}",
+            stdout(&out),
+            stderr(&out)
+        );
+        detector
+    })
+}
+
+#[test]
+fn help_is_printed_without_arguments() {
+    let out = run(&[]);
+    assert!(out.status.success());
+    assert!(stdout(&out).contains("USAGE"));
+    let out = run(&["--help"]);
+    assert!(stdout(&out).contains("COMMANDS"));
+}
+
+#[test]
+fn unknown_command_fails_with_usage() {
+    let out = run(&["frobnicate"]);
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("unknown command"));
+}
+
+#[test]
+fn generate_writes_frames_and_index() {
+    let dir = temp_dir("generate");
+    let out = run(&[
+        "generate",
+        "--world",
+        "indoor",
+        "--len",
+        "4",
+        "--seed",
+        "9",
+        "--out",
+        dir.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    for i in 0..4 {
+        assert!(dir.join(format!("frame_{i:04}.pgm")).exists());
+    }
+    let csv = std::fs::read_to_string(dir.join("angles.csv")).unwrap();
+    assert!(csv.starts_with("frame,angle"));
+    assert_eq!(csv.lines().count(), 5);
+    // Frames are readable images of the paper's geometry.
+    let img = vision::io::load_pgm(dir.join("frame_0000.pgm")).unwrap();
+    assert_eq!((img.height(), img.width()), (60, 160));
+}
+
+#[test]
+fn generate_rejects_bad_flags() {
+    let out = run(&["generate", "--world", "mars"]);
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("unknown world"));
+    let out = run(&["generate", "--len", "many"]);
+    assert!(!out.status.success());
+    let out = run(&["generate", "--len"]);
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("missing its value"));
+}
+
+#[test]
+fn train_then_info_and_classify_roundtrip() {
+    let detector = trained_detector_path();
+    let out = run(&["info", "--detector", detector.to_str().unwrap()]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("preprocessing: vbp"));
+    assert!(text.contains("objective:     ssim"));
+    assert!(text.contains("steering CNN"));
+
+    // Classify a freshly generated frame.
+    let dir = temp_dir("classify");
+    let gen = run(&[
+        "generate",
+        "--world",
+        "outdoor",
+        "--len",
+        "1",
+        "--seed",
+        "77",
+        "--out",
+        dir.to_str().unwrap(),
+    ]);
+    assert!(gen.status.success());
+    let out = run(&[
+        "classify",
+        "--detector",
+        detector.to_str().unwrap(),
+        "--image",
+        dir.join("frame_0000.pgm").to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let json = stdout(&out);
+    assert!(json.contains("\"is_novel\""), "{json}");
+    assert!(json.contains("\"metric\": \"ssim\""), "{json}");
+}
+
+#[test]
+fn eval_prints_separation_report() {
+    let detector = trained_detector_path();
+    let out = run(&[
+        "eval",
+        "--detector",
+        detector.to_str().unwrap(),
+        "--len",
+        "6",
+    ]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    assert!(stdout(&out).contains("AUROC"));
+}
+
+#[test]
+fn classify_requires_its_flags() {
+    let out = run(&["classify"]);
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("--detector"));
+    let out = run(&[
+        "classify",
+        "--detector",
+        "/nonexistent.json",
+        "--image",
+        "x.pgm",
+    ]);
+    assert!(!out.status.success());
+}

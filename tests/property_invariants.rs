@@ -1,0 +1,111 @@
+//! Cross-crate property tests: invariants that must hold for *any* seed,
+//! not just the ones the experiments use. These run without training
+//! (random-weight networks are enough for structural invariants), so the
+//! whole file stays fast.
+
+use metrics::{ssim, SsimConfig};
+use neural::models::{pilotnet, PilotNetConfig};
+use novelty::{Calibrator, Direction};
+use proptest::prelude::*;
+use saliency::visual_backprop;
+use saliency_novelty::prelude::*;
+use simdrive::SceneParams;
+
+fn small_pilotnet_config() -> PilotNetConfig {
+    PilotNetConfig {
+        height: 40,
+        width: 80,
+        conv_channels: [4, 6, 8, 8, 8],
+        dense_widths: vec![16],
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// VBP masks are always input-sized, unit-range and finite, whatever
+    /// the network init or scene.
+    #[test]
+    fn vbp_mask_structural_invariants(net_seed in 0u64..500, scene_seed in 0u64..500) {
+        let net = pilotnet(&small_pilotnet_config(), net_seed).unwrap();
+        let frame = DatasetConfig::outdoor()
+            .with_len(1)
+            .with_size(40, 80)
+            .with_supersample(1)
+            .generate(scene_seed);
+        let img = &frame.frames()[0].image;
+        let mask = visual_backprop(&net, img).unwrap();
+        prop_assert_eq!((mask.height(), mask.width()), (40, 80));
+        prop_assert!(mask.tensor().min_value() >= 0.0);
+        prop_assert!(mask.tensor().max_value() <= 1.0);
+        prop_assert!(!mask.tensor().has_non_finite());
+    }
+
+    /// SSIM is symmetric and bounded for arbitrary rendered frame pairs.
+    #[test]
+    fn ssim_symmetry_and_bounds_on_rendered_frames(seed_a in 0u64..300, seed_b in 0u64..300) {
+        let make = |seed| {
+            DatasetConfig::indoor()
+                .with_len(1)
+                .with_size(32, 48)
+                .with_supersample(1)
+                .generate(seed)
+                .frames()[0]
+                .image
+                .clone()
+        };
+        let (a, b) = (make(seed_a), make(seed_b));
+        let cfg = SsimConfig::with_window(7);
+        let ab = ssim(&a, &b, &cfg).unwrap();
+        let ba = ssim(&b, &a, &cfg).unwrap();
+        prop_assert!((ab - ba).abs() < 1e-6);
+        prop_assert!((-1.0 - 1e-5..=1.0 + 1e-5).contains(&ab));
+    }
+
+    /// The calibrated threshold flags at most (100 − p)% of its own
+    /// calibration sample, in both directions.
+    #[test]
+    fn threshold_respects_its_percentile_budget(
+        scores in proptest::collection::vec(0.0f32..1.0, 20..200),
+        percentile in 80.0f32..100.0,
+    ) {
+        for direction in [Direction::HigherIsNovel, Direction::LowerIsNovel] {
+            let threshold = Calibrator::new(percentile)
+                .unwrap()
+                .calibrate(&scores, direction)
+                .unwrap();
+            let flagged = scores.iter().filter(|&&s| threshold.is_novel(s)).count();
+            let budget = ((100.0 - percentile) / 100.0 * scores.len() as f32).ceil() as usize;
+            prop_assert!(
+                flagged <= budget,
+                "{direction:?}: {flagged} flagged > budget {budget} (p = {percentile})"
+            );
+        }
+    }
+
+    /// Steering labels are a pure function of geometry: re-deriving the
+    /// angle from the stored scene always matches the stored label.
+    #[test]
+    fn steering_labels_are_reconstructible(seed in 0u64..1000) {
+        let ds = DatasetConfig::outdoor()
+            .with_len(3)
+            .with_size(24, 64)
+            .with_supersample(1)
+            .generate(seed);
+        for frame in ds.frames() {
+            prop_assert_eq!(frame.angle, simdrive::steering_angle(&frame.scene));
+        }
+    }
+
+    /// Rendering is a pure function of the scene: identical scenes render
+    /// identically regardless of surrounding state.
+    #[test]
+    fn rendering_is_pure(seed in 0u64..500) {
+        let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(seed);
+        let scene = SceneParams::sample(World::Outdoor, &mut rng);
+        let a = simdrive::render_frame(&scene, 24, 64, 1, 1.0);
+        let b = simdrive::render_frame(&scene, 24, 64, 1, 1.0);
+        prop_assert_eq!(a.gray, b.gray);
+        prop_assert_eq!(a.lane_mask, b.lane_mask);
+    }
+}
