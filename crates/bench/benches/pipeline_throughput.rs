@@ -8,7 +8,8 @@
 //! The detector is trained very briefly — latency does not depend on
 //! weight quality.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use ndtensor::{set_thread_config, ThreadConfig};
 use novelty::{ClassifierConfig, NoveltyDetectorBuilder, ReconstructionObjective};
 use simdrive::DatasetConfig;
 use std::hint::black_box;
@@ -50,5 +51,53 @@ fn pipeline_throughput(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, pipeline_throughput);
+/// Batch scoring under pinned thread counts: the headline number for the
+/// parallel execution layer. `score_batch` fans 64 frames out over the
+/// pool; outputs are bit-identical across thread counts, so the only
+/// difference is wall time.
+fn batch_scoring_thread_scaling(c: &mut Criterion) {
+    let data = DatasetConfig::outdoor().with_len(64).generate(2);
+    let paper = NoveltyDetectorBuilder::paper()
+        .cnn_epochs(1)
+        .classifier_config(ClassifierConfig {
+            epochs: 1,
+            warmup_epochs: 0,
+            objective: ReconstructionObjective::paper_ssim(),
+            ..ClassifierConfig::paper()
+        })
+        .seed(2)
+        .train(&data)
+        .expect("training succeeds");
+    let batch: Vec<_> = data.frames().iter().map(|f| f.image.clone()).collect();
+
+    let mut group = c.benchmark_group("score_batch_64x60x160");
+    group.sample_size(5).throughput(Throughput::Elements(64));
+    for threads in [1usize, 2, 4] {
+        set_thread_config(ThreadConfig::new(threads));
+        group.bench_function(&format!("score_vbp_ssim_t{threads}"), |b| {
+            b.iter(|| paper.score_batch(black_box(&batch)).unwrap())
+        });
+    }
+    group.finish();
+
+    // Direct speedup read-out (mean of 3 runs each), for the acceptance
+    // criterion "≥2× at 4 threads vs 1 on a 64-image batch".
+    let time_with = |threads: usize| {
+        set_thread_config(ThreadConfig::new(threads));
+        let start = std::time::Instant::now();
+        for _ in 0..3 {
+            black_box(paper.score_batch(black_box(&batch)).unwrap());
+        }
+        start.elapsed() / 3
+    };
+    let t1 = time_with(1);
+    let t4 = time_with(4);
+    println!(
+        "score_batch 64 frames: threads=1 {t1:?}  threads=4 {t4:?}  speedup {:.2}x",
+        t1.as_secs_f64() / t4.as_secs_f64()
+    );
+    set_thread_config(ThreadConfig::from_env());
+}
+
+criterion_group!(benches, pipeline_throughput, batch_scoring_thread_scaling);
 criterion_main!(benches);

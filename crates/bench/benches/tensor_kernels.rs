@@ -3,7 +3,7 @@
 //! PilotNet conv layers).
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use ndtensor::{conv2d, matmul, Conv2dSpec, Tensor};
+use ndtensor::{conv2d, matmul, set_thread_config, Conv2dSpec, Tensor, ThreadConfig};
 use std::hint::black_box;
 
 fn pseudo(shape: impl Into<ndtensor::Shape>, seed: u64) -> Tensor {
@@ -51,5 +51,32 @@ fn tensor_kernels(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, tensor_kernels);
+/// The same kernels under pinned thread counts, to expose the scaling of
+/// the parallel execution layer (results are bit-identical by design; only
+/// the timing differs).
+fn tensor_kernels_thread_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tensor_kernels_threads");
+
+    let a = pseudo([256, 256], 3);
+    let bm = pseudo([256, 256], 4);
+    // Batched first-layer conv: 64 frames of 60×160.
+    let batch = pseudo([64, 1, 60, 160], 9);
+    let kernel = pseudo([8, 1, 5, 5], 6);
+    let spec = Conv2dSpec::new((2, 2), (0, 0));
+
+    for threads in [1usize, 2, 4] {
+        set_thread_config(ThreadConfig::new(threads));
+        group.bench_function(&format!("gemm_256^3_t{threads}"), |b| {
+            b.iter(|| matmul(black_box(&a), black_box(&bm)).unwrap())
+        });
+        group.bench_function(&format!("conv5x5s2_60x160_batch64_t{threads}"), |b| {
+            b.iter(|| conv2d(black_box(&batch), black_box(&kernel), None, spec).unwrap())
+        });
+    }
+    set_thread_config(ThreadConfig::from_env());
+
+    group.finish();
+}
+
+criterion_group!(benches, tensor_kernels, tensor_kernels_thread_scaling);
 criterion_main!(benches);

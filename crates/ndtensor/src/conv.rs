@@ -1,10 +1,13 @@
 //! 2-D convolution (NCHW) via im2col, with full backward pass.
 //!
 //! The forward pass lowers each sample to a column matrix and multiplies it
-//! against the flattened kernel bank, which routes nearly all arithmetic
-//! through the multi-threaded GEMM in [`crate::matmul`]. The backward pass
-//! produces gradients with respect to the input, the weights and the bias.
+//! against the flattened kernel bank. Both passes parallelise over the
+//! batch dimension through [`crate::par`]: each worker owns a disjoint
+//! sample range (the inner GEMMs then stay on that worker), and the
+//! weight/bias gradient reduction is performed by the caller in sample
+//! order, so results are bit-identical for any thread count.
 
+use crate::par::{try_for_each_block, try_parallel_map};
 use crate::{matmul, matmul_a_bt, matmul_at_b, Result, Tensor, TensorError};
 
 /// Stride and zero-padding configuration for a 2-D convolution.
@@ -294,27 +297,31 @@ pub fn conv2d(
     let mut out = vec![0.0f32; n * f * oh * ow];
     let sample_len = c * h * w;
     let out_len = f * oh * ow;
-    for ni in 0..n {
-        let cols = im2col(
-            &input.as_slice()[ni * sample_len..(ni + 1) * sample_len],
-            c,
-            h,
-            w,
-            kh,
-            kw,
-            spec,
-        )?;
-        let prod = matmul(&w2, &cols)?;
-        let dst = &mut out[ni * out_len..(ni + 1) * out_len];
-        dst.copy_from_slice(prod.as_slice());
-        if let Some(b) = bias {
-            for (fi, &bv) in b.as_slice().iter().enumerate() {
-                for v in &mut dst[fi * oh * ow..(fi + 1) * oh * ow] {
-                    *v += bv;
+    let work = n * out_len * (c * kh * kw);
+    try_for_each_block(&mut out, out_len, work, |n0, chunk| {
+        for (local, dst) in chunk.chunks_mut(out_len).enumerate() {
+            let ni = n0 + local;
+            let cols = im2col(
+                &input.as_slice()[ni * sample_len..(ni + 1) * sample_len],
+                c,
+                h,
+                w,
+                kh,
+                kw,
+                spec,
+            )?;
+            let prod = matmul(&w2, &cols)?;
+            dst.copy_from_slice(prod.as_slice());
+            if let Some(b) = bias {
+                for (fi, &bv) in b.as_slice().iter().enumerate() {
+                    for v in &mut dst[fi * oh * ow..(fi + 1) * oh * ow] {
+                        *v += bv;
+                    }
                 }
             }
         }
-    }
+        Ok(())
+    })?;
     Tensor::from_vec([n, f, oh, ow], out)
 }
 
@@ -370,7 +377,11 @@ pub fn conv2d_backward(
     let mut grad_weight = Tensor::zeros([f, c * kh * kw]);
     let mut grad_bias = vec![0.0f32; f];
 
-    for ni in 0..n {
+    // Per-sample contributions are computed in parallel; the dW/dB
+    // reduction below then accumulates them in sample order, which is the
+    // exact floating-point summation sequence of the serial pass.
+    let work = 2 * n * out_len * (c * kh * kw);
+    let per_sample = try_parallel_map(n, work, |ni| -> Result<(Tensor, Vec<f32>, Vec<f32>)> {
         let cols = im2col(
             &input.as_slice()[ni * sample_len..(ni + 1) * sample_len],
             c,
@@ -384,17 +395,26 @@ pub fn conv2d_backward(
             [f, oh * ow],
             grad_output.as_slice()[ni * out_len..(ni + 1) * out_len].to_vec(),
         )?;
-        // dW += gOut · colsᵀ
+        // dW contribution: gOut · colsᵀ
         let dw = matmul_a_bt(&gout, &cols)?;
-        grad_weight.axpy(1.0, &dw)?;
         // dCols = Wᵀ · gOut, then scatter back to the input.
         let dcols = matmul_at_b(&w2, &gout)?;
         let dsample = col2im(&dcols, c, h, w, kh, kw, spec)?;
+        // dB contribution: row sums of gOut.
+        let db = (0..f)
+            .map(|fi| {
+                gout.as_slice()[fi * oh * ow..(fi + 1) * oh * ow]
+                    .iter()
+                    .sum()
+            })
+            .collect();
+        Ok((dw, dsample, db))
+    })?;
+    for (ni, (dw, dsample, db)) in per_sample.into_iter().enumerate() {
+        grad_weight.axpy(1.0, &dw)?;
         grad_input[ni * sample_len..(ni + 1) * sample_len].copy_from_slice(&dsample);
-        // dB += row sums of gOut.
-        for (fi, gb) in grad_bias.iter_mut().enumerate() {
-            let row = &gout.as_slice()[fi * oh * ow..(fi + 1) * oh * ow];
-            *gb += row.iter().sum::<f32>();
+        for (gb, d) in grad_bias.iter_mut().zip(db) {
+            *gb += d;
         }
     }
 
@@ -642,6 +662,50 @@ mod tests {
             let back = col2im(&cols, 1, h, w, 2, 2, spec).unwrap();
             for v in back {
                 prop_assert!(v >= 1.0);
+            }
+        }
+
+        #[test]
+        fn im2col_col2im_adjoint_under_varying_geometry(
+            (c, h, w) in (1usize..3, 4usize..9, 4usize..9),
+            (kh, kw, sh, sw) in (1usize..4, 1usize..4, 1usize..3, 1usize..3),
+            (ph, pw) in (0usize..2, 0usize..2),
+            seed in 0u64..500
+        ) {
+            // <im2col(x), y> == <x, col2im(y)> for arbitrary strides and
+            // padding, not just the fixed geometry of the unit test above.
+            prop_assume!(h + 2 * ph >= kh && w + 2 * pw >= kw);
+            let spec = Conv2dSpec::new((sh, sw), (ph, pw));
+            let x = pseudo([c * h * w], seed).into_vec();
+            let cx = im2col(&x, c, h, w, kh, kw, spec).unwrap();
+            let y = pseudo(cx.shape().dims().to_vec(), seed + 1);
+            let lhs = cx.dot(&y).unwrap();
+            let back = col2im(&y, c, h, w, kh, kw, spec).unwrap();
+            let rhs: f32 = x.iter().zip(&back).map(|(a, b)| a * b).sum();
+            prop_assert!(
+                (lhs - rhs).abs() < 1e-2 * (1.0 + lhs.abs()),
+                "adjoint mismatch: {lhs} vs {rhs}"
+            );
+        }
+
+        #[test]
+        fn im2col_roundtrip_tap_counts_under_stride_and_padding(
+            (h, w) in (3usize..8, 3usize..8),
+            (kh, kw, sh, sw) in (1usize..4, 1usize..4, 1usize..3, 1usize..3),
+            (ph, pw) in (0usize..2, 0usize..2)
+        ) {
+            // On an all-ones input, col2im(im2col(·)) yields per-pixel
+            // window-coverage counts: integers bounded by the densest
+            // possible overlap ⌈kh/sh⌉·⌈kw/sw⌉.
+            prop_assume!(h + 2 * ph >= kh && w + 2 * pw >= kw);
+            let spec = Conv2dSpec::new((sh, sw), (ph, pw));
+            let x = vec![1.0f32; h * w];
+            let cols = im2col(&x, 1, h, w, kh, kw, spec).unwrap();
+            let back = col2im(&cols, 1, h, w, kh, kw, spec).unwrap();
+            let max_cover = (kh.div_ceil(sh) * kw.div_ceil(sw)) as f32;
+            for v in back {
+                prop_assert!(v >= 0.0 && v <= max_cover && v.fract() == 0.0,
+                    "coverage count {v} outside [0, {max_cover}]");
             }
         }
     }

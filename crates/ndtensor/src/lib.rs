@@ -34,6 +34,7 @@ mod error;
 mod init;
 mod matmul;
 mod ops;
+pub mod par;
 mod resample;
 mod shape;
 mod tensor;
@@ -42,6 +43,7 @@ pub use conv::{col2im, conv2d, conv2d_backward, im2col, Conv2dGrads, Conv2dSpec}
 pub use error::TensorError;
 pub use init::{fill_he_normal, fill_normal, fill_uniform, fill_xavier_uniform};
 pub use matmul::{matmul, matmul_a_bt, matmul_at_b};
+pub use par::{set_thread_config, thread_config, with_serial, ThreadConfig};
 pub use resample::{resize_bilinear, resize_nearest, upsample_sum};
 pub use shape::Shape;
 pub use tensor::Tensor;

@@ -7,14 +7,14 @@
 //! * [`matmul_at_b`] — `C = Aᵀ·B`
 //! * [`matmul_a_bt`] — `C = A·Bᵀ`
 //!
-//! All kernels parallelise over output rows with `std::thread::scope` once
-//! the arithmetic volume crosses a threshold, so small problems stay on one
-//! thread and avoid spawn overhead.
+//! All kernels parallelise over output rows through [`crate::par`] once the
+//! arithmetic volume crosses [`crate::par::PARALLEL_THRESHOLD`], so small
+//! problems stay on one thread and avoid spawn overhead. Row partitioning
+//! never changes the per-element summation order, so results are
+//! bit-identical for any thread count.
 
+use crate::par::for_each_block;
 use crate::{Result, Tensor, TensorError};
-
-/// Minimum number of multiply-adds before threads are spawned.
-const PARALLEL_THRESHOLD: usize = 1 << 18;
 
 fn dims2(t: &Tensor, op: &'static str) -> Result<(usize, usize)> {
     if t.rank() != 2 {
@@ -25,49 +25,6 @@ fn dims2(t: &Tensor, op: &'static str) -> Result<(usize, usize)> {
         });
     }
     Ok((t.shape().dims()[0], t.shape().dims()[1]))
-}
-
-fn available_threads() -> usize {
-    std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
-}
-
-/// Runs `body(first_row, rows_chunk)` over disjoint row blocks of `out`,
-/// in parallel when the total work justifies it.
-fn for_each_row_block(
-    out: &mut [f32],
-    rows: usize,
-    cols: usize,
-    work: usize,
-    body: impl Fn(usize, &mut [f32]) + Sync,
-) {
-    if rows == 0 || cols == 0 {
-        return;
-    }
-    let threads = if work >= PARALLEL_THRESHOLD {
-        available_threads().min(rows)
-    } else {
-        1
-    };
-    if threads <= 1 {
-        body(0, out);
-        return;
-    }
-    let rows_per = rows.div_ceil(threads);
-    std::thread::scope(|scope| {
-        let mut rest = out;
-        let mut row = 0usize;
-        while !rest.is_empty() {
-            let take = (rows_per * cols).min(rest.len());
-            let (chunk, tail) = rest.split_at_mut(take);
-            let start = row;
-            let body = &body;
-            scope.spawn(move || body(start, chunk));
-            row += take / cols;
-            rest = tail;
-        }
-    });
 }
 
 /// Computes `C = A·B` for `A: [m, k]` and `B: [k, n]`.
@@ -100,7 +57,7 @@ pub fn matmul(a: &Tensor, b: &Tensor) -> Result<Tensor> {
     }
     let mut out = vec![0.0f32; m * n];
     let (ad, bd) = (a.as_slice(), b.as_slice());
-    for_each_row_block(&mut out, m, n, m * n * k, |row0, chunk| {
+    for_each_block(&mut out, n, m * n * k, |row0, chunk| {
         for (local_i, orow) in chunk.chunks_mut(n).enumerate() {
             let i = row0 + local_i;
             let arow = &ad[i * k..(i + 1) * k];
@@ -136,7 +93,7 @@ pub fn matmul_at_b(a: &Tensor, b: &Tensor) -> Result<Tensor> {
     }
     let mut out = vec![0.0f32; m * n];
     let (ad, bd) = (a.as_slice(), b.as_slice());
-    for_each_row_block(&mut out, m, n, m * n * k, |row0, chunk| {
+    for_each_block(&mut out, n, m * n * k, |row0, chunk| {
         for (local_i, orow) in chunk.chunks_mut(n).enumerate() {
             let i = row0 + local_i;
             for l in 0..k {
@@ -172,7 +129,7 @@ pub fn matmul_a_bt(a: &Tensor, b: &Tensor) -> Result<Tensor> {
     }
     let mut out = vec![0.0f32; m * n];
     let (ad, bd) = (a.as_slice(), b.as_slice());
-    for_each_row_block(&mut out, m, n, m * n * k, |row0, chunk| {
+    for_each_block(&mut out, n, m * n * k, |row0, chunk| {
         for (local_i, orow) in chunk.chunks_mut(n).enumerate() {
             let i = row0 + local_i;
             let arow = &ad[i * k..(i + 1) * k];
@@ -291,6 +248,21 @@ mod tests {
             let a = pseudo([m, k], seed);
             let b = pseudo([k, n], seed + 1);
             assert_close(&matmul(&a, &b).unwrap(), &naive(&a, &b), 1e-4);
+        }
+
+        #[test]
+        fn transposed_variants_match_naive_reference(
+            m in 1usize..12, k in 1usize..12, n in 1usize..12, seed in 0u64..1_000
+        ) {
+            let a = pseudo([k, m], seed);
+            let b = pseudo([k, n], seed + 1);
+            let expect = naive(&a.transpose2d().unwrap(), &b);
+            assert_close(&matmul_at_b(&a, &b).unwrap(), &expect, 1e-4);
+
+            let a2 = pseudo([m, k], seed + 2);
+            let b2 = pseudo([n, k], seed + 3);
+            let expect2 = naive(&a2, &b2.transpose2d().unwrap());
+            assert_close(&matmul_a_bt(&a2, &b2).unwrap(), &expect2, 1e-4);
         }
 
         #[test]

@@ -1,0 +1,372 @@
+//! Scoped-thread work pool for data-parallel kernels.
+//!
+//! Every parallel kernel in the workspace funnels through this module, so
+//! one knob controls them all: the pool size defaults to the machine's
+//! available parallelism and can be overridden with the
+//! `SALIENCY_THREADS` environment variable or programmatically via
+//! [`set_thread_config`].
+//!
+//! # Determinism
+//!
+//! Parallelism here never changes *what* is computed, only *which thread*
+//! computes it. Work is split into contiguous index ranges, each worker
+//! writes a disjoint output region, and reductions (when a caller needs
+//! one) are performed by the caller in index order. As a result every
+//! kernel produces bit-identical output for any thread count, including 1
+//! — the serial-parity test suite (`tests/parallel_parity.rs`) enforces
+//! this from GEMM all the way up to novelty scores.
+//!
+//! # Nesting
+//!
+//! Worker closures run with a thread-local "serial" flag set, so a
+//! parallel kernel called from inside another parallel kernel (e.g. GEMM
+//! inside a batch-parallel convolution) stays on its worker thread
+//! instead of over-subscribing the machine. [`with_serial`] exposes the
+//! same mechanism to callers.
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Minimum number of scalar operations before threads are spawned; below
+/// this, spawn overhead dominates any speedup.
+pub const PARALLEL_THRESHOLD: usize = 1 << 18;
+
+/// Size of the work pool used by parallel kernels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ThreadConfig {
+    threads: usize,
+}
+
+impl ThreadConfig {
+    /// A pool of `threads` workers. Zero is clamped to one.
+    pub fn new(threads: usize) -> Self {
+        ThreadConfig {
+            threads: threads.max(1),
+        }
+    }
+
+    /// Single-threaded execution: kernels run entirely on the calling
+    /// thread and spawn nothing.
+    pub fn serial() -> Self {
+        ThreadConfig { threads: 1 }
+    }
+
+    /// One worker per available hardware thread.
+    pub fn available() -> Self {
+        ThreadConfig {
+            threads: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+        }
+    }
+
+    /// Reads `SALIENCY_THREADS`. Unset means [`ThreadConfig::available`];
+    /// a zero or unparsable value falls back to the same default with a
+    /// warning on stderr (never a panic).
+    pub fn from_env() -> Self {
+        match std::env::var("SALIENCY_THREADS") {
+            Err(_) => Self::available(),
+            Ok(raw) => match raw.trim().parse::<usize>() {
+                Ok(n) if n >= 1 => ThreadConfig { threads: n },
+                _ => {
+                    eprintln!(
+                        "warning: ignoring invalid SALIENCY_THREADS={raw:?} \
+                         (expected a positive integer); using {} threads",
+                        Self::available().threads
+                    );
+                    Self::available()
+                }
+            },
+        }
+    }
+
+    /// The worker count (always ≥ 1).
+    pub fn threads(self) -> usize {
+        self.threads
+    }
+}
+
+impl Default for ThreadConfig {
+    fn default() -> Self {
+        Self::from_env()
+    }
+}
+
+/// The process-wide pool size; 0 = not yet resolved from the environment.
+static GLOBAL_THREADS: AtomicUsize = AtomicUsize::new(0);
+
+/// Replaces the process-wide thread configuration.
+pub fn set_thread_config(config: ThreadConfig) {
+    GLOBAL_THREADS.store(config.threads, Ordering::Relaxed);
+}
+
+/// The process-wide thread configuration, resolving `SALIENCY_THREADS`
+/// on first use.
+pub fn thread_config() -> ThreadConfig {
+    let cached = GLOBAL_THREADS.load(Ordering::Relaxed);
+    if cached != 0 {
+        return ThreadConfig { threads: cached };
+    }
+    let resolved = ThreadConfig::from_env();
+    GLOBAL_THREADS.store(resolved.threads, Ordering::Relaxed);
+    resolved
+}
+
+thread_local! {
+    static FORCE_SERIAL: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Restores the thread-local serial flag even on unwind.
+struct SerialGuard {
+    prev: bool,
+}
+
+impl SerialGuard {
+    fn engage() -> Self {
+        let prev = FORCE_SERIAL.with(|s| s.replace(true));
+        SerialGuard { prev }
+    }
+}
+
+impl Drop for SerialGuard {
+    fn drop(&mut self) {
+        let prev = self.prev;
+        FORCE_SERIAL.with(|s| s.set(prev));
+    }
+}
+
+/// Runs `f` with all parallel kernels forced onto the calling thread.
+pub fn with_serial<R>(f: impl FnOnce() -> R) -> R {
+    let _guard = SerialGuard::engage();
+    f()
+}
+
+/// Worker count for a job of `items` independent pieces totalling `work`
+/// scalar operations: 1 when the job is too small, nested inside another
+/// parallel kernel, or the pool is configured serial.
+fn effective_threads(items: usize, work: usize) -> usize {
+    if items <= 1 || work < PARALLEL_THRESHOLD || FORCE_SERIAL.with(|s| s.get()) {
+        return 1;
+    }
+    thread_config().threads().min(items)
+}
+
+/// Runs `body(first_block, blocks)` over disjoint ranges of `out`, where
+/// `out` is a sequence of `block_len`-sized blocks. `work` is the job's
+/// total scalar-operation estimate, used to decide whether spawning pays.
+///
+/// Each invocation receives the index of its first block and a mutable
+/// slice of whole blocks; together the invocations cover `out` exactly
+/// once, in order. With one thread the single call `body(0, out)` runs on
+/// the caller.
+pub fn for_each_block(
+    out: &mut [f32],
+    block_len: usize,
+    work: usize,
+    body: impl Fn(usize, &mut [f32]) + Sync,
+) {
+    try_for_each_block(out, block_len, work, |first, chunk| {
+        body(first, chunk);
+        Ok::<(), std::convert::Infallible>(())
+    })
+    .unwrap_or_else(|e| match e {});
+}
+
+/// Fallible variant of [`for_each_block`]. Returns the error of the
+/// lowest-indexed failing chunk, which (because chunks are contiguous
+/// ranges and `body` reports its first internal failure) is the same
+/// error the serial execution would have produced.
+pub fn try_for_each_block<E: Send>(
+    out: &mut [f32],
+    block_len: usize,
+    work: usize,
+    body: impl Fn(usize, &mut [f32]) -> std::result::Result<(), E> + Sync,
+) -> std::result::Result<(), E> {
+    if out.is_empty() || block_len == 0 {
+        return Ok(());
+    }
+    debug_assert_eq!(out.len() % block_len, 0, "out must be whole blocks");
+    let items = out.len() / block_len;
+    let threads = effective_threads(items, work);
+    if threads <= 1 {
+        return body(0, out);
+    }
+    let per = items.div_ceil(threads);
+    let mut outcomes: Vec<std::result::Result<(), E>> = Vec::new();
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(threads);
+        let mut rest = out;
+        let mut first = 0usize;
+        while !rest.is_empty() {
+            let take = (per * block_len).min(rest.len());
+            let (chunk, tail) = rest.split_at_mut(take);
+            let start = first;
+            let body = &body;
+            handles.push(scope.spawn(move || {
+                let _guard = SerialGuard::engage();
+                body(start, chunk)
+            }));
+            first += take / block_len;
+            rest = tail;
+        }
+        outcomes = handles
+            .into_iter()
+            .map(|h| h.join().expect("parallel worker panicked"))
+            .collect();
+    });
+    for outcome in outcomes {
+        outcome?;
+    }
+    Ok(())
+}
+
+/// Applies `f` to every index in `0..items` in parallel, collecting the
+/// results in index order. `work` is the job's total scalar-operation
+/// estimate. On failure, returns the error of the lowest index that
+/// failed — the same error serial iteration would surface.
+pub fn try_parallel_map<T, E>(
+    items: usize,
+    work: usize,
+    f: impl Fn(usize) -> std::result::Result<T, E> + Sync,
+) -> std::result::Result<Vec<T>, E>
+where
+    T: Send,
+    E: Send,
+{
+    let threads = effective_threads(items, work);
+    if threads <= 1 {
+        return (0..items).map(f).collect();
+    }
+    let mut slots: Vec<Option<std::result::Result<T, E>>> = Vec::new();
+    slots.resize_with(items, || None);
+    let per = items.div_ceil(threads);
+    std::thread::scope(|scope| {
+        let mut rest = slots.as_mut_slice();
+        let mut first = 0usize;
+        while !rest.is_empty() {
+            let take = per.min(rest.len());
+            let (chunk, tail) = rest.split_at_mut(take);
+            let start = first;
+            let f = &f;
+            scope.spawn(move || {
+                let _guard = SerialGuard::engage();
+                for (offset, slot) in chunk.iter_mut().enumerate() {
+                    *slot = Some(f(start + offset));
+                }
+            });
+            first += take;
+            rest = tail;
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| slot.expect("parallel worker panicked"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+    use std::sync::Mutex;
+
+    /// Big enough to clear [`PARALLEL_THRESHOLD`] regardless of shape.
+    const BIG: usize = PARALLEL_THRESHOLD + 1;
+
+    #[test]
+    fn config_constructors() {
+        assert_eq!(ThreadConfig::serial().threads(), 1);
+        assert_eq!(ThreadConfig::new(0).threads(), 1);
+        assert_eq!(ThreadConfig::new(6).threads(), 6);
+        assert!(ThreadConfig::available().threads() >= 1);
+    }
+
+    #[test]
+    fn blocks_cover_output_exactly_once() {
+        let mut out = vec![0.0f32; 64];
+        for_each_block(&mut out, 4, BIG, |first, chunk| {
+            for (local, block) in chunk.chunks_mut(4).enumerate() {
+                for v in block.iter_mut() {
+                    *v += (first + local) as f32;
+                }
+            }
+        });
+        for (i, &v) in out.iter().enumerate() {
+            assert_eq!(v, (i / 4) as f32);
+        }
+    }
+
+    #[test]
+    fn small_work_stays_on_caller_thread() {
+        let caller = std::thread::current().id();
+        let seen = Mutex::new(HashSet::new());
+        let mut out = vec![0.0f32; 8];
+        for_each_block(&mut out, 1, 1, |_, _| {
+            seen.lock().unwrap().insert(std::thread::current().id());
+        });
+        assert_eq!(*seen.lock().unwrap(), HashSet::from([caller]));
+    }
+
+    #[test]
+    fn with_serial_suppresses_spawning() {
+        let caller = std::thread::current().id();
+        let seen = Mutex::new(HashSet::new());
+        with_serial(|| {
+            let mut out = vec![0.0f32; 64];
+            for_each_block(&mut out, 1, BIG, |_, _| {
+                seen.lock().unwrap().insert(std::thread::current().id());
+            });
+        });
+        assert_eq!(*seen.lock().unwrap(), HashSet::from([caller]));
+        // The flag is restored after the closure.
+        assert!(!FORCE_SERIAL.with(|s| s.get()));
+    }
+
+    #[test]
+    fn workers_inherit_serial_flag() {
+        // A nested kernel inside a worker must not spawn further threads.
+        let outer_ids = Mutex::new(HashSet::new());
+        let mut out = vec![0.0f32; 64];
+        for_each_block(&mut out, 8, BIG, |_, chunk| {
+            let my_id = std::thread::current().id();
+            let mut inner = vec![0.0f32; 64];
+            for_each_block(&mut inner, 1, BIG, |_, _| {
+                assert_eq!(std::thread::current().id(), my_id);
+            });
+            chunk[0] = 1.0;
+            outer_ids.lock().unwrap().insert(my_id);
+        });
+        assert!(!outer_ids.lock().unwrap().is_empty());
+    }
+
+    #[test]
+    fn try_map_collects_in_order_and_reports_first_error() {
+        let ok: Result<Vec<usize>, &str> = try_parallel_map(100, BIG, |i| Ok(i * 2));
+        assert_eq!(ok.unwrap(), (0..100).map(|i| i * 2).collect::<Vec<_>>());
+
+        let err: Result<Vec<usize>, usize> =
+            try_parallel_map(100, BIG, |i| if i >= 40 { Err(i) } else { Ok(i) });
+        assert_eq!(err.unwrap_err(), 40);
+    }
+
+    #[test]
+    fn try_for_each_block_reports_first_error() {
+        let mut out = vec![0.0f32; 100];
+        let err = try_for_each_block(&mut out, 1, BIG, |first, chunk| {
+            for local in 0..chunk.len() {
+                if first + local >= 23 {
+                    return Err(first + local);
+                }
+            }
+            Ok(())
+        });
+        assert_eq!(err.unwrap_err(), 23);
+    }
+
+    #[test]
+    fn zero_items_are_a_no_op() {
+        for_each_block(&mut [], 4, BIG, |_, _| panic!("must not run"));
+        let r: Result<Vec<u8>, ()> = try_parallel_map(0, BIG, |_| Ok(0));
+        assert_eq!(r.unwrap(), Vec::<u8>::new());
+    }
+}

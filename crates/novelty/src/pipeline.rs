@@ -16,7 +16,7 @@ use neural::loss::MseLoss;
 use neural::models::{pilotnet, PilotNetConfig};
 use neural::optim::Adam;
 use neural::{fit, Network, TrainConfig};
-use saliency::visual_backprop;
+use saliency::{visual_backprop, visual_backprop_batch};
 use serde::{Deserialize, Serialize};
 use simdrive::DrivingDataset;
 use vision::Image;
@@ -180,8 +180,7 @@ impl NoveltyDetector {
         // Both pipeline variants ultimately require the classifier's
         // training geometry (VBP masks are input-sized); checking here
         // gives a direct message instead of a deep conv-layer error.
-        if image.height() != self.classifier.height() || image.width() != self.classifier.width()
-        {
+        if image.height() != self.classifier.height() || image.width() != self.classifier.width() {
             return Err(NoveltyError::invalid(
                 "score",
                 format!(
@@ -197,13 +196,23 @@ impl NoveltyDetector {
         self.classifier.score(&rep)
     }
 
-    /// Scores a batch of images.
+    /// Scores a batch of images, fanning the work out over the pool
+    /// configured in [`ndtensor::par`].
+    ///
+    /// Each image is scored exactly as [`NoveltyDetector::score`] would,
+    /// so the result is bit-identical to serial scoring for any thread
+    /// count.
     ///
     /// # Errors
     ///
-    /// Fails on the first incompatible image.
+    /// Fails on the first incompatible image (by index, matching serial
+    /// iteration order).
     pub fn score_batch(&self, images: &[Image]) -> Result<Vec<f32>> {
-        images.iter().map(|img| self.score(img)).collect()
+        let work = images
+            .len()
+            .saturating_mul(self.classifier.height() * self.classifier.width())
+            .saturating_mul(64);
+        ndtensor::par::try_parallel_map(images.len(), work, |i| self.score(&images[i]))
     }
 
     /// Classifies an image as novel or in-distribution.
@@ -473,28 +482,39 @@ impl NoveltyDetectorBuilder {
             },
         };
 
-        // Preprocess the training images into the classifier's input space.
+        // Preprocess the training images into the classifier's input space
+        // (VBP masks are computed batch-parallel; results are bit-identical
+        // to the serial map for any thread count).
         let representations: Vec<Image> = match (&steering, self.preprocessing) {
             (None, _) => train_split
                 .frames()
                 .iter()
                 .map(|f| f.image.clone())
                 .collect(),
-            (Some(net), _) => train_split
-                .frames()
-                .iter()
-                .map(|f| visual_backprop(net, &f.image))
-                .collect::<saliency::Result<_>>()?,
+            (Some(net), _) => {
+                let images: Vec<Image> = train_split
+                    .frames()
+                    .iter()
+                    .map(|f| f.image.clone())
+                    .collect();
+                visual_backprop_batch(net, &images)?
+            }
         };
 
         let classifier =
             AutoencoderClassifier::train(&representations, &self.classifier, self.seed ^ 0xAE5)?;
 
         // Calibrate on the training distribution (Richter & Roy rule).
-        let training_scores: Vec<f32> = representations
-            .iter()
-            .map(|rep| classifier.score(rep))
-            .collect::<Result<_>>()?;
+        // Scoring fans out over the work pool; order and values match the
+        // serial map exactly.
+        let score_work = representations
+            .len()
+            .saturating_mul(classifier.height() * classifier.width())
+            .saturating_mul(64);
+        let training_scores: Vec<f32> =
+            ndtensor::par::try_parallel_map(representations.len(), score_work, |i| {
+                classifier.score(&representations[i])
+            })?;
         let threshold = Calibrator::new(self.percentile)?
             .calibrate(&training_scores, classifier.direction())?;
 

@@ -185,6 +185,26 @@ pub fn visual_backprop(network: &Network, image: &Image) -> Result<Image> {
     Ok(Image::from_tensor(final_mask.normalize_minmax())?)
 }
 
+/// Computes the VisualBackProp masks of a whole image set in parallel.
+///
+/// Images are fanned out over the work pool configured in
+/// [`ndtensor::par`]; each mask is computed exactly as
+/// [`visual_backprop`] would, so the result is bit-identical to mapping
+/// the single-image function serially, for any thread count. On failure
+/// the error of the lowest-indexed failing image is returned — the same
+/// error serial iteration would surface first.
+///
+/// # Errors
+///
+/// Same conditions as [`visual_backprop`], per image.
+pub fn visual_backprop_batch(network: &Network, images: &[Image]) -> Result<Vec<Image>> {
+    let work = images
+        .len()
+        .saturating_mul(images.first().map_or(0, |img| img.height() * img.width()))
+        .saturating_mul(64);
+    ndtensor::par::try_parallel_map(images.len(), work, |i| visual_backprop(network, &images[i]))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -280,6 +300,36 @@ mod tests {
             on_mean > 2.0 * off_mean,
             "band saliency {on_mean} vs background {off_mean}"
         );
+    }
+
+    #[test]
+    fn batch_masks_match_serial_masks_bitwise() {
+        let net = pilotnet(&PilotNetConfig::compact(), 17).unwrap();
+        let images: Vec<Image> = (0..5)
+            .map(|s| {
+                Image::from_fn(60, 160, |y, x| {
+                    ((y * 7 + x * 3 + s * 13) % 17) as f32 / 16.0
+                })
+                .unwrap()
+            })
+            .collect();
+        let serial: Vec<Image> = images
+            .iter()
+            .map(|img| visual_backprop(&net, img).unwrap())
+            .collect();
+        let batch = visual_backprop_batch(&net, &images).unwrap();
+        assert_eq!(batch.len(), serial.len());
+        for (b, s) in batch.iter().zip(&serial) {
+            assert_eq!(b.as_slice(), s.as_slice());
+        }
+    }
+
+    #[test]
+    fn batch_surfaces_first_failing_image() {
+        let net = pilotnet(&PilotNetConfig::compact(), 1).unwrap();
+        let good = Image::from_fn(60, 160, |_, _| 0.5).unwrap();
+        let bad = Image::from_fn(10, 10, |_, _| 0.5).unwrap();
+        assert!(visual_backprop_batch(&net, &[good, bad]).is_err());
     }
 
     #[test]

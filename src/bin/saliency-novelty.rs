@@ -184,7 +184,15 @@ fn cmd_generate(args: &Args) -> Result<(), String> {
 }
 
 fn cmd_train(args: &Args) -> Result<(), String> {
-    args.reject_unknown(&["world", "pipeline", "len", "seed", "cnn-epochs", "ae-epochs", "out"])?;
+    args.reject_unknown(&[
+        "world",
+        "pipeline",
+        "len",
+        "seed",
+        "cnn-epochs",
+        "ae-epochs",
+        "out",
+    ])?;
     let world = parse_world(&args.get("world", "outdoor"))?;
     let pipeline = parse_pipeline(&args.get("pipeline", "vbp+ssim"))?;
     let len = args.usize("len", 200)?;

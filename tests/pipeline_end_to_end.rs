@@ -38,7 +38,7 @@ fn builder_for(kind: PipelineKind) -> NoveltyDetectorBuilder {
             objective,
             ..ClassifierConfig::paper()
         })
-        .cnn_epochs(8)
+        .cnn_epochs(12)
         // The 80/20 split is applied by the fixture itself, so the
         // builder trains on everything it is given.
         .train_fraction(1.0)

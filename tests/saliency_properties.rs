@@ -115,7 +115,7 @@ fn noisy_input_garbles_the_vbp_mask() {
     let clean_mask = visual_backprop(&cnn, img).unwrap();
 
     let mut rng = StdRng::seed_from_u64(3);
-    let noisy = vision::perturb::add_gaussian_noise(img, &mut rng, 0.15).unwrap();
+    let noisy = vision::perturb::add_gaussian_noise(img, &mut rng, 0.3).unwrap();
     let noisy_mask = visual_backprop(&cnn, &noisy).unwrap();
     let bright = vision::perturb::adjust_brightness(img, 0.08);
     let bright_mask = visual_backprop(&cnn, &bright).unwrap();

@@ -1,0 +1,116 @@
+//! Behaviour of the thread-count knobs: `SALIENCY_THREADS`, programmatic
+//! [`ThreadConfig`], and the guarantee that serial configurations spawn
+//! no worker threads at all.
+//!
+//! Environment-variable manipulation is process-global, so everything
+//! lives in a handful of tests that serialise on one mutex.
+
+use std::collections::HashSet;
+use std::sync::Mutex;
+use std::thread::ThreadId;
+
+use ndtensor::par::{self, PARALLEL_THRESHOLD};
+use ndtensor::{set_thread_config, ThreadConfig};
+
+static LOCK: Mutex<()> = Mutex::new(());
+
+fn lock() -> std::sync::MutexGuard<'static, ()> {
+    LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Runs a job large enough to spawn threads (when allowed) and returns
+/// the set of threads that executed work.
+fn worker_threads() -> HashSet<ThreadId> {
+    let seen = Mutex::new(HashSet::new());
+    let mut out = vec![0.0f32; 256];
+    par::for_each_block(&mut out, 1, PARALLEL_THRESHOLD + 1, |_, _| {
+        seen.lock().unwrap().insert(std::thread::current().id());
+    });
+    seen.into_inner().unwrap()
+}
+
+#[test]
+fn serial_config_disables_pooling_entirely() {
+    let _guard = lock();
+    set_thread_config(ThreadConfig::serial());
+    let caller = std::thread::current().id();
+    assert_eq!(
+        worker_threads(),
+        HashSet::from([caller]),
+        "ThreadConfig::serial() must keep all work on the calling thread"
+    );
+    set_thread_config(ThreadConfig::from_env());
+}
+
+#[test]
+fn with_serial_disables_pooling_even_under_a_parallel_config() {
+    let _guard = lock();
+    set_thread_config(ThreadConfig::new(4));
+    let caller = std::thread::current().id();
+    let seen = ndtensor::with_serial(worker_threads);
+    assert_eq!(seen, HashSet::from([caller]));
+    set_thread_config(ThreadConfig::from_env());
+}
+
+#[test]
+fn parallel_config_actually_uses_multiple_threads() {
+    let _guard = lock();
+    set_thread_config(ThreadConfig::new(4));
+    let seen = worker_threads();
+    assert!(
+        seen.len() > 1,
+        "4-thread config on a 256-item job should use more than one thread"
+    );
+    set_thread_config(ThreadConfig::from_env());
+}
+
+#[test]
+fn saliency_threads_env_knob() {
+    let _guard = lock();
+
+    // SALIENCY_THREADS=1 disables pooling entirely.
+    std::env::set_var("SALIENCY_THREADS", "1");
+    let cfg = ThreadConfig::from_env();
+    assert_eq!(cfg.threads(), 1);
+    set_thread_config(cfg);
+    let caller = std::thread::current().id();
+    assert_eq!(
+        worker_threads(),
+        HashSet::from([caller]),
+        "SALIENCY_THREADS=1 must keep all work on the calling thread"
+    );
+
+    // A valid explicit count is honoured.
+    std::env::set_var("SALIENCY_THREADS", "3");
+    assert_eq!(ThreadConfig::from_env().threads(), 3);
+
+    // Invalid values (zero, garbage, negative) fall back to the
+    // available-parallelism default — with a warning, never a panic.
+    let fallback = ThreadConfig::available().threads();
+    for bad in ["0", "banana", "-2", "1.5", ""] {
+        std::env::set_var("SALIENCY_THREADS", bad);
+        assert_eq!(
+            ThreadConfig::from_env().threads(),
+            fallback,
+            "SALIENCY_THREADS={bad:?} should fall back to the default"
+        );
+    }
+
+    // Unset means the available-parallelism default.
+    std::env::remove_var("SALIENCY_THREADS");
+    assert_eq!(ThreadConfig::from_env().threads(), fallback);
+
+    set_thread_config(ThreadConfig::from_env());
+}
+
+#[test]
+fn programmatic_config_is_clamped_and_reported() {
+    let _guard = lock();
+    assert_eq!(ThreadConfig::new(0).threads(), 1);
+    assert_eq!(ThreadConfig::serial().threads(), 1);
+    assert!(ThreadConfig::available().threads() >= 1);
+    // The process-wide getter reflects the last set_thread_config call.
+    set_thread_config(ThreadConfig::new(5));
+    assert_eq!(ndtensor::thread_config().threads(), 5);
+    set_thread_config(ThreadConfig::from_env());
+}

@@ -1,0 +1,201 @@
+//! Minimal benchmarking harness, API-compatible with the subset of
+//! `criterion` this workspace uses (`harness = false` bench targets).
+//!
+//! Differences from upstream: no statistical analysis, plots, or saved
+//! baselines. Each benchmark runs a short warm-up, then a fixed number of
+//! timed samples, and prints mean / best per-iteration wall time (plus
+//! throughput when configured). Good enough for before/after comparisons
+//! on one machine, which is all the workspace benches are for.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Throughput annotation for a benchmark group.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements (e.g. images) processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Per-benchmark timing loop handed to `bench_function` closures.
+pub struct Bencher {
+    samples: usize,
+    /// Mean per-iteration time of the best sample, filled by `iter`.
+    best: Duration,
+    /// Mean per-iteration time across all samples, filled by `iter`.
+    mean: Duration,
+}
+
+impl Bencher {
+    /// Times `routine`, storing per-iteration statistics.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up: run until ~50ms of work or 3 calls, whichever is later,
+        // and size the per-sample iteration count from the observed cost.
+        let warm_start = Instant::now();
+        let mut warm_calls = 0u32;
+        while warm_calls < 3 || warm_start.elapsed() < Duration::from_millis(50) {
+            black_box(routine());
+            warm_calls += 1;
+            if warm_calls >= 1000 {
+                break;
+            }
+        }
+        let per_call = warm_start.elapsed() / warm_calls;
+        // Aim for ~30ms per sample, clamped to keep tiny kernels honest
+        // and huge ones bounded.
+        let iters = (Duration::from_millis(30).as_nanos() / per_call.as_nanos().max(1))
+            .clamp(1, 100_000) as u32;
+
+        let mut total = Duration::ZERO;
+        let mut best = Duration::MAX;
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            let sample = start.elapsed() / iters;
+            total += sample;
+            best = best.min(sample);
+        }
+        self.best = best;
+        self.mean = total / self.samples as u32;
+    }
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    _criterion: &'a mut Criterion,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Annotates benchmarks with work-per-iteration for rate reporting.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Runs one benchmark and prints its timing line.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher {
+            samples: self.sample_size,
+            best: Duration::ZERO,
+            mean: Duration::ZERO,
+        };
+        f(&mut b);
+        let rate = match self.throughput {
+            Some(Throughput::Elements(n)) if b.mean > Duration::ZERO => {
+                format!("  ({:.1} elem/s)", n as f64 / b.mean.as_secs_f64())
+            }
+            Some(Throughput::Bytes(n)) if b.mean > Duration::ZERO => {
+                format!(
+                    "  ({:.1} MiB/s)",
+                    n as f64 / (1024.0 * 1024.0) / b.mean.as_secs_f64()
+                )
+            }
+            _ => String::new(),
+        };
+        println!(
+            "{}/{:<40} mean {:>12?}   best {:>12?}{rate}",
+            self.name, id, b.mean, b.best
+        );
+        self
+    }
+
+    /// Ends the group (upstream parity; prints a separator).
+    pub fn finish(self) {
+        println!();
+    }
+}
+
+/// Entry point mirroring `criterion::Criterion`.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Starts a named benchmark group.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("== bench group: {name} ==");
+        BenchmarkGroup {
+            name: name.to_string(),
+            sample_size: 10,
+            throughput: None,
+            _criterion: self,
+        }
+    }
+
+    /// Runs a standalone benchmark outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        let mut group = BenchmarkGroup {
+            name: "bench".to_string(),
+            sample_size: 10,
+            throughput: None,
+            _criterion: self,
+        };
+        group.bench_function(id, f);
+        self
+    }
+}
+
+/// Declares a benchmark group function, like upstream `criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` running the listed groups, like upstream `criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_reports_nonzero_times() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("smoke");
+        group.sample_size(2).throughput(Throughput::Elements(4));
+        group.bench_function("sum", |b| {
+            b.iter(|| (0..100u64).map(black_box).sum::<u64>())
+        });
+        group.finish();
+    }
+
+    mod macros {
+        use super::super::*;
+
+        fn trivial(c: &mut Criterion) {
+            c.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+        }
+
+        criterion_group!(benches, trivial);
+
+        #[test]
+        fn group_macro_produces_callable() {
+            benches();
+        }
+    }
+}

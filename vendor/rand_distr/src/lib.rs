@@ -1,0 +1,128 @@
+//! Minimal stand-in for the `rand_distr` crate: the [`Distribution`]
+//! trait plus the [`Normal`] and [`Uniform`] distributions used by the
+//! workspace. See `vendor/rand` for why this exists.
+
+use rand::Rng;
+
+/// A distribution of values of type `T`.
+pub trait Distribution<T> {
+    /// Draws one sample.
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// Error from [`Normal::new`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NormalError {
+    /// The standard deviation was negative or not finite.
+    BadVariance,
+    /// The mean was not finite.
+    MeanTooSmall,
+}
+
+impl std::fmt::Display for NormalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NormalError::BadVariance => write!(f, "standard deviation is negative or not finite"),
+            NormalError::MeanTooSmall => write!(f, "mean is not finite"),
+        }
+    }
+}
+
+impl std::error::Error for NormalError {}
+
+/// Gaussian distribution `N(mean, std²)` over `f32`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Normal {
+    mean: f32,
+    std: f32,
+}
+
+impl Normal {
+    /// Creates the distribution.
+    ///
+    /// # Errors
+    ///
+    /// Fails when `std` is negative or either parameter is not finite.
+    pub fn new(mean: f32, std: f32) -> Result<Self, NormalError> {
+        if !mean.is_finite() {
+            return Err(NormalError::MeanTooSmall);
+        }
+        if !std.is_finite() || std < 0.0 {
+            return Err(NormalError::BadVariance);
+        }
+        Ok(Normal { mean, std })
+    }
+}
+
+impl Distribution<f32> for Normal {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f32 {
+        // Box–Muller; u1 is kept in (0, 1] so the log is finite.
+        let u1 = ((rng.next_u64() >> 11) as f64 + 1.0) * (1.0 / (1u64 << 53) as f64);
+        let u2 = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+        self.mean + self.std * z as f32
+    }
+}
+
+/// Uniform distribution over `[lo, hi)` for `f32`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Uniform {
+    lo: f32,
+    hi: f32,
+}
+
+impl Uniform {
+    /// Creates the distribution.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `lo >= hi` (matching upstream `rand 0.8`).
+    pub fn new(lo: f32, hi: f32) -> Self {
+        assert!(lo < hi, "Uniform::new called with empty range");
+        Uniform { lo, hi }
+    }
+}
+
+impl Distribution<f32> for Uniform {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f32 {
+        let u01 = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        (self.lo as f64 + (self.hi as f64 - self.lo as f64) * u01) as f32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn normal_moments_are_plausible() {
+        let dist = Normal::new(2.0, 0.5).unwrap();
+        let mut rng = StdRng::seed_from_u64(11);
+        let n = 20_000;
+        let samples: Vec<f32> = (0..n).map(|_| dist.sample(&mut rng)).collect();
+        let mean = samples.iter().sum::<f32>() / n as f32;
+        let var = samples.iter().map(|v| (v - mean).powi(2)).sum::<f32>() / n as f32;
+        assert!((mean - 2.0).abs() < 0.02, "mean={mean}");
+        assert!((var - 0.25).abs() < 0.02, "var={var}");
+    }
+
+    #[test]
+    fn normal_rejects_bad_parameters() {
+        assert!(Normal::new(0.0, -1.0).is_err());
+        assert!(Normal::new(0.0, f32::NAN).is_err());
+        assert!(Normal::new(f32::INFINITY, 1.0).is_err());
+        assert!(Normal::new(0.0, 0.0).is_ok());
+    }
+
+    #[test]
+    fn uniform_stays_in_range() {
+        let dist = Uniform::new(-1.5, 2.5);
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..1000 {
+            let v = dist.sample(&mut rng);
+            assert!((-1.5..2.5).contains(&v));
+        }
+    }
+}
