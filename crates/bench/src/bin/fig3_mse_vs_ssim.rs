@@ -12,7 +12,7 @@
 //! metrics. MSE is reported in the paper's 0–255² intensity convention
 //! so magnitudes are comparable to the figure.
 
-use bench::{dump_pgm, outdoor_dataset, print_header, Scale};
+use bench::{dump_pgm, outdoor_dataset, print_header, ObsSink, Scale};
 use metrics::{mse, ssim, SsimConfig};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -20,6 +20,8 @@ use vision::perturb;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let scale = Scale::from_env();
+    let sink = ObsSink::from_env();
+    let recorder = sink.recorder();
     print_header("fig3_mse_vs_ssim", "Figure 3 (MSE vs SSIM example)", scale);
 
     let frame = outdoor_dataset(scale, 1, 0xF163).frames()[0].image.clone();
@@ -27,14 +29,22 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let sigma = 0.075f32;
     let mut rng = StdRng::seed_from_u64(42);
-    let noisy = perturb::add_gaussian_noise(&frame, &mut rng, sigma)?;
-    let noise_mse = mse(&frame, &noisy)?;
+    let noisy = obs::time(recorder, "perturb", || {
+        perturb::add_gaussian_noise(&frame, &mut rng, sigma)
+    })?;
+    let noise_mse = obs::time(recorder, "mse", || mse(&frame, &noisy))?;
     // Brightness shift with (approximately) the same MSE.
-    let bright = perturb::adjust_brightness(&frame, noise_mse.sqrt());
-    let bright_mse = mse(&frame, &bright)?;
+    let bright = obs::time(recorder, "perturb", || {
+        perturb::adjust_brightness(&frame, noise_mse.sqrt())
+    });
+    let bright_mse = obs::time(recorder, "mse", || mse(&frame, &bright))?;
 
-    let noise_ssim = ssim(&frame, &noisy, &cfg)?;
-    let bright_ssim = ssim(&frame, &bright, &cfg)?;
+    let noise_ssim = obs::time(recorder, "ssim", || ssim(&frame, &noisy, &cfg))?;
+    let bright_ssim = obs::time(recorder, "ssim", || ssim(&frame, &bright, &cfg))?;
+    recorder.gauge("fig3.noise_mse", noise_mse as f64);
+    recorder.gauge("fig3.bright_mse", bright_mse as f64);
+    recorder.gauge("fig3.noise_ssim", noise_ssim as f64);
+    recorder.gauge("fig3.bright_ssim", bright_ssim as f64);
 
     let to_255sq = 255.0f32 * 255.0; // paper reports MSE on 0–255 intensities
     println!("                      original    +gaussian noise    +brightness");
@@ -68,5 +78,6 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             println!("  wrote {}", p.display());
         }
     }
+    sink.flush("fig3_mse_vs_ssim");
     Ok(())
 }

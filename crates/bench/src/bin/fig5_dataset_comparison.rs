@@ -14,13 +14,17 @@
 //! better, VBP+SSIM separates completely (target mean SSIM ≈ 0.7, novel
 //! ≈ 0, all novel samples past the 99th-percentile threshold).
 
-use bench::{images_of, indoor_dataset, outdoor_dataset, print_eval_report, print_header, Scale};
+use bench::{
+    images_of, indoor_dataset, outdoor_dataset, print_eval_report, print_header, ObsSink, Scale,
+};
 use neural::serialize::clone_network;
-use novelty::eval::evaluate;
+use novelty::eval::evaluate_recorded;
 use novelty::{NoveltyDetectorBuilder, PipelineKind, Preprocessing};
+use obs::Scoped;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let scale = Scale::from_env();
+    let sink = ObsSink::from_env();
     print_header(
         "fig5_dataset_comparison",
         "Figure 5 (dataset comparison)",
@@ -48,7 +52,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .train_fraction(1.0)
         .seed(5);
     println!("training shared steering CNN…");
-    let cnn = base.train_steering_cnn(&train)?;
+    let cnn = base.train_steering_cnn_recorded(&train, sink.recorder())?;
 
     let mut summary = Vec::new();
     for kind in PipelineKind::all() {
@@ -62,12 +66,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             PipelineKind::RawMse => None,
             _ => Some(clone_network(&cnn)?),
         };
-        let detector = builder.train_with_cnn(&train, pretrained)?;
+        // Probes from each pipeline land under its own prefix, so one
+        // report distinguishes the three runs.
+        let scoped = Scoped::new(sink.recorder(), kind.name());
+        let detector = builder.train_with_cnn_recorded(&train, pretrained, &scoped)?;
         debug_assert_eq!(
             detector.preprocessing() == Preprocessing::Vbp,
             kind != PipelineKind::RawMse
         );
-        let report = evaluate(&detector, &target_images, &novel_images)?;
+        let report = evaluate_recorded(&detector, &target_images, &novel_images, &scoped)?;
         print_eval_report(&format!("[{}]", kind.name()), &report, 20);
         summary.push((kind, report));
     }
@@ -85,5 +92,6 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             r.novel_detection_rate * 100.0
         );
     }
+    sink.flush("fig5_dataset_comparison");
     Ok(())
 }

@@ -175,6 +175,53 @@ pub fn dump_ppm(name: &str, image: &vision::RgbImage) -> Option<std::path::PathB
     }
 }
 
+/// Observability sink for the figure binaries, controlled by the
+/// `SALIENCY_NOVELTY_OBS_OUT` environment variable. When set, a live
+/// [`obs::RunRecorder`] collects the run and [`ObsSink::flush`] writes a
+/// report in the same schema the CLI's `--obs-out` flag produces (so
+/// `saliency-novelty report --file …` reads both). When unset, every
+/// probe goes to the no-op recorder and costs nothing.
+pub struct ObsSink {
+    recorder: Option<obs::RunRecorder>,
+    path: Option<std::path::PathBuf>,
+}
+
+impl ObsSink {
+    /// Builds the sink from `SALIENCY_NOVELTY_OBS_OUT`.
+    pub fn from_env() -> ObsSink {
+        match std::env::var_os("SALIENCY_NOVELTY_OBS_OUT") {
+            Some(path) if !path.is_empty() => ObsSink {
+                recorder: Some(obs::RunRecorder::new()),
+                path: Some(path.into()),
+            },
+            _ => ObsSink {
+                recorder: None,
+                path: None,
+            },
+        }
+    }
+
+    /// The recorder to thread through pipeline calls.
+    pub fn recorder(&self) -> &dyn obs::Recorder {
+        match &self.recorder {
+            Some(r) => r,
+            None => obs::noop(),
+        }
+    }
+
+    /// Writes the report if recording is enabled. Failures are printed,
+    /// not fatal — figure binaries should not die on a read-only
+    /// filesystem.
+    pub fn flush(&self, command: &str) {
+        if let (Some(recorder), Some(path)) = (&self.recorder, &self.path) {
+            match recorder.report(command).save(path) {
+                Ok(()) => println!("wrote observability report to {}", path.display()),
+                Err(e) => eprintln!("warning: cannot write {}: {e}", path.display()),
+            }
+        }
+    }
+}
+
 /// Prints the standard experiment header.
 pub fn print_header(experiment: &str, paper_artifact: &str, scale: Scale) {
     println!("================================================================");
@@ -200,6 +247,29 @@ mod tests {
         assert!(Scale::Full.test_len() > Scale::Quick.test_len());
         assert_eq!(Scale::Full.height(), 60);
         assert_eq!(Scale::Full.width(), 160);
+    }
+
+    #[test]
+    fn obs_sink_roundtrips_through_env() {
+        // Unset (or empty) → no-op recorder, flush writes nothing.
+        std::env::remove_var("SALIENCY_NOVELTY_OBS_OUT");
+        let sink = ObsSink::from_env();
+        assert!(!sink.recorder().enabled());
+        sink.flush("noop");
+
+        let dir = std::env::temp_dir().join("saliency_novelty_obs_sink");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("report.json");
+        std::env::set_var("SALIENCY_NOVELTY_OBS_OUT", &path);
+        let sink = ObsSink::from_env();
+        std::env::remove_var("SALIENCY_NOVELTY_OBS_OUT");
+        assert!(sink.recorder().enabled());
+        obs::time(sink.recorder(), "stage", || std::hint::black_box(0));
+        sink.flush("bench-test");
+        let report = obs::RunReport::load(&path).unwrap();
+        assert_eq!(report.command, "bench-test");
+        assert!(report.stage("stage").is_some());
+        std::fs::remove_file(&path).unwrap();
     }
 
     #[test]

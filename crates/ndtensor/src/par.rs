@@ -25,7 +25,7 @@
 //! same mechanism to callers.
 
 use std::cell::Cell;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 
 /// Minimum number of scalar operations before threads are spawned; below
 /// this, spawn overhead dominates any speedup.
@@ -112,6 +112,75 @@ pub fn thread_config() -> ThreadConfig {
     resolved
 }
 
+/// Cumulative pool activity since process start.
+///
+/// Counters are process-global and monotonic; observers snapshot with
+/// [`stats`] before and after a region of interest and diff with
+/// [`ParStats::since`]. Updates are a handful of relaxed atomic adds per
+/// *job* (not per item), so keeping them always-on costs nothing
+/// measurable and never perturbs what the kernels compute.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ParStats {
+    /// Jobs submitted to [`for_each_block`]/[`try_for_each_block`]/
+    /// [`try_parallel_map`] (empty jobs excluded).
+    pub jobs: u64,
+    /// Jobs that ran on the calling thread: too small, nested inside a
+    /// worker, or the pool is configured serial.
+    pub serial_jobs: u64,
+    /// Jobs that spawned workers.
+    pub parallel_jobs: u64,
+    /// Worker tasks spawned across all parallel jobs.
+    pub tasks_dispatched: u64,
+    /// Items (blocks or map indices) processed across all jobs.
+    pub items_processed: u64,
+}
+
+impl ParStats {
+    /// Counter increase from `earlier` to `self` (saturating, so a stale
+    /// or swapped snapshot yields zeros rather than wrap-around garbage).
+    pub fn since(self, earlier: ParStats) -> ParStats {
+        ParStats {
+            jobs: self.jobs.saturating_sub(earlier.jobs),
+            serial_jobs: self.serial_jobs.saturating_sub(earlier.serial_jobs),
+            parallel_jobs: self.parallel_jobs.saturating_sub(earlier.parallel_jobs),
+            tasks_dispatched: self
+                .tasks_dispatched
+                .saturating_sub(earlier.tasks_dispatched),
+            items_processed: self.items_processed.saturating_sub(earlier.items_processed),
+        }
+    }
+}
+
+static STAT_JOBS: AtomicU64 = AtomicU64::new(0);
+static STAT_SERIAL_JOBS: AtomicU64 = AtomicU64::new(0);
+static STAT_PARALLEL_JOBS: AtomicU64 = AtomicU64::new(0);
+static STAT_TASKS: AtomicU64 = AtomicU64::new(0);
+static STAT_ITEMS: AtomicU64 = AtomicU64::new(0);
+
+/// Snapshot of the process-wide [`ParStats`] counters.
+pub fn stats() -> ParStats {
+    ParStats {
+        jobs: STAT_JOBS.load(Ordering::Relaxed),
+        serial_jobs: STAT_SERIAL_JOBS.load(Ordering::Relaxed),
+        parallel_jobs: STAT_PARALLEL_JOBS.load(Ordering::Relaxed),
+        tasks_dispatched: STAT_TASKS.load(Ordering::Relaxed),
+        items_processed: STAT_ITEMS.load(Ordering::Relaxed),
+    }
+}
+
+/// Books one job: `tasks` is the number of spawned workers (0 when the
+/// job ran on the caller).
+fn note_job(items: usize, tasks: usize) {
+    STAT_JOBS.fetch_add(1, Ordering::Relaxed);
+    STAT_ITEMS.fetch_add(items as u64, Ordering::Relaxed);
+    if tasks == 0 {
+        STAT_SERIAL_JOBS.fetch_add(1, Ordering::Relaxed);
+    } else {
+        STAT_PARALLEL_JOBS.fetch_add(1, Ordering::Relaxed);
+        STAT_TASKS.fetch_add(tasks as u64, Ordering::Relaxed);
+    }
+}
+
 thread_local! {
     static FORCE_SERIAL: Cell<bool> = const { Cell::new(false) };
 }
@@ -189,9 +258,11 @@ pub fn try_for_each_block<E: Send>(
     let items = out.len() / block_len;
     let threads = effective_threads(items, work);
     if threads <= 1 {
+        note_job(items, 0);
         return body(0, out);
     }
     let per = items.div_ceil(threads);
+    note_job(items, items.div_ceil(per));
     let mut outcomes: Vec<std::result::Result<(), E>> = Vec::new();
     std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(threads);
@@ -233,13 +304,18 @@ where
     T: Send,
     E: Send,
 {
+    if items == 0 {
+        return Ok(Vec::new());
+    }
     let threads = effective_threads(items, work);
     if threads <= 1 {
+        note_job(items, 0);
         return (0..items).map(f).collect();
     }
     let mut slots: Vec<Option<std::result::Result<T, E>>> = Vec::new();
     slots.resize_with(items, || None);
     let per = items.div_ceil(threads);
+    note_job(items, items.div_ceil(per));
     std::thread::scope(|scope| {
         let mut rest = slots.as_mut_slice();
         let mut first = 0usize;
@@ -368,5 +444,23 @@ mod tests {
         for_each_block(&mut [], 4, BIG, |_, _| panic!("must not run"));
         let r: Result<Vec<u8>, ()> = try_parallel_map(0, BIG, |_| Ok(0));
         assert_eq!(r.unwrap(), Vec::<u8>::new());
+    }
+
+    #[test]
+    fn stats_track_jobs_and_items() {
+        // Counters are process-global and other tests run concurrently,
+        // so only assert monotone growth attributable to this test.
+        let before = stats();
+        let mut out = vec![0.0f32; 8];
+        for_each_block(&mut out, 1, 1, |_, _| {});
+        let r: Result<Vec<usize>, ()> = try_parallel_map(64, BIG, Ok);
+        assert_eq!(r.unwrap().len(), 64);
+        let d = stats().since(before);
+        assert!(d.jobs >= 2);
+        assert!(d.serial_jobs >= 1);
+        assert!(d.items_processed >= 72);
+        assert_eq!(d.jobs, d.serial_jobs + d.parallel_jobs);
+        // since() saturates instead of wrapping around.
+        assert_eq!(before.since(stats()).jobs, 0);
     }
 }

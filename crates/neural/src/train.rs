@@ -268,6 +268,38 @@ pub fn fit(
     targets: &Tensor,
     config: &TrainConfig,
 ) -> Result<TrainReport> {
+    fit_recorded(
+        network,
+        loss,
+        optimizer,
+        inputs,
+        targets,
+        config,
+        obs::noop(),
+    )
+}
+
+/// [`fit`] with observability: per-epoch mean loss and wall time are
+/// pushed into `recorder` as the `epoch_loss` / `epoch_secs` series, and
+/// the `epochs` / `batches` counters track the run's totals. Callers
+/// namespace these via [`obs::Scoped`] (e.g. `cnn-train.epoch_loss`).
+///
+/// Recording never changes what is trained: with [`obs::noop`] this is
+/// exactly [`fit`], and with any recorder the parameter updates and
+/// returned losses are bit-identical.
+///
+/// # Errors
+///
+/// Same conditions as [`fit`].
+pub fn fit_recorded(
+    network: &mut Network,
+    loss: &dyn Loss,
+    optimizer: &mut dyn Optimizer,
+    inputs: &Tensor,
+    targets: &Tensor,
+    config: &TrainConfig,
+    recorder: &dyn obs::Recorder,
+) -> Result<TrainReport> {
     if inputs.rank() == 0 || targets.rank() == 0 {
         return Err(NeuralError::invalid(
             "fit",
@@ -291,7 +323,9 @@ pub fn fit(
     let mut epoch_losses = Vec::with_capacity(config.epochs);
     let base_lr = optimizer.learning_rate();
 
+    let mut total_batches = 0u64;
     for epoch in 0..config.epochs {
+        let epoch_start = recorder.enabled().then(std::time::Instant::now);
         optimizer.set_learning_rate(base_lr * config.lr_schedule.multiplier(epoch, config.epochs));
         // Fisher–Yates shuffle.
         for i in (1..order.len()).rev() {
@@ -325,8 +359,15 @@ pub fn fit(
         if config.verbose {
             println!("epoch {epoch:>3}: {} loss {mean:.6}", loss.name());
         }
+        total_batches += batches as u64;
+        recorder.push("epoch_loss", mean as f64);
+        if let Some(start) = epoch_start {
+            recorder.push("epoch_secs", start.elapsed().as_secs_f64());
+        }
         epoch_losses.push(mean);
     }
+    recorder.add("epochs", config.epochs as u64);
+    recorder.add("batches", total_batches);
     Ok(TrainReport { epoch_losses })
 }
 
@@ -438,6 +479,42 @@ mod tests {
             .epoch_losses
         };
         assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn fit_recorded_matches_fit_and_records_series() {
+        let (x, y) = linear_dataset(64, 9);
+        let train = |recorder: &dyn obs::Recorder| {
+            let mut rng = StdRng::seed_from_u64(10);
+            let mut net = Network::new().with(Dense::new(2, 1, &mut rng).unwrap());
+            let mut opt = Sgd::new(0.1).unwrap();
+            let report = fit_recorded(
+                &mut net,
+                &MseLoss::new(),
+                &mut opt,
+                &x,
+                &y,
+                &TrainConfig::new(5, 16).with_seed(11),
+                recorder,
+            )
+            .unwrap();
+            let weights: Vec<f32> = net.layers()[0].params()[0].as_slice().to_vec();
+            (report.epoch_losses, weights)
+        };
+        let rec = obs::RunRecorder::new();
+        let recorded = train(&rec);
+        let plain = train(obs::noop());
+        // Observation must not perturb training.
+        assert_eq!(recorded, plain);
+        let report = rec.report("fit");
+        let losses = &report.series("epoch_loss").unwrap().values;
+        assert_eq!(losses.len(), 5);
+        for (s, &l) in losses.iter().zip(&recorded.0) {
+            assert_eq!(*s, l as f64);
+        }
+        assert_eq!(report.series("epoch_secs").unwrap().values.len(), 5);
+        assert_eq!(report.counter("epochs"), Some(5));
+        assert_eq!(report.counter("batches"), Some(5 * 4));
     }
 
     #[test]

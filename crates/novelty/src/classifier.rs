@@ -11,7 +11,7 @@ use ndtensor::Tensor;
 use neural::loss::{Loss, MseLoss, SsimDissimilarityLoss};
 use neural::models::autoencoder;
 use neural::optim::Adam;
-use neural::{fit, Network, TrainConfig};
+use neural::{fit_recorded, Network, TrainConfig};
 use serde::{Deserialize, Serialize};
 use vision::Image;
 
@@ -124,6 +124,26 @@ impl AutoencoderClassifier {
     /// Fails when `images` is empty, images disagree in size, or the SSIM
     /// window does not fit the images.
     pub fn train(images: &[Image], config: &ClassifierConfig, seed: u64) -> Result<Self> {
+        Self::train_recorded(images, config, seed, obs::noop())
+    }
+
+    /// [`AutoencoderClassifier::train`] with observability: warm-up and
+    /// main epochs append (in order) to the recorder's `epoch_loss` /
+    /// `epoch_secs` series, and `epochs` / `batches` count the run.
+    /// Callers namespace these via [`obs::Scoped`] (the pipeline records
+    /// them as `ae-train.*`).
+    ///
+    /// Recording never changes the trained weights.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`AutoencoderClassifier::train`].
+    pub fn train_recorded(
+        images: &[Image],
+        config: &ClassifierConfig,
+        seed: u64,
+        recorder: &dyn obs::Recorder,
+    ) -> Result<Self> {
         let (height, width) = check_images("AutoencoderClassifier::train", images)?;
         let input_dim = height * width;
         let mut network = autoencoder(input_dim, &config.hidden, seed)?;
@@ -139,13 +159,14 @@ impl AutoencoderClassifier {
             let warm_cfg = TrainConfig::new(warmup, config.batch_size)
                 .with_seed(seed ^ 0xEA)
                 .with_grad_clip(10.0);
-            fit(
+            fit_recorded(
                 &mut network,
                 &MseLoss::new(),
                 &mut opt,
                 &data,
                 &data,
                 &warm_cfg,
+                recorder,
             )?;
         }
 
@@ -159,13 +180,14 @@ impl AutoencoderClassifier {
                 .with_seed(seed ^ 0xAE)
                 .with_grad_clip(10.0);
             // Autoencoder: inputs are their own targets.
-            fit(
+            fit_recorded(
                 &mut network,
                 loss.as_ref(),
                 &mut opt,
                 &data,
                 &data,
                 &train_cfg,
+                recorder,
             )?;
         }
 

@@ -86,19 +86,45 @@ pub fn evaluate(
     target_images: &[Image],
     novel_images: &[Image],
 ) -> Result<EvalReport> {
+    evaluate_recorded(detector, target_images, novel_images, obs::noop())
+}
+
+/// [`evaluate`] with observability: both batches are scored through
+/// [`NoveltyDetector::score_batch_recorded`] (so scoring wall time,
+/// per-image latency and pool activity are captured), and the report's
+/// headline numbers (AUROC, detection rate, false-positive rate,
+/// threshold) are recorded as `eval.*` gauges.
+///
+/// Recording never changes the evaluation result.
+///
+/// # Errors
+///
+/// Same conditions as [`evaluate`].
+pub fn evaluate_recorded(
+    detector: &NoveltyDetector,
+    target_images: &[Image],
+    novel_images: &[Image],
+    recorder: &dyn obs::Recorder,
+) -> Result<EvalReport> {
     if target_images.is_empty() || novel_images.is_empty() {
         return Err(NoveltyError::invalid(
             "evaluate",
             "target and novel samples must be non-empty",
         ));
     }
-    let target_scores = detector.score_batch(target_images)?;
-    let novel_scores = detector.score_batch(novel_images)?;
+    let target_scores = detector.score_batch_recorded(target_images, recorder)?;
+    let novel_scores = detector.score_batch_recorded(novel_images, recorder)?;
     let threshold = detector.threshold();
     let orientation = threshold.direction().orientation();
     let separation = SeparationReport::compute(&target_scores, &novel_scores, orientation)?;
     let novel_detection_rate = detection_rate(&novel_scores, threshold.value(), orientation)?;
     let false_positive_rate = detection_rate(&target_scores, threshold.value(), orientation)?;
+    recorder.add("eval.target_images", target_scores.len() as u64);
+    recorder.add("eval.novel_images", novel_scores.len() as u64);
+    recorder.gauge("eval.auroc", separation.auroc as f64);
+    recorder.gauge("eval.novel_detection_rate", novel_detection_rate as f64);
+    recorder.gauge("eval.false_positive_rate", false_positive_rate as f64);
+    recorder.gauge("eval.threshold", threshold.value() as f64);
     Ok(EvalReport {
         target_scores,
         novel_scores,

@@ -51,7 +51,10 @@ mod pipeline;
 pub use calibrate::{Calibrator, Direction, Threshold};
 pub use classifier::{AutoencoderClassifier, ClassifierConfig, ReconstructionObjective};
 pub use error::NoveltyError;
-pub use persist::{load_detector, save_detector};
+pub use persist::{
+    detector_from_spec, detector_to_spec, load_detector, save_detector, DetectorSpec,
+    DETECTOR_SCHEMA_VERSION,
+};
 pub use pipeline::{NoveltyDetector, NoveltyDetectorBuilder, PipelineKind, Preprocessing, Verdict};
 
 /// Convenience alias used across the crate.

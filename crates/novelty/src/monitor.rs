@@ -136,7 +136,7 @@ impl StreamMonitor {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::Direction;
+    use crate::{Direction, PipelineKind};
 
     fn verdict(is_novel: bool) -> Verdict {
         Verdict {
@@ -144,6 +144,8 @@ mod tests {
             score: if is_novel { 0.1 } else { 0.7 },
             threshold: 0.5,
             direction: Direction::LowerIsNovel,
+            percentile_rank: if is_novel { 0.5 } else { 60.0 },
+            kind: PipelineKind::VbpSsim,
         }
     }
 

@@ -1,8 +1,13 @@
 //! Saving and loading trained detectors.
 //!
 //! A deployed system trains the pipeline offline and ships the frozen
-//! detector; these helpers serialize the whole bundle (steering CNN,
-//! autoencoder, threshold, configuration) as one JSON document.
+//! detector; [`NoveltyDetector::save`] / [`NoveltyDetector::load`]
+//! serialize the whole bundle (steering CNN, autoencoder, threshold,
+//! configuration) as one JSON document. [`DetectorSpec`] carries a
+//! schema-version field so a deployment loading a file written by an
+//! incompatible build fails with a clear message instead of a cryptic
+//! field error. The original free functions [`save_detector`] /
+//! [`load_detector`] remain as thin wrappers.
 
 use std::path::Path;
 
@@ -14,9 +19,17 @@ use crate::{
     Result, Threshold,
 };
 
+/// Version of the detector JSON layout this build reads and writes.
+///
+/// History: 1 = unversioned pre-observability files (no
+/// `schema_version` field); 2 = current (field added).
+pub const DETECTOR_SCHEMA_VERSION: u32 = 2;
+
 /// Serialized form of a trained [`NoveltyDetector`].
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct DetectorSpec {
+    /// [`DETECTOR_SCHEMA_VERSION`] at the time the spec was written.
+    pub schema_version: u32,
     /// The steering CNN, present for VBP pipelines.
     pub steering: Option<NetworkSpec>,
     /// The autoencoder network.
@@ -42,6 +55,7 @@ pub struct DetectorSpec {
 /// Propagates network spec-extraction errors.
 pub fn detector_to_spec(detector: &NoveltyDetector) -> Result<DetectorSpec> {
     Ok(DetectorSpec {
+        schema_version: DETECTOR_SCHEMA_VERSION,
         steering: detector.steering_network().map(to_spec).transpose()?,
         autoencoder: to_spec(detector.classifier().network())?,
         height: detector.classifier().height(),
@@ -53,12 +67,23 @@ pub fn detector_to_spec(detector: &NoveltyDetector) -> Result<DetectorSpec> {
     })
 }
 
-/// Reconstructs a detector from its spec.
+/// Reconstructs a detector from its spec, verifying the schema version.
 ///
 /// # Errors
 ///
-/// Fails when any stored network or invariant is invalid.
+/// Fails on a schema-version mismatch or when any stored network or
+/// invariant is invalid.
 pub fn detector_from_spec(spec: DetectorSpec) -> Result<NoveltyDetector> {
+    if spec.schema_version != DETECTOR_SCHEMA_VERSION {
+        return Err(NoveltyError::invalid(
+            "load_detector",
+            format!(
+                "detector file has schema version {}, but this build reads version {} — \
+                 retrain the detector or load it with a matching build",
+                spec.schema_version, DETECTOR_SCHEMA_VERSION
+            ),
+        ));
+    }
     let steering = spec.steering.map(from_spec).transpose()?;
     let classifier = AutoencoderClassifier::from_parts(
         from_spec(spec.autoencoder)?,
@@ -75,28 +100,65 @@ pub fn detector_from_spec(spec: DetectorSpec) -> Result<NoveltyDetector> {
     )
 }
 
-/// Saves a detector to a JSON file.
+impl NoveltyDetector {
+    /// Saves the detector to a JSON file.
+    ///
+    /// # Errors
+    ///
+    /// Propagates serialization and I/O errors.
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<()> {
+        let spec = detector_to_spec(self)?;
+        let json = serde_json::to_string(&spec).map_err(|e| NoveltyError::Serde(e.to_string()))?;
+        std::fs::write(path, json)?;
+        Ok(())
+    }
+
+    /// Loads a detector from a JSON file written by
+    /// [`NoveltyDetector::save`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O and deserialization errors; files written before
+    /// the spec was versioned (or by an incompatible build) are rejected
+    /// with a message naming both versions.
+    pub fn load(path: impl AsRef<Path>) -> Result<NoveltyDetector> {
+        let json = std::fs::read_to_string(path)?;
+        let spec: DetectorSpec = serde_json::from_str(&json).map_err(|e| {
+            let msg = e.to_string();
+            if msg.contains("missing field `schema_version`") {
+                NoveltyError::invalid(
+                    "load_detector",
+                    format!(
+                        "detector file predates schema versioning (version 1), but this \
+                         build reads version {DETECTOR_SCHEMA_VERSION} — retrain the detector"
+                    ),
+                )
+            } else {
+                NoveltyError::Serde(msg)
+            }
+        })?;
+        detector_from_spec(spec)
+    }
+}
+
+/// Saves a detector to a JSON file (wrapper for
+/// [`NoveltyDetector::save`], kept for existing callers).
 ///
 /// # Errors
 ///
 /// Propagates serialization and I/O errors.
 pub fn save_detector(detector: &NoveltyDetector, path: impl AsRef<Path>) -> Result<()> {
-    let spec = detector_to_spec(detector)?;
-    let json = serde_json::to_string(&spec).map_err(|e| NoveltyError::Serde(e.to_string()))?;
-    std::fs::write(path, json)?;
-    Ok(())
+    detector.save(path)
 }
 
-/// Loads a detector from a JSON file.
+/// Loads a detector from a JSON file (wrapper for
+/// [`NoveltyDetector::load`], kept for existing callers).
 ///
 /// # Errors
 ///
 /// Propagates I/O and deserialization errors.
 pub fn load_detector(path: impl AsRef<Path>) -> Result<NoveltyDetector> {
-    let json = std::fs::read_to_string(path)?;
-    let spec: DetectorSpec =
-        serde_json::from_str(&json).map_err(|e| NoveltyError::Serde(e.to_string()))?;
-    detector_from_spec(spec)
+    NoveltyDetector::load(path)
 }
 
 #[cfg(test)]
@@ -133,12 +195,14 @@ mod tests {
         let img = &data.frames()[0].image;
         let before = detector.score(img).unwrap();
         let spec = detector_to_spec(&detector).unwrap();
+        assert_eq!(spec.schema_version, DETECTOR_SCHEMA_VERSION);
         let back = detector_from_spec(spec).unwrap();
         let after = back.score(img).unwrap();
         assert_eq!(before, after);
         assert_eq!(back.threshold(), detector.threshold());
         assert_eq!(back.preprocessing(), detector.preprocessing());
         assert_eq!(back.training_scores(), detector.training_scores());
+        assert_eq!(back.kind(), detector.kind());
     }
 
     #[test]
@@ -147,14 +211,46 @@ mod tests {
         let dir = std::env::temp_dir().join("saliency_novelty_persist_test");
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("detector.json");
-        save_detector(&detector, &path).unwrap();
-        let back = load_detector(&path).unwrap();
+        detector.save(&path).unwrap();
+        let back = NoveltyDetector::load(&path).unwrap();
         for frame in data.frames().iter().take(3) {
             let a = detector.classify(&frame.image).unwrap();
             let b = back.classify(&frame.image).unwrap();
-            assert_eq!(a.is_novel, b.is_novel);
-            assert_eq!(a.score, b.score);
+            assert_eq!(a, b);
         }
+        // The free-function wrappers read the same file.
+        let back2 = load_detector(&path).unwrap();
+        assert_eq!(back2.threshold(), detector.threshold());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn schema_version_mismatch_is_a_clear_error() {
+        let (detector, _) = trained();
+        let mut spec = detector_to_spec(&detector).unwrap();
+        spec.schema_version = DETECTOR_SCHEMA_VERSION + 7;
+        let err = detector_from_spec(spec).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("schema version"), "{msg}");
+        assert!(msg.contains(&DETECTOR_SCHEMA_VERSION.to_string()), "{msg}");
+    }
+
+    #[test]
+    fn pre_versioning_files_are_rejected_with_guidance() {
+        let (detector, _) = trained();
+        let dir = std::env::temp_dir().join("saliency_novelty_persist_test3");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("old.json");
+        // Simulate a v1 file: serialize, then strip the version field.
+        let spec = detector_to_spec(&detector).unwrap();
+        let json = serde_json::to_string(&spec).unwrap();
+        let needle = format!("\"schema_version\":{DETECTOR_SCHEMA_VERSION},");
+        let old_json = json.replacen(&needle, "", 1);
+        assert_ne!(json, old_json, "expected to strip the version field");
+        std::fs::write(&path, old_json).unwrap();
+        let err = NoveltyDetector::load(&path).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("predates schema versioning"), "{msg}");
         std::fs::remove_file(&path).unwrap();
     }
 
@@ -164,8 +260,8 @@ mod tests {
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("bad.json");
         std::fs::write(&path, "{not json").unwrap();
-        assert!(load_detector(&path).is_err());
-        assert!(load_detector(dir.join("missing.json")).is_err());
+        assert!(NoveltyDetector::load(&path).is_err());
+        assert!(NoveltyDetector::load(dir.join("missing.json")).is_err());
         std::fs::remove_file(&path).unwrap();
     }
 }

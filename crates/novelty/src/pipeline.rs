@@ -11,12 +11,14 @@
 //! | [`NoveltyDetectorBuilder::vbp_mse_ablation`] | VBP | MSE | middle histogram |
 //! | [`NoveltyDetectorBuilder::richter_roy`] | raw | MSE | prior work (reference 9) |
 
+use metrics::ecdf::Ecdf;
 use ndtensor::Tensor;
 use neural::loss::MseLoss;
 use neural::models::{pilotnet, PilotNetConfig};
 use neural::optim::Adam;
-use neural::{fit, Network, TrainConfig};
-use saliency::{visual_backprop, visual_backprop_batch};
+use neural::{fit_recorded, Network, TrainConfig};
+use obs::{Recorder, Scoped, Span};
+use saliency::{visual_backprop, visual_backprop_batch_recorded};
 use serde::{Deserialize, Serialize};
 use simdrive::DrivingDataset;
 use vision::Image;
@@ -48,7 +50,7 @@ impl Preprocessing {
 }
 
 /// The three pipeline variants compared in the paper's Fig. 5.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum PipelineKind {
     /// Raw images + MSE autoencoder (Richter & Roy, reference 9).
     RawMse,
@@ -78,8 +80,12 @@ impl PipelineKind {
     }
 }
 
-/// One classification outcome.
-#[derive(Debug, Clone, Copy, PartialEq)]
+/// One classification outcome, carrying the full decision context: not
+/// just the flag but the score, the threshold it was compared against,
+/// where the score sits in the calibration distribution, and which
+/// pipeline produced it — enough to log, audit, or replay the decision
+/// without the detector at hand.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct Verdict {
     /// `true` when the input was flagged novel.
     pub is_novel: bool,
@@ -89,6 +95,12 @@ pub struct Verdict {
     pub threshold: f32,
     /// Which side of the threshold counts as novel.
     pub direction: Direction,
+    /// Where the score falls in the calibration distribution, in
+    /// `[0, 100]`: the percentage of training scores `<=` this score
+    /// (0.0 when the detector carries no training scores).
+    pub percentile_rank: f32,
+    /// The pipeline variant that produced this verdict.
+    pub kind: PipelineKind,
 }
 
 /// A trained two-layer novelty detector.
@@ -99,6 +111,10 @@ pub struct NoveltyDetector {
     threshold: Threshold,
     preprocessing: Preprocessing,
     training_scores: Vec<f32>,
+    /// ECDF over `training_scores`, cached so every [`Verdict`] can
+    /// carry a percentile rank without re-sorting. `None` when there are
+    /// no (finite) training scores.
+    score_ecdf: Option<Ecdf>,
 }
 
 impl NoveltyDetector {
@@ -115,12 +131,14 @@ impl NoveltyDetector {
                 "VBP preprocessing requires a steering network",
             ));
         }
+        let score_ecdf = Ecdf::new(training_scores.clone()).ok();
         Ok(NoveltyDetector {
             steering,
             classifier,
             threshold,
             preprocessing,
             training_scores,
+            score_ecdf,
         })
     }
 
@@ -148,6 +166,38 @@ impl NoveltyDetector {
     /// distribution the threshold was calibrated on).
     pub fn training_scores(&self) -> &[f32] {
         &self.training_scores
+    }
+
+    /// The pipeline variant this detector implements.
+    pub fn kind(&self) -> PipelineKind {
+        match (self.preprocessing, self.classifier.objective()) {
+            (Preprocessing::Raw, _) => PipelineKind::RawMse,
+            (Preprocessing::Vbp, ReconstructionObjective::Mse) => PipelineKind::VbpMse,
+            (Preprocessing::Vbp, ReconstructionObjective::Ssim { .. }) => PipelineKind::VbpSsim,
+        }
+    }
+
+    /// Where `score` falls in the calibration distribution, in
+    /// `[0, 100]`: the percentage of training scores `<=` it. Returns
+    /// 0.0 when the detector carries no training scores (e.g. a spec
+    /// stripped for size).
+    pub fn percentile_rank(&self, score: f32) -> f32 {
+        match &self.score_ecdf {
+            Some(ecdf) => 100.0 * ecdf.cdf(score),
+            None => 0.0,
+        }
+    }
+
+    /// Builds the full-context [`Verdict`] for an already-computed score.
+    fn verdict_for(&self, score: f32) -> Verdict {
+        Verdict {
+            is_novel: self.threshold.is_novel(score),
+            score,
+            threshold: self.threshold.value(),
+            direction: self.threshold.direction(),
+            percentile_rank: self.percentile_rank(score),
+            kind: self.kind(),
+        }
     }
 
     /// Applies the pipeline's preprocessing to an image (identity for
@@ -208,11 +258,46 @@ impl NoveltyDetector {
     /// Fails on the first incompatible image (by index, matching serial
     /// iteration order).
     pub fn score_batch(&self, images: &[Image]) -> Result<Vec<f32>> {
+        self.score_batch_recorded(images, obs::noop())
+    }
+
+    /// [`NoveltyDetector::score_batch`] with observability: the batch
+    /// runs under a `scoring` span, `scoring.scores_computed` counts the
+    /// scores, per-image latency samples land in the
+    /// `scoring.latency_secs` histogram, and the work pool's activity
+    /// during the batch lands under `scoring.par.*`.
+    ///
+    /// Recording never changes the scores — they are bit-identical with
+    /// any recorder, at any thread count.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`NoveltyDetector::score_batch`].
+    pub fn score_batch_recorded(
+        &self,
+        images: &[Image],
+        recorder: &dyn Recorder,
+    ) -> Result<Vec<f32>> {
         let work = images
             .len()
             .saturating_mul(self.classifier.height() * self.classifier.width())
             .saturating_mul(64);
-        ndtensor::par::try_parallel_map(images.len(), work, |i| self.score(&images[i]))
+        let pool_before = recorder.enabled().then(obs::par_snapshot);
+        let scores = obs::time(recorder, "scoring", || {
+            ndtensor::par::try_parallel_map(images.len(), work, |i| {
+                let start = recorder.enabled().then(std::time::Instant::now);
+                let score = self.score(&images[i]);
+                if let Some(start) = start {
+                    recorder.observe("scoring.latency_secs", start.elapsed().as_secs_f64());
+                }
+                score
+            })
+        })?;
+        recorder.add("scoring.scores_computed", scores.len() as u64);
+        if let Some(before) = pool_before {
+            obs::record_par_delta(&Scoped::new(recorder, "scoring"), before);
+        }
+        Ok(scores)
     }
 
     /// Classifies an image as novel or in-distribution.
@@ -221,13 +306,23 @@ impl NoveltyDetector {
     ///
     /// Fails when the image size is incompatible with the pipeline.
     pub fn classify(&self, image: &Image) -> Result<Verdict> {
-        let score = self.score(image)?;
-        Ok(Verdict {
-            is_novel: self.threshold.is_novel(score),
-            score,
-            threshold: self.threshold.value(),
-            direction: self.threshold.direction(),
-        })
+        Ok(self.verdict_for(self.score(image)?))
+    }
+
+    /// Classifies a batch of images, scoring them in parallel via
+    /// [`NoveltyDetector::score_batch`]. Verdict `i` is exactly what
+    /// [`NoveltyDetector::classify`] would return for image `i`.
+    ///
+    /// # Errors
+    ///
+    /// Fails on the first incompatible image (by index, matching serial
+    /// iteration order).
+    pub fn classify_batch(&self, images: &[Image]) -> Result<Vec<Verdict>> {
+        Ok(self
+            .score_batch(images)?
+            .into_iter()
+            .map(|score| self.verdict_for(score))
+            .collect())
     }
 
     /// Reconstructs the (preprocessed) image through the autoencoder —
@@ -400,12 +495,28 @@ impl NoveltyDetectorBuilder {
     /// Fails when the dataset is empty or image sizes are incompatible
     /// with the CNN configuration.
     pub fn train_steering_cnn(&self, dataset: &DrivingDataset) -> Result<Network> {
+        self.train_steering_cnn_recorded(dataset, obs::noop())
+    }
+
+    /// [`NoveltyDetectorBuilder::train_steering_cnn`] with observability:
+    /// the run is timed under a `cnn-train` span, with per-epoch loss and
+    /// time in the `cnn-train.epoch_loss` / `cnn-train.epoch_secs` series.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`NoveltyDetectorBuilder::train_steering_cnn`].
+    pub fn train_steering_cnn_recorded(
+        &self,
+        dataset: &DrivingDataset,
+        recorder: &dyn Recorder,
+    ) -> Result<Network> {
         if dataset.is_empty() {
             return Err(NoveltyError::invalid(
                 "train_steering_cnn",
                 "dataset is empty",
             ));
         }
+        let span = Span::root(recorder, "cnn-train");
         let cfg = PilotNetConfig {
             height: dataset.frames()[0].image.height(),
             width: dataset.frames()[0].image.width(),
@@ -421,14 +532,16 @@ impl NoveltyDetectorBuilder {
         let train_cfg = TrainConfig::new(self.cnn_epochs, 32)
             .with_seed(self.seed ^ 0xC4F)
             .with_grad_clip(10.0);
-        fit(
+        fit_recorded(
             &mut net,
             &MseLoss::new(),
             &mut opt,
             &inputs,
             &targets,
             &train_cfg,
+            &Scoped::new(recorder, "cnn-train"),
         )?;
+        span.finish();
         Ok(net)
     }
 
@@ -442,6 +555,27 @@ impl NoveltyDetectorBuilder {
     /// training.
     pub fn train(&self, dataset: &DrivingDataset) -> Result<NoveltyDetector> {
         self.train_with_cnn(dataset, None)
+    }
+
+    /// [`NoveltyDetectorBuilder::train`] with observability: each
+    /// pipeline stage is timed under its own span (`cnn-train`, `vbp`,
+    /// `ae-train`, `scoring`, `calibration` — raw pipelines skip the
+    /// first two), per-epoch training curves land in the corresponding
+    /// series, and the calibrated threshold is recorded as a gauge.
+    ///
+    /// Recording never changes what is trained: the resulting detector
+    /// is identical (same weights, scores, threshold) with any recorder,
+    /// at any thread count.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`NoveltyDetectorBuilder::train`].
+    pub fn train_recorded(
+        &self,
+        dataset: &DrivingDataset,
+        recorder: &dyn Recorder,
+    ) -> Result<NoveltyDetector> {
+        self.train_with_cnn_recorded(dataset, None, recorder)
     }
 
     /// Like [`NoveltyDetectorBuilder::train`], but reuses an
@@ -460,6 +594,23 @@ impl NoveltyDetectorBuilder {
         dataset: &DrivingDataset,
         pretrained_cnn: Option<Network>,
     ) -> Result<NoveltyDetector> {
+        self.train_with_cnn_recorded(dataset, pretrained_cnn, obs::noop())
+    }
+
+    /// [`NoveltyDetectorBuilder::train_with_cnn`] with observability; see
+    /// [`NoveltyDetectorBuilder::train_recorded`] for the probes. When a
+    /// pretrained CNN is supplied the `cnn-train` stage is (correctly)
+    /// absent from the report.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`NoveltyDetectorBuilder::train_with_cnn`].
+    pub fn train_with_cnn_recorded(
+        &self,
+        dataset: &DrivingDataset,
+        pretrained_cnn: Option<Network>,
+        recorder: &dyn Recorder,
+    ) -> Result<NoveltyDetector> {
         if !(0.0..=1.0).contains(&self.train_fraction) {
             return Err(NoveltyError::invalid(
                 "train",
@@ -473,12 +624,14 @@ impl NoveltyDetectorBuilder {
         if train_split.is_empty() {
             return Err(NoveltyError::invalid("train", "training split is empty"));
         }
+        recorder.add("train.images", train_split.len() as u64);
+        recorder.gauge("train.fraction", self.train_fraction as f64);
 
         let steering = match self.preprocessing {
             Preprocessing::Raw => None,
             Preprocessing::Vbp => match pretrained_cnn {
                 Some(net) => Some(net),
-                None => Some(self.train_steering_cnn(&train_split)?),
+                None => Some(self.train_steering_cnn_recorded(&train_split, recorder)?),
             },
         };
 
@@ -497,12 +650,18 @@ impl NoveltyDetectorBuilder {
                     .iter()
                     .map(|f| f.image.clone())
                     .collect();
-                visual_backprop_batch(net, &images)?
+                visual_backprop_batch_recorded(net, &images, recorder)?
             }
         };
 
-        let classifier =
-            AutoencoderClassifier::train(&representations, &self.classifier, self.seed ^ 0xAE5)?;
+        let ae_span = Span::root(recorder, "ae-train");
+        let classifier = AutoencoderClassifier::train_recorded(
+            &representations,
+            &self.classifier,
+            self.seed ^ 0xAE5,
+            &Scoped::new(recorder, "ae-train"),
+        )?;
+        ae_span.finish();
 
         // Calibrate on the training distribution (Richter & Roy rule).
         // Scoring fans out over the work pool; order and values match the
@@ -511,12 +670,20 @@ impl NoveltyDetectorBuilder {
             .len()
             .saturating_mul(classifier.height() * classifier.width())
             .saturating_mul(64);
-        let training_scores: Vec<f32> =
+        let training_scores: Vec<f32> = obs::time(recorder, "scoring", || {
             ndtensor::par::try_parallel_map(representations.len(), score_work, |i| {
                 classifier.score(&representations[i])
-            })?;
+            })
+        })?;
+        recorder.add("scoring.scores_computed", training_scores.len() as u64);
+
+        let cal_span = Span::root(recorder, "calibration");
         let threshold = Calibrator::new(self.percentile)?
             .calibrate(&training_scores, classifier.direction())?;
+        cal_span.finish();
+        recorder.add("calibration.samples", training_scores.len() as u64);
+        recorder.gauge("calibration.threshold", threshold.value() as f64);
+        recorder.gauge("calibration.percentile", self.percentile as f64);
 
         NoveltyDetector::from_parts(
             steering,

@@ -1,0 +1,69 @@
+//! Error type for report serialization and validation.
+
+use std::fmt;
+
+/// Error type for building, saving and loading run reports.
+#[derive(Debug)]
+pub enum ObsError {
+    /// A report-level invariant was violated.
+    Invalid {
+        /// Short name of the operation that failed.
+        op: &'static str,
+        /// Human-readable description of the violated invariant.
+        reason: String,
+    },
+    /// Report (de)serialization failed.
+    Serde(String),
+    /// File I/O failed.
+    Io(std::io::Error),
+}
+
+impl ObsError {
+    /// Builds an [`ObsError::Invalid`].
+    pub fn invalid(op: &'static str, reason: impl Into<String>) -> Self {
+        ObsError::Invalid {
+            op,
+            reason: reason.into(),
+        }
+    }
+}
+
+impl fmt::Display for ObsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ObsError::Invalid { op, reason } => write!(f, "{op}: {reason}"),
+            ObsError::Serde(msg) => write!(f, "report serialization error: {msg}"),
+            ObsError::Io(e) => write!(f, "io error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ObsError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ObsError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for ObsError {
+    fn from(e: std::io::Error) -> Self {
+        ObsError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        use std::error::Error;
+        let e = ObsError::invalid("report", "no stages");
+        assert!(e.to_string().contains("report"));
+        assert!(e.source().is_none());
+        let e = ObsError::from(std::io::Error::new(std::io::ErrorKind::NotFound, "x"));
+        assert!(e.source().is_some());
+    }
+}

@@ -1,0 +1,65 @@
+//! Bridge from [`ndtensor::par`]'s always-on pool counters into a
+//! [`Recorder`].
+//!
+//! `ndtensor` sits below `obs` in the crate graph, so it cannot record
+//! into a `Recorder` directly; instead its pool keeps cheap global
+//! atomics ([`ndtensor::par::ParStats`]) and observers diff snapshots
+//! around the region they care about.
+
+use crate::Recorder;
+use ndtensor::par::{stats, thread_config, ParStats};
+
+/// Takes a pool-stats snapshot to later diff with [`record_par_delta`].
+pub fn par_snapshot() -> ParStats {
+    stats()
+}
+
+/// Records the pool activity since `before` as `par.*` counters plus a
+/// `par.pool_utilization` gauge (mean fraction of the configured pool
+/// actually used per parallel job; 0 when no job went parallel).
+///
+/// No-op when the recorder is disabled.
+pub fn record_par_delta(recorder: &dyn Recorder, before: ParStats) {
+    if !recorder.enabled() {
+        return;
+    }
+    let d = stats().since(before);
+    recorder.add("par.jobs", d.jobs);
+    recorder.add("par.serial_jobs", d.serial_jobs);
+    recorder.add("par.parallel_jobs", d.parallel_jobs);
+    recorder.add("par.tasks_dispatched", d.tasks_dispatched);
+    recorder.add("par.items_processed", d.items_processed);
+    let pool = thread_config().threads() as f64;
+    let utilization = if d.parallel_jobs > 0 && pool > 0.0 {
+        d.tasks_dispatched as f64 / (d.parallel_jobs as f64 * pool)
+    } else {
+        0.0
+    };
+    recorder.gauge("par.pool_utilization", utilization);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::RunRecorder;
+
+    #[test]
+    fn delta_lands_in_recorder() {
+        let rec = RunRecorder::new();
+        let before = par_snapshot();
+        // A job below the parallel threshold still counts as a job.
+        ndtensor::par::for_each_block(&mut [0.0f32; 8], 1, 1, |_, _| {});
+        record_par_delta(&rec, before);
+        let report = rec.report("t");
+        assert!(report.counter("par.jobs").unwrap_or(0) >= 1);
+        assert!(report.counter("par.items_processed").unwrap_or(0) >= 8);
+        assert!(report.gauge("par.pool_utilization").is_some());
+    }
+
+    #[test]
+    fn disabled_recorder_skips_the_snapshot_diff() {
+        let before = par_snapshot();
+        record_par_delta(crate::noop(), before);
+        // Nothing to assert beyond "does not panic": noop keeps nothing.
+    }
+}

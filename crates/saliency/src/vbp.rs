@@ -198,11 +198,41 @@ pub fn visual_backprop(network: &Network, image: &Image) -> Result<Image> {
 ///
 /// Same conditions as [`visual_backprop`], per image.
 pub fn visual_backprop_batch(network: &Network, images: &[Image]) -> Result<Vec<Image>> {
+    visual_backprop_batch_recorded(network, images, obs::noop())
+}
+
+/// [`visual_backprop_batch`] with observability: the whole batch runs
+/// under a `vbp` span, `vbp.masks_computed` counts the masks produced,
+/// `vbp.batch_size` collects batch-size samples, and the work pool's
+/// activity during the batch lands under `vbp.par.*`.
+///
+/// Recording never changes what is computed — the returned masks are
+/// bit-identical with any recorder, at any thread count.
+///
+/// # Errors
+///
+/// Same conditions as [`visual_backprop`], per image.
+pub fn visual_backprop_batch_recorded(
+    network: &Network,
+    images: &[Image],
+    recorder: &dyn obs::Recorder,
+) -> Result<Vec<Image>> {
     let work = images
         .len()
         .saturating_mul(images.first().map_or(0, |img| img.height() * img.width()))
         .saturating_mul(64);
-    ndtensor::par::try_parallel_map(images.len(), work, |i| visual_backprop(network, &images[i]))
+    let pool_before = recorder.enabled().then(obs::par_snapshot);
+    let masks = obs::time(recorder, "vbp", || {
+        ndtensor::par::try_parallel_map(images.len(), work, |i| {
+            visual_backprop(network, &images[i])
+        })
+    })?;
+    recorder.add("vbp.masks_computed", masks.len() as u64);
+    recorder.observe("vbp.batch_size", images.len() as f64);
+    if let Some(before) = pool_before {
+        obs::record_par_delta(&obs::Scoped::new(recorder, "vbp"), before);
+    }
+    Ok(masks)
 }
 
 #[cfg(test)]
@@ -322,6 +352,27 @@ mod tests {
         for (b, s) in batch.iter().zip(&serial) {
             assert_eq!(b.as_slice(), s.as_slice());
         }
+    }
+
+    #[test]
+    fn recorded_batch_matches_plain_batch_and_counts_masks() {
+        let net = pilotnet(&PilotNetConfig::compact(), 23).unwrap();
+        let images: Vec<Image> = (0..3)
+            .map(|s| {
+                Image::from_fn(60, 160, |y, x| ((y * 5 + x + s * 31) % 13) as f32 / 12.0).unwrap()
+            })
+            .collect();
+        let rec = obs::RunRecorder::new();
+        let recorded = visual_backprop_batch_recorded(&net, &images, &rec).unwrap();
+        let plain = visual_backprop_batch(&net, &images).unwrap();
+        for (a, b) in recorded.iter().zip(&plain) {
+            assert_eq!(a.as_slice(), b.as_slice());
+        }
+        let report = rec.report("vbp");
+        assert_eq!(report.counter("vbp.masks_computed"), Some(3));
+        assert!(report.stage("vbp").unwrap().total_secs > 0.0);
+        assert_eq!(report.histogram("vbp.batch_size").unwrap().count, 1);
+        assert!(report.counter("vbp.par.jobs").unwrap_or(0) >= 1);
     }
 
     #[test]

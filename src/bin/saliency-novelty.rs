@@ -6,17 +6,23 @@
 //! saliency-novelty classify --detector detector.json --image frames/frame_0003.pgm
 //! saliency-novelty eval     --detector detector.json --novel-world indoor --len 50
 //! saliency-novelty info     --detector detector.json
+//! saliency-novelty report   --file report.json --expect cnn-train,vbp
 //! ```
 //!
-//! Flags are `--key value` pairs; `--help` (or no arguments) prints usage.
-//! The argument parser is deliberately dependency-free.
+//! Flags are `--key value` pairs (`--json` stands alone); `--help` (or no
+//! arguments) prints usage. Usage mistakes (unknown flags, unparseable
+//! values, missing required flags) exit with code 2; runtime failures
+//! (I/O, training, evaluation) exit with code 1. The argument parser is
+//! deliberately dependency-free.
 
 use std::collections::HashMap;
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use novelty::eval::evaluate;
-use novelty::{load_detector, save_detector, NoveltyDetectorBuilder, PipelineKind};
+use ndtensor::par::{set_thread_config, ThreadConfig};
+use novelty::eval::evaluate_recorded;
+use novelty::{NoveltyDetector, NoveltyDetectorBuilder, PipelineKind};
+use obs::{Recorder, RunRecorder, RunReport};
 use simdrive::{DatasetConfig, Weather, World};
 use vision::Image;
 
@@ -41,34 +47,74 @@ COMMANDS:
              --cnn-epochs N           (default 8)
              --ae-epochs N            (default 60)
              --out FILE               (default detector.json)
+             --obs-out FILE           write an observability report
   classify   score one PGM image with a saved detector
              --detector FILE          (required)
              --image FILE.pgm         (required)
+             --json                   emit the full verdict as JSON
   eval       compare target vs novel synthetic data under a detector
              --detector FILE          (required)
              --target-world outdoor|indoor (default outdoor)
              --novel-world outdoor|indoor  (default indoor)
              --len N                  (default 50)
              --seed S                 (default 1)
+             --json                   emit the summary as JSON
+             --obs-out FILE           write an observability report
   info       print a saved detector's configuration
              --detector FILE          (required)
+  report     pretty-print an observability report written by --obs-out
+             --file FILE              (required)
+             --expect s1,s2,...       fail unless every named pipeline
+                                      stage appears with positive time
+
+  All pipeline commands also accept --threads N to fix the worker-pool
+  size (overrides the SALIENCY_THREADS environment variable).
+
+EXIT CODES:
+  0 success · 1 runtime failure · 2 usage error
 ";
+
+/// Flags that stand alone instead of consuming a value.
+const BOOL_FLAGS: &[&str] = &["json"];
+
+/// CLI failure, split so `main` can map the class to an exit code.
+enum CliError {
+    /// The invocation itself was malformed (exit 2).
+    Usage(String),
+    /// The invocation was well-formed but the work failed (exit 1).
+    Runtime(String),
+}
+
+type CliResult = Result<(), CliError>;
+
+fn usage_err(msg: impl Into<String>) -> CliError {
+    CliError::Usage(msg.into())
+}
+
+fn runtime_err(msg: impl Into<String>) -> CliError {
+    CliError::Runtime(msg.into())
+}
 
 struct Args {
     flags: HashMap<String, String>,
 }
 
 impl Args {
-    fn parse(raw: &[String]) -> Result<Args, String> {
+    fn parse(raw: &[String]) -> Result<Args, CliError> {
         let mut flags = HashMap::new();
         let mut i = 0;
         while i < raw.len() {
             let key = raw[i]
                 .strip_prefix("--")
-                .ok_or_else(|| format!("expected --flag, got {:?}", raw[i]))?;
+                .ok_or_else(|| usage_err(format!("expected --flag, got {:?}", raw[i])))?;
+            if BOOL_FLAGS.contains(&key) {
+                flags.insert(key.to_string(), "true".to_string());
+                i += 1;
+                continue;
+            }
             let value = raw
                 .get(i + 1)
-                .ok_or_else(|| format!("flag --{key} is missing its value"))?;
+                .ok_or_else(|| usage_err(format!("flag --{key} is missing its value")))?;
             flags.insert(key.to_string(), value.clone());
             i += 2;
         }
@@ -77,17 +123,17 @@ impl Args {
 
     /// Rejects flags this command does not understand — a typo'd flag
     /// silently falling back to a default is worse than an error.
-    fn reject_unknown(&self, allowed: &[&str]) -> Result<(), String> {
+    fn reject_unknown(&self, allowed: &[&str]) -> Result<(), CliError> {
         for key in self.flags.keys() {
             if !allowed.contains(&key.as_str()) {
-                return Err(format!(
+                return Err(usage_err(format!(
                     "unknown flag --{key} (expected one of: {})",
                     allowed
                         .iter()
                         .map(|k| format!("--{k}"))
                         .collect::<Vec<_>>()
                         .join(", ")
-                ));
+                )));
             }
         }
         Ok(())
@@ -100,68 +146,121 @@ impl Args {
             .unwrap_or_else(|| default.to_string())
     }
 
-    fn required(&self, key: &str) -> Result<String, String> {
+    fn optional(&self, key: &str) -> Option<String> {
+        self.flags.get(key).cloned()
+    }
+
+    fn is_set(&self, key: &str) -> bool {
+        self.flags.contains_key(key)
+    }
+
+    fn required(&self, key: &str) -> Result<String, CliError> {
         self.flags
             .get(key)
             .cloned()
-            .ok_or_else(|| format!("missing required flag --{key}"))
+            .ok_or_else(|| usage_err(format!("missing required flag --{key}")))
     }
 
-    fn usize(&self, key: &str, default: usize) -> Result<usize, String> {
+    fn usize(&self, key: &str, default: usize) -> Result<usize, CliError> {
         match self.flags.get(key) {
             None => Ok(default),
             Some(v) => v
                 .parse()
-                .map_err(|_| format!("--{key} must be an integer, got {v:?}")),
+                .map_err(|_| usage_err(format!("--{key} must be an integer, got {v:?}"))),
         }
     }
 
-    fn u64(&self, key: &str, default: u64) -> Result<u64, String> {
+    fn u64(&self, key: &str, default: u64) -> Result<u64, CliError> {
         match self.flags.get(key) {
             None => Ok(default),
             Some(v) => v
                 .parse()
-                .map_err(|_| format!("--{key} must be an integer, got {v:?}")),
+                .map_err(|_| usage_err(format!("--{key} must be an integer, got {v:?}"))),
         }
+    }
+
+    /// Applies `--threads N` to the process-global worker pool.
+    fn apply_threads(&self) -> Result<(), CliError> {
+        if let Some(v) = self.flags.get("threads") {
+            let n: usize = v
+                .parse()
+                .map_err(|_| usage_err(format!("--threads must be an integer, got {v:?}")))?;
+            if n == 0 {
+                return Err(usage_err("--threads must be at least 1"));
+            }
+            set_thread_config(ThreadConfig::new(n));
+        }
+        Ok(())
     }
 }
 
-fn parse_world(s: &str) -> Result<World, String> {
+fn parse_world(s: &str) -> Result<World, CliError> {
     match s {
         "outdoor" => Ok(World::Outdoor),
         "indoor" => Ok(World::Indoor),
-        other => Err(format!("unknown world {other:?} (outdoor|indoor)")),
+        other => Err(usage_err(format!(
+            "unknown world {other:?} (outdoor|indoor)"
+        ))),
     }
 }
 
-fn parse_weather(s: &str) -> Result<Weather, String> {
+fn parse_weather(s: &str) -> Result<Weather, CliError> {
     match s {
         "clear" => Ok(Weather::Clear),
         "fog" => Ok(Weather::Fog),
         "rain" => Ok(Weather::Rain),
-        other => Err(format!("unknown weather {other:?} (clear|fog|rain)")),
+        other => Err(usage_err(format!(
+            "unknown weather {other:?} (clear|fog|rain)"
+        ))),
     }
 }
 
-fn parse_pipeline(s: &str) -> Result<PipelineKind, String> {
+fn parse_pipeline(s: &str) -> Result<PipelineKind, CliError> {
     match s {
         "vbp+ssim" => Ok(PipelineKind::VbpSsim),
         "vbp+mse" => Ok(PipelineKind::VbpMse),
         "raw+mse" => Ok(PipelineKind::RawMse),
-        other => Err(format!(
+        other => Err(usage_err(format!(
             "unknown pipeline {other:?} (vbp+ssim|vbp+mse|raw+mse)"
-        )),
+        ))),
     }
 }
 
-fn cmd_generate(args: &Args) -> Result<(), String> {
-    args.reject_unknown(&["world", "weather", "len", "seed", "out"])?;
+/// Picks the recorder for a command: a live [`RunRecorder`] when
+/// `--obs-out` is present, the no-op otherwise. Recording never changes
+/// results, only what gets written at the end.
+fn recorder_for(args: &Args) -> (Option<RunRecorder>, Option<String>) {
+    match args.optional("obs-out") {
+        Some(path) => (Some(RunRecorder::new()), Some(path)),
+        None => (None, None),
+    }
+}
+
+/// Writes the observability report if `--obs-out` was requested.
+fn flush_report(
+    recorder: &Option<RunRecorder>,
+    obs_out: &Option<String>,
+    command: &str,
+) -> Result<(), CliError> {
+    if let (Some(recorder), Some(path)) = (recorder, obs_out) {
+        let report = recorder.report(command);
+        report
+            .save(path)
+            .map_err(|e| runtime_err(format!("cannot write report {path}: {e}")))?;
+        eprintln!("wrote observability report to {path}");
+    }
+    Ok(())
+}
+
+fn cmd_generate(args: &Args) -> CliResult {
+    args.reject_unknown(&["world", "weather", "len", "seed", "out", "threads"])?;
     let world = parse_world(&args.get("world", "outdoor"))?;
     let weather = parse_weather(&args.get("weather", "clear"))?;
     let len = args.usize("len", 20)?;
     let seed = args.u64("seed", 0)?;
     let out = PathBuf::from(args.get("out", "frames"));
-    std::fs::create_dir_all(&out).map_err(|e| format!("cannot create {}: {e}", out.display()))?;
+    std::fs::create_dir_all(&out)
+        .map_err(|e| runtime_err(format!("cannot create {}: {e}", out.display())))?;
 
     let dataset = DatasetConfig::for_world(world)
         .with_len(len)
@@ -171,11 +270,11 @@ fn cmd_generate(args: &Args) -> Result<(), String> {
     for (i, frame) in dataset.frames().iter().enumerate() {
         let name = format!("frame_{i:04}.pgm");
         vision::io::save_pgm(&frame.image, out.join(&name))
-            .map_err(|e| format!("cannot write {name}: {e}"))?;
+            .map_err(|e| runtime_err(format!("cannot write {name}: {e}")))?;
         index.push_str(&format!("{name},{:.6}\n", frame.angle));
     }
     std::fs::write(out.join("angles.csv"), index)
-        .map_err(|e| format!("cannot write angles.csv: {e}"))?;
+        .map_err(|e| runtime_err(format!("cannot write angles.csv: {e}")))?;
     println!(
         "wrote {len} {world} frames ({weather}) and angles.csv to {}",
         out.display()
@@ -183,7 +282,7 @@ fn cmd_generate(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_train(args: &Args) -> Result<(), String> {
+fn cmd_train(args: &Args) -> CliResult {
     args.reject_unknown(&[
         "world",
         "pipeline",
@@ -192,6 +291,8 @@ fn cmd_train(args: &Args) -> Result<(), String> {
         "cnn-epochs",
         "ae-epochs",
         "out",
+        "obs-out",
+        "threads",
     ])?;
     let world = parse_world(&args.get("world", "outdoor"))?;
     let pipeline = parse_pipeline(&args.get("pipeline", "vbp+ssim"))?;
@@ -200,6 +301,7 @@ fn cmd_train(args: &Args) -> Result<(), String> {
     let cnn_epochs = args.usize("cnn-epochs", 8)?;
     let ae_epochs = args.usize("ae-epochs", 60)?;
     let out = args.get("out", "detector.json");
+    let (recorder, obs_out) = recorder_for(args);
 
     println!("generating {len} {world} training frames…");
     let dataset = DatasetConfig::for_world(world).with_len(len).generate(seed);
@@ -207,51 +309,80 @@ fn cmd_train(args: &Args) -> Result<(), String> {
         "training {} pipeline (cnn {cnn_epochs} ep, ae {ae_epochs} ep)…",
         pipeline.name()
     );
-    let detector = NoveltyDetectorBuilder::for_kind(pipeline)
+    let builder = NoveltyDetectorBuilder::for_kind(pipeline)
         .cnn_epochs(cnn_epochs)
         .ae_epochs(ae_epochs)
-        .seed(seed)
-        .train(&dataset)
-        .map_err(|e| format!("training failed: {e}"))?;
-    save_detector(&detector, &out).map_err(|e| format!("cannot save {out}: {e}"))?;
+        .seed(seed);
+    let dyn_recorder: &dyn Recorder = match &recorder {
+        Some(r) => r,
+        None => obs::noop(),
+    };
+    let detector = builder
+        .train_recorded(&dataset, dyn_recorder)
+        .map_err(|e| runtime_err(format!("training failed: {e}")))?;
+    detector
+        .save(&out)
+        .map_err(|e| runtime_err(format!("cannot save {out}: {e}")))?;
     println!(
         "saved detector to {out} (threshold {:.4}, {} training scores)",
         detector.threshold().value(),
         detector.training_scores().len()
     );
-    Ok(())
+    flush_report(&recorder, &obs_out, "train")
 }
 
-fn load_image(path: &str) -> Result<Image, String> {
-    vision::io::load_pgm(path).map_err(|e| format!("cannot read {path}: {e}"))
+fn load_image(path: &str) -> Result<Image, CliError> {
+    vision::io::load_pgm(path).map_err(|e| runtime_err(format!("cannot read {path}: {e}")))
 }
 
-fn cmd_classify(args: &Args) -> Result<(), String> {
-    args.reject_unknown(&["detector", "image"])?;
-    let detector = load_detector(args.required("detector")?)
-        .map_err(|e| format!("cannot load detector: {e}"))?;
+fn load_detector_file(args: &Args) -> Result<NoveltyDetector, CliError> {
+    NoveltyDetector::load(args.required("detector")?)
+        .map_err(|e| runtime_err(format!("cannot load detector: {e}")))
+}
+
+fn cmd_classify(args: &Args) -> CliResult {
+    args.reject_unknown(&["detector", "image", "json", "threads"])?;
+    let detector = load_detector_file(args)?;
     let image = load_image(&args.required("image")?)?;
     let verdict = detector
         .classify(&image)
-        .map_err(|e| format!("classification failed: {e}"))?;
-    println!(
-        "{{\"is_novel\": {}, \"score\": {:.6}, \"threshold\": {:.6}, \"metric\": \"{}\"}}",
-        verdict.is_novel,
-        verdict.score,
-        verdict.threshold,
-        detector.classifier().objective().name()
-    );
+        .map_err(|e| runtime_err(format!("classification failed: {e}")))?;
+    if args.is_set("json") {
+        let json = serde_json::to_string(&verdict)
+            .map_err(|e| runtime_err(format!("cannot serialize verdict: {e}")))?;
+        println!("{json}");
+    } else {
+        println!(
+            "{{\"is_novel\": {}, \"score\": {:.6}, \"threshold\": {:.6}, \
+             \"percentile_rank\": {:.2}, \"pipeline\": \"{}\", \"metric\": \"{}\"}}",
+            verdict.is_novel,
+            verdict.score,
+            verdict.threshold,
+            verdict.percentile_rank,
+            verdict.kind.name(),
+            detector.classifier().objective().name()
+        );
+    }
     Ok(())
 }
 
-fn cmd_eval(args: &Args) -> Result<(), String> {
-    args.reject_unknown(&["detector", "target-world", "novel-world", "len", "seed"])?;
-    let detector = load_detector(args.required("detector")?)
-        .map_err(|e| format!("cannot load detector: {e}"))?;
+fn cmd_eval(args: &Args) -> CliResult {
+    args.reject_unknown(&[
+        "detector",
+        "target-world",
+        "novel-world",
+        "len",
+        "seed",
+        "json",
+        "obs-out",
+        "threads",
+    ])?;
+    let detector = load_detector_file(args)?;
     let target_world = parse_world(&args.get("target-world", "outdoor"))?;
     let novel_world = parse_world(&args.get("novel-world", "indoor"))?;
     let len = args.usize("len", 50)?;
     let seed = args.u64("seed", 1)?;
+    let (recorder, obs_out) = recorder_for(args);
     let images = |world: World, seed: u64| -> Vec<Image> {
         DatasetConfig::for_world(world)
             .with_len(len)
@@ -261,20 +392,39 @@ fn cmd_eval(args: &Args) -> Result<(), String> {
             .map(|f| f.image.clone())
             .collect()
     };
-    let report = evaluate(
+    let dyn_recorder: &dyn Recorder = match &recorder {
+        Some(r) => r,
+        None => obs::noop(),
+    };
+    let report = evaluate_recorded(
         &detector,
         &images(target_world, seed),
         &images(novel_world, seed + 1),
+        dyn_recorder,
     )
-    .map_err(|e| format!("evaluation failed: {e}"))?;
-    println!("{report}");
-    Ok(())
+    .map_err(|e| runtime_err(format!("evaluation failed: {e}")))?;
+    if args.is_set("json") {
+        println!(
+            "{{\"auroc\": {:.6}, \"novel_detection_rate\": {:.6}, \
+             \"false_positive_rate\": {:.6}, \"threshold\": {:.6}, \
+             \"target_images\": {}, \"novel_images\": {}}}",
+            report.separation.auroc,
+            report.novel_detection_rate,
+            report.false_positive_rate,
+            report.threshold,
+            report.target_scores.len(),
+            report.novel_scores.len()
+        );
+    } else {
+        println!("{report}");
+    }
+    flush_report(&recorder, &obs_out, "eval")
 }
 
-fn cmd_info(args: &Args) -> Result<(), String> {
+fn cmd_info(args: &Args) -> CliResult {
     args.reject_unknown(&["detector"])?;
-    let detector = load_detector(args.required("detector")?)
-        .map_err(|e| format!("cannot load detector: {e}"))?;
+    let detector = load_detector_file(args)?;
+    println!("pipeline:      {}", detector.kind().name());
     println!("preprocessing: {}", detector.preprocessing().name());
     println!(
         "objective:     {}",
@@ -311,7 +461,34 @@ fn cmd_info(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
-fn run() -> Result<(), String> {
+fn cmd_report(args: &Args) -> CliResult {
+    args.reject_unknown(&["file", "expect"])?;
+    let file = args.required("file")?;
+    let report =
+        RunReport::load(&file).map_err(|e| runtime_err(format!("cannot load {file}: {e}")))?;
+    print!("{report}");
+    if let Some(expected) = args.optional("expect") {
+        let names: Vec<&str> = expected
+            .split(',')
+            .map(str::trim)
+            .filter(|s| !s.is_empty())
+            .collect();
+        if names.is_empty() {
+            return Err(usage_err("--expect needs a comma-separated stage list"));
+        }
+        let missing = report.missing_stages(&names);
+        if !missing.is_empty() {
+            return Err(runtime_err(format!(
+                "report is missing expected stages (or they have zero time): {}",
+                missing.join(", ")
+            )));
+        }
+        println!("all expected stages present: {}", names.join(", "));
+    }
+    Ok(())
+}
+
+fn run() -> CliResult {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let Some(command) = argv.first() else {
         print!("{USAGE}");
@@ -322,22 +499,28 @@ fn run() -> Result<(), String> {
         return Ok(());
     }
     let args = Args::parse(&argv[1..])?;
+    args.apply_threads()?;
     match command.as_str() {
         "generate" => cmd_generate(&args),
         "train" => cmd_train(&args),
         "classify" => cmd_classify(&args),
         "eval" => cmd_eval(&args),
         "info" => cmd_info(&args),
-        other => Err(format!("unknown command {other:?}\n\n{USAGE}")),
+        "report" => cmd_report(&args),
+        other => Err(usage_err(format!("unknown command {other:?}\n\n{USAGE}"))),
     }
 }
 
 fn main() -> ExitCode {
     match run() {
         Ok(()) => ExitCode::SUCCESS,
-        Err(msg) => {
+        Err(CliError::Runtime(msg)) => {
             eprintln!("error: {msg}");
-            ExitCode::FAILURE
+            ExitCode::from(1)
+        }
+        Err(CliError::Usage(msg)) => {
+            eprintln!("error: {msg}");
+            ExitCode::from(2)
         }
     }
 }

@@ -49,6 +49,7 @@ pub use metrics;
 pub use ndtensor;
 pub use neural;
 pub use novelty;
+pub use obs;
 pub use saliency;
 pub use simdrive;
 pub use vision;
@@ -62,6 +63,7 @@ pub mod prelude {
     pub use novelty::{
         Calibrator, Direction, NoveltyDetector, NoveltyDetectorBuilder, PipelineKind, Verdict,
     };
+    pub use obs::{Recorder, RunRecorder, RunReport};
     pub use saliency::{visual_backprop, SaliencyMethod};
     pub use simdrive::{DatasetConfig, DrivingDataset, Weather, World};
     pub use vision::Image;

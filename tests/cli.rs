@@ -79,6 +79,27 @@ fn unknown_command_fails_with_usage() {
 }
 
 #[test]
+fn usage_errors_exit_2_and_runtime_errors_exit_1() {
+    // Usage class: unknown command, unknown flag, unparseable value,
+    // missing required flag, bad --threads.
+    for args in [
+        vec!["frobnicate"],
+        vec!["generate", "--frobnicate", "1"],
+        vec!["generate", "--len", "many"],
+        vec!["classify"],
+        vec!["eval", "--detector", "x.json", "--threads", "0"],
+    ] {
+        let out = run(&args);
+        assert_eq!(out.status.code(), Some(2), "{args:?}: {}", stderr(&out));
+    }
+    // Runtime class: well-formed invocation, missing file.
+    let out = run(&["info", "--detector", "/nonexistent.json"]);
+    assert_eq!(out.status.code(), Some(1), "{}", stderr(&out));
+    let out = run(&["report", "--file", "/nonexistent.json"]);
+    assert_eq!(out.status.code(), Some(1), "{}", stderr(&out));
+}
+
+#[test]
 fn generate_writes_frames_and_index() {
     let dir = temp_dir("generate");
     let out = run(&[
@@ -180,4 +201,110 @@ fn classify_requires_its_flags() {
         "x.pgm",
     ]);
     assert!(!out.status.success());
+}
+
+#[test]
+fn classify_json_emits_full_verdict() {
+    let detector = trained_detector_path();
+    let dir = temp_dir("classify_json");
+    let gen = run(&[
+        "generate",
+        "--world",
+        "outdoor",
+        "--len",
+        "1",
+        "--seed",
+        "78",
+        "--out",
+        dir.to_str().unwrap(),
+    ]);
+    assert!(gen.status.success());
+    let out = run(&[
+        "classify",
+        "--detector",
+        detector.to_str().unwrap(),
+        "--image",
+        dir.join("frame_0000.pgm").to_str().unwrap(),
+        "--json",
+    ]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let json = stdout(&out);
+    for field in [
+        "\"is_novel\"",
+        "\"score\"",
+        "\"threshold\"",
+        "\"percentile_rank\"",
+        "\"kind\"",
+    ] {
+        assert!(json.contains(field), "missing {field} in {json}");
+    }
+}
+
+#[test]
+fn eval_json_and_threads_flags_work() {
+    let detector = trained_detector_path();
+    let out = run(&[
+        "eval",
+        "--detector",
+        detector.to_str().unwrap(),
+        "--len",
+        "6",
+        "--threads",
+        "2",
+        "--json",
+    ]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let json = stdout(&out);
+    assert!(json.contains("\"auroc\""), "{json}");
+    assert!(json.contains("\"novel_detection_rate\""), "{json}");
+}
+
+#[test]
+fn train_obs_out_then_report_roundtrip() {
+    let dir = temp_dir("obs");
+    let detector = dir.join("detector.json");
+    let report = dir.join("report.json");
+    let out = run(&[
+        "train",
+        "--world",
+        "outdoor",
+        "--len",
+        "24",
+        "--seed",
+        "4",
+        "--cnn-epochs",
+        "1",
+        "--ae-epochs",
+        "2",
+        "--out",
+        detector.to_str().unwrap(),
+        "--obs-out",
+        report.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    assert!(report.exists(), "train --obs-out wrote no report");
+
+    // `report` pretty-prints and verifies the expected stages.
+    let out = run(&[
+        "report",
+        "--file",
+        report.to_str().unwrap(),
+        "--expect",
+        "cnn-train,vbp,ae-train,calibration,scoring",
+    ]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("all expected stages present"), "{text}");
+    assert!(text.contains("cnn-train"), "{text}");
+
+    // A stage the run never produced fails the check at runtime (exit 1).
+    let out = run(&[
+        "report",
+        "--file",
+        report.to_str().unwrap(),
+        "--expect",
+        "warp-drive",
+    ]);
+    assert_eq!(out.status.code(), Some(1), "{}", stderr(&out));
+    assert!(stderr(&out).contains("warp-drive"));
 }

@@ -1,0 +1,140 @@
+//! End-to-end tests of the observability layer: a recorded training run
+//! must produce a [`RunReport`] covering every pipeline stage, and —
+//! the layer's core invariant — recording must never perturb results,
+//! at any thread count.
+
+use std::sync::Mutex;
+
+use ndtensor::{set_thread_config, ThreadConfig};
+use novelty::{
+    detector_to_spec, ClassifierConfig, NoveltyDetector, NoveltyDetectorBuilder, PipelineKind,
+    ReconstructionObjective,
+};
+use obs::{Recorder, RunRecorder, RunReport};
+use simdrive::{DatasetConfig, DrivingDataset};
+use vision::Image;
+
+/// Thread configuration is process-global; tests that touch it (or
+/// depend on pool behaviour) serialise on this mutex.
+static LOCK: Mutex<()> = Mutex::new(());
+
+fn lock() -> std::sync::MutexGuard<'static, ()> {
+    LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+const STAGES: [&str; 5] = ["cnn-train", "vbp", "ae-train", "calibration", "scoring"];
+
+fn train_data() -> DrivingDataset {
+    DatasetConfig::outdoor()
+        .with_len(16)
+        .with_size(40, 80)
+        .with_supersample(1)
+        .generate(31)
+}
+
+fn probe_images() -> Vec<Image> {
+    DatasetConfig::indoor()
+        .with_len(4)
+        .with_size(40, 80)
+        .with_supersample(1)
+        .generate(32)
+        .frames()
+        .iter()
+        .map(|f| f.image.clone())
+        .collect()
+}
+
+fn train(recorder: &dyn Recorder) -> NoveltyDetector {
+    NoveltyDetectorBuilder::for_kind(PipelineKind::VbpSsim)
+        .classifier_config(ClassifierConfig {
+            hidden: vec![12, 6, 12],
+            epochs: 3,
+            warmup_epochs: 1,
+            batch_size: 8,
+            learning_rate: 3e-3,
+            objective: ReconstructionObjective::Ssim { window: 7 },
+        })
+        .cnn_epochs(1)
+        .seed(9)
+        .train_recorded(&train_data(), recorder)
+        .unwrap()
+}
+
+#[test]
+fn recorded_training_reports_all_five_stages() {
+    let _guard = lock();
+    let recorder = RunRecorder::new();
+    let detector = train(&recorder);
+    let report = recorder.report("train");
+
+    let missing = report.missing_stages(&STAGES);
+    assert!(missing.is_empty(), "missing stages: {missing:?}");
+    for name in STAGES {
+        let stage = report
+            .stage(name)
+            .or_else(|| {
+                report
+                    .stages
+                    .iter()
+                    .find(|s| s.name.starts_with(&format!("{name}.")))
+            })
+            .unwrap_or_else(|| panic!("no stage entry for {name}"));
+        assert!(stage.count >= 1, "{name} never entered");
+        assert!(stage.total_secs > 0.0, "{name} has zero wall time");
+    }
+
+    // Counters and series line up with the actual work done.
+    assert_eq!(
+        report.counter("scoring.scores_computed").unwrap(),
+        detector.training_scores().len() as u64
+    );
+    assert_eq!(
+        report.counter("vbp.masks_computed").unwrap(),
+        detector.training_scores().len() as u64,
+        "one mask per training image"
+    );
+    let cnn_loss = report.series("cnn-train.epoch_loss").unwrap();
+    assert_eq!(cnn_loss.values.len(), 1, "one CNN epoch was requested");
+    let ae_loss = report.series("ae-train.epoch_loss").unwrap();
+    assert_eq!(ae_loss.values.len(), 3, "1 warmup + 2 main AE epochs");
+    assert!(report.gauge("calibration.threshold").is_some());
+
+    // The report survives a JSON round trip bit-for-bit.
+    let json = report.to_json().unwrap();
+    assert_eq!(RunReport::from_json(&json).unwrap(), report);
+}
+
+#[test]
+fn recording_never_perturbs_results_at_any_thread_count() {
+    let _guard = lock();
+    let probes = probe_images();
+    for threads in [1usize, 4] {
+        set_thread_config(ThreadConfig::new(threads));
+        let plain = train(obs::noop());
+        let recorder = RunRecorder::new();
+        let recorded = train(&recorder);
+
+        // Detector JSON bit-identical.
+        let plain_json = serde_json::to_string(&detector_to_spec(&plain).unwrap()).unwrap();
+        let recorded_json = serde_json::to_string(&detector_to_spec(&recorded).unwrap()).unwrap();
+        assert_eq!(
+            plain_json, recorded_json,
+            "recording changed the trained detector at {threads} threads"
+        );
+
+        // Scores bit-identical, with the recorder enabled on one side.
+        let a = plain.score_batch(&probes).unwrap();
+        let b = recorded
+            .score_batch_recorded(&probes, &RunRecorder::new())
+            .unwrap();
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(
+                x.to_bits(),
+                y.to_bits(),
+                "score diverged at {threads} threads"
+            );
+        }
+    }
+    set_thread_config(ThreadConfig::from_env());
+}
