@@ -1,0 +1,382 @@
+//! Runtime health state machine: Healthy → Degraded → FailSafe.
+//!
+//! Per-frame faults (gate rejections, scoring errors, deadline overruns)
+//! are noisy signals; a control loop needs a debounced, monotone summary
+//! it can act on. [`HealthTracker`] folds per-frame [`HealthEvent`]s into
+//! a three-state machine:
+//!
+//! ```text
+//!              faults ≥ degrade_after        faults ≥ failsafe_after
+//!    ┌─────────┐ ───────────────────► ┌──────────┐ ────────────────► ┌──────────┐
+//!    │ Healthy │                      │ Degraded │                   │ FailSafe │
+//!    └─────────┘ ◄─────────────────── └──────────┘ ◄──────────────── └──────────┘
+//!              clean ≥ recover_after            clean ≥ recover_after
+//! ```
+//!
+//! Escalation counts *consecutive* faulty frames; recovery requires
+//! `recover_after` consecutive clean frames and steps down **one level at
+//! a time** (hysteresis: a feed that was in FailSafe must re-earn Healthy
+//! through Degraded, so a single good frame amid garbage never clears the
+//! alarm). Every transition is recorded with the frame index that caused
+//! it, so the obs report can show exactly when and why the runtime
+//! changed state.
+
+use crate::{NoveltyError, Result};
+
+/// Overall runtime health, ordered by severity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum HealthState {
+    /// The stream is scoring normally.
+    Healthy,
+    /// Faults are frequent enough that verdicts should be treated with
+    /// suspicion (fallbacks are filling gaps).
+    Degraded,
+    /// The stream is effectively unusable; a supervisor should disengage
+    /// or switch sensors.
+    FailSafe,
+}
+
+impl HealthState {
+    /// Stable lower-case name for logs and counters.
+    pub fn name(&self) -> &'static str {
+        match self {
+            HealthState::Healthy => "healthy",
+            HealthState::Degraded => "degraded",
+            HealthState::FailSafe => "fail-safe",
+        }
+    }
+
+    /// Severity rank (0 = Healthy, 2 = FailSafe), for gauges.
+    pub fn severity(&self) -> u8 {
+        match self {
+            HealthState::Healthy => 0,
+            HealthState::Degraded => 1,
+            HealthState::FailSafe => 2,
+        }
+    }
+}
+
+/// One per-frame input to the health machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HealthEvent {
+    /// The frame gated in, scored, and met its deadline.
+    Clean,
+    /// The frame gate rejected the frame.
+    GateRejected,
+    /// The frame passed the gate but scoring returned an error.
+    ScoreFailed,
+    /// Scoring succeeded but blew the per-frame deadline.
+    DeadlineOverrun,
+}
+
+impl HealthEvent {
+    /// `true` for every event that counts against health.
+    pub fn is_fault(&self) -> bool {
+        !matches!(self, HealthEvent::Clean)
+    }
+}
+
+/// Escalation / recovery thresholds for a [`HealthTracker`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HealthConfig {
+    /// Consecutive faulty frames that push Healthy → Degraded
+    /// (default 2).
+    pub degrade_after: usize,
+    /// Consecutive faulty frames that push Degraded → FailSafe
+    /// (default 6). Must be ≥ `degrade_after`.
+    pub failsafe_after: usize,
+    /// Consecutive clean frames that step recovery down one level
+    /// (default 4).
+    pub recover_after: usize,
+}
+
+impl Default for HealthConfig {
+    fn default() -> Self {
+        HealthConfig {
+            degrade_after: 2,
+            failsafe_after: 6,
+            recover_after: 4,
+        }
+    }
+}
+
+impl HealthConfig {
+    fn validate(&self) -> Result<()> {
+        if self.degrade_after == 0 || self.recover_after == 0 {
+            return Err(NoveltyError::invalid(
+                "HealthTracker",
+                "degrade_after and recover_after must be non-zero",
+            ));
+        }
+        if self.failsafe_after < self.degrade_after {
+            return Err(NoveltyError::invalid(
+                "HealthTracker",
+                format!(
+                    "failsafe_after ({}) must be >= degrade_after ({})",
+                    self.failsafe_after, self.degrade_after
+                ),
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// One recorded state change.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HealthTransition {
+    /// Index of the frame whose event caused the transition.
+    pub frame: u64,
+    /// State before.
+    pub from: HealthState,
+    /// State after.
+    pub to: HealthState,
+}
+
+/// The fold over [`HealthEvent`]s.
+///
+/// # Example
+///
+/// ```
+/// use novelty::{HealthConfig, HealthEvent, HealthState, HealthTracker};
+///
+/// # fn main() -> Result<(), novelty::NoveltyError> {
+/// let mut health = HealthTracker::new(HealthConfig::default())?;
+/// assert_eq!(health.observe(HealthEvent::GateRejected), HealthState::Healthy);
+/// assert_eq!(health.observe(HealthEvent::GateRejected), HealthState::Degraded);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct HealthTracker {
+    config: HealthConfig,
+    state: HealthState,
+    consecutive_faults: usize,
+    consecutive_clean: usize,
+    frames_observed: u64,
+    transitions: Vec<HealthTransition>,
+}
+
+impl HealthTracker {
+    /// A tracker starting in [`HealthState::Healthy`].
+    ///
+    /// # Errors
+    ///
+    /// Fails when the configuration is internally inconsistent.
+    pub fn new(config: HealthConfig) -> Result<Self> {
+        config.validate()?;
+        Ok(HealthTracker {
+            config,
+            state: HealthState::Healthy,
+            consecutive_faults: 0,
+            consecutive_clean: 0,
+            frames_observed: 0,
+            transitions: Vec::new(),
+        })
+    }
+
+    /// Feeds one per-frame event and returns the updated state.
+    pub fn observe(&mut self, event: HealthEvent) -> HealthState {
+        let frame = self.frames_observed;
+        self.frames_observed += 1;
+        if event.is_fault() {
+            self.consecutive_faults += 1;
+            self.consecutive_clean = 0;
+            let escalated = match self.state {
+                HealthState::Healthy if self.consecutive_faults >= self.config.degrade_after => {
+                    Some(HealthState::Degraded)
+                }
+                HealthState::Degraded if self.consecutive_faults >= self.config.failsafe_after => {
+                    Some(HealthState::FailSafe)
+                }
+                _ => None,
+            };
+            if let Some(next) = escalated {
+                self.transition(frame, next);
+            }
+        } else {
+            self.consecutive_clean += 1;
+            self.consecutive_faults = 0;
+            if self.consecutive_clean >= self.config.recover_after {
+                let next = match self.state {
+                    HealthState::FailSafe => Some(HealthState::Degraded),
+                    HealthState::Degraded => Some(HealthState::Healthy),
+                    HealthState::Healthy => None,
+                };
+                if let Some(next) = next {
+                    self.transition(frame, next);
+                    // Each recovery step must be re-earned from scratch.
+                    self.consecutive_clean = 0;
+                }
+            }
+        }
+        self.state
+    }
+
+    fn transition(&mut self, frame: u64, to: HealthState) {
+        self.transitions.push(HealthTransition {
+            frame,
+            from: self.state,
+            to,
+        });
+        self.state = to;
+    }
+
+    /// The current state.
+    pub fn state(&self) -> HealthState {
+        self.state
+    }
+
+    /// The thresholds in force.
+    pub fn config(&self) -> &HealthConfig {
+        &self.config
+    }
+
+    /// Every transition so far, in order.
+    pub fn transitions(&self) -> &[HealthTransition] {
+        &self.transitions
+    }
+
+    /// The most severe state the stream has visited.
+    pub fn worst_state(&self) -> HealthState {
+        self.transitions
+            .iter()
+            .map(|t| t.to)
+            .max()
+            .unwrap_or(HealthState::Healthy)
+            .max(self.state)
+    }
+
+    /// Total events observed.
+    pub fn frames_observed(&self) -> u64 {
+        self.frames_observed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tracker() -> HealthTracker {
+        HealthTracker::new(HealthConfig {
+            degrade_after: 2,
+            failsafe_after: 4,
+            recover_after: 3,
+        })
+        .unwrap()
+    }
+
+    #[test]
+    fn config_is_validated() {
+        assert!(HealthTracker::new(HealthConfig {
+            degrade_after: 0,
+            ..HealthConfig::default()
+        })
+        .is_err());
+        assert!(HealthTracker::new(HealthConfig {
+            recover_after: 0,
+            ..HealthConfig::default()
+        })
+        .is_err());
+        assert!(HealthTracker::new(HealthConfig {
+            degrade_after: 5,
+            failsafe_after: 3,
+            recover_after: 1,
+        })
+        .is_err());
+    }
+
+    #[test]
+    fn single_fault_does_not_degrade() {
+        let mut h = tracker();
+        assert_eq!(h.observe(HealthEvent::GateRejected), HealthState::Healthy);
+        assert_eq!(h.observe(HealthEvent::Clean), HealthState::Healthy);
+        assert_eq!(h.observe(HealthEvent::ScoreFailed), HealthState::Healthy);
+        assert!(h.transitions().is_empty());
+    }
+
+    #[test]
+    fn sustained_faults_escalate_through_both_levels() {
+        let mut h = tracker();
+        assert_eq!(h.observe(HealthEvent::GateRejected), HealthState::Healthy);
+        assert_eq!(h.observe(HealthEvent::ScoreFailed), HealthState::Degraded);
+        assert_eq!(h.observe(HealthEvent::GateRejected), HealthState::Degraded);
+        assert_eq!(
+            h.observe(HealthEvent::DeadlineOverrun),
+            HealthState::FailSafe
+        );
+        assert_eq!(
+            h.transitions()
+                .iter()
+                .map(|t| (t.frame, t.to))
+                .collect::<Vec<_>>(),
+            vec![(1, HealthState::Degraded), (3, HealthState::FailSafe)]
+        );
+        assert_eq!(h.worst_state(), HealthState::FailSafe);
+    }
+
+    #[test]
+    fn recovery_is_stepwise_with_hysteresis() {
+        let mut h = tracker();
+        for _ in 0..4 {
+            h.observe(HealthEvent::GateRejected);
+        }
+        assert_eq!(h.state(), HealthState::FailSafe);
+        // Two clean frames are not enough (recover_after = 3).
+        h.observe(HealthEvent::Clean);
+        h.observe(HealthEvent::Clean);
+        assert_eq!(h.state(), HealthState::FailSafe);
+        // Third clean frame steps down ONE level only.
+        assert_eq!(h.observe(HealthEvent::Clean), HealthState::Degraded);
+        // The next recovery run must start over.
+        h.observe(HealthEvent::Clean);
+        h.observe(HealthEvent::Clean);
+        assert_eq!(h.state(), HealthState::Degraded);
+        assert_eq!(h.observe(HealthEvent::Clean), HealthState::Healthy);
+        assert_eq!(h.worst_state(), HealthState::FailSafe);
+        assert_eq!(h.transitions().len(), 4);
+    }
+
+    #[test]
+    fn interleaved_faults_reset_recovery_progress() {
+        let mut h = tracker();
+        h.observe(HealthEvent::GateRejected);
+        h.observe(HealthEvent::GateRejected);
+        assert_eq!(h.state(), HealthState::Degraded);
+        h.observe(HealthEvent::Clean);
+        h.observe(HealthEvent::Clean);
+        h.observe(HealthEvent::GateRejected); // recovery run broken
+        h.observe(HealthEvent::Clean);
+        h.observe(HealthEvent::Clean);
+        assert_eq!(h.state(), HealthState::Degraded);
+        assert_eq!(h.observe(HealthEvent::Clean), HealthState::Healthy);
+    }
+
+    #[test]
+    fn faults_in_degraded_do_not_double_count_toward_failsafe() {
+        // failsafe_after counts consecutive faults, so a fault run broken
+        // by a clean frame starts over.
+        let mut h = tracker();
+        h.observe(HealthEvent::GateRejected);
+        h.observe(HealthEvent::GateRejected);
+        h.observe(HealthEvent::GateRejected);
+        h.observe(HealthEvent::Clean);
+        h.observe(HealthEvent::GateRejected);
+        h.observe(HealthEvent::GateRejected);
+        h.observe(HealthEvent::GateRejected);
+        assert_eq!(h.state(), HealthState::Degraded);
+        h.observe(HealthEvent::GateRejected);
+        assert_eq!(h.state(), HealthState::FailSafe);
+    }
+
+    #[test]
+    fn names_severity_and_ordering() {
+        assert_eq!(HealthState::Healthy.name(), "healthy");
+        assert_eq!(HealthState::Degraded.name(), "degraded");
+        assert_eq!(HealthState::FailSafe.name(), "fail-safe");
+        assert!(HealthState::Healthy < HealthState::Degraded);
+        assert!(HealthState::Degraded < HealthState::FailSafe);
+        assert_eq!(HealthState::FailSafe.severity(), 2);
+        assert!(HealthEvent::GateRejected.is_fault());
+        assert!(!HealthEvent::Clean.is_fault());
+    }
+}

@@ -45,17 +45,23 @@ pub mod monitor;
 mod calibrate;
 mod classifier;
 mod error;
+mod gate;
+mod health;
 mod persist;
 mod pipeline;
+mod runtime;
 
 pub use calibrate::{Calibrator, Direction, Threshold};
 pub use classifier::{AutoencoderClassifier, ClassifierConfig, ReconstructionObjective};
 pub use error::NoveltyError;
+pub use gate::{FrameFault, FrameGate, GateConfig};
+pub use health::{HealthConfig, HealthEvent, HealthState, HealthTracker, HealthTransition};
 pub use persist::{
     detector_from_spec, detector_to_spec, load_detector, save_detector, DetectorSpec,
     DETECTOR_SCHEMA_VERSION,
 };
 pub use pipeline::{NoveltyDetector, NoveltyDetectorBuilder, PipelineKind, Preprocessing, Verdict};
+pub use runtime::{DecisionSource, FallbackPolicy, StreamConfig, StreamDecision, StreamRuntime};
 
 /// Convenience alias used across the crate.
 pub type Result<T> = std::result::Result<T, NoveltyError>;

@@ -116,12 +116,14 @@ impl StreamMonitor {
     }
 
     /// Lifetime fraction of frames flagged novel (0.0 before any
-    /// observation).
-    pub fn lifetime_novel_rate(&self) -> f32 {
+    /// observation). `f64` so the rate stays exact over long streams:
+    /// an `f32` ratio loses resolution once `total_observed` passes
+    /// 2^24 frames (~6.5 days at 30 fps).
+    pub fn lifetime_novel_rate(&self) -> f64 {
         if self.total_observed == 0 {
             0.0
         } else {
-            self.total_novel as f32 / self.total_observed as f32
+            self.total_novel as f64 / self.total_observed as f64
         }
     }
 
@@ -137,6 +139,7 @@ impl StreamMonitor {
 mod tests {
     use super::*;
     use crate::{Direction, PipelineKind};
+    use proptest::prelude::*;
 
     fn verdict(is_novel: bool) -> Verdict {
         Verdict {
@@ -182,22 +185,60 @@ mod tests {
         assert_eq!(m.novel_in_window(), 2);
     }
 
+    /// The oracle [`StreamMonitor`] must agree with: recount the last
+    /// `window` flags from scratch at every step.
+    fn brute_force_states(flags: &[bool], window: usize, min_novel: usize) -> Vec<AlarmState> {
+        (0..flags.len())
+            .map(|i| {
+                let lo = (i + 1).saturating_sub(window);
+                let count = flags[lo..=i].iter().filter(|&&b| b).count();
+                if count >= min_novel {
+                    AlarmState::Raised
+                } else {
+                    AlarmState::Nominal
+                }
+            })
+            .collect()
+    }
+
     #[test]
     fn window_eviction_is_exact() {
         let mut m = StreamMonitor::new(3, 2).unwrap();
         let pattern = [true, false, true, false, false, true, true];
-        let mut expected_states = Vec::new();
+        let expected = brute_force_states(&pattern, 3, 2);
         for (i, &f) in pattern.iter().enumerate() {
-            let lo = i.saturating_sub(2);
-            let count = pattern[lo..=i].iter().filter(|&&b| b).count();
-            expected_states.push(if count >= 2 {
-                AlarmState::Raised
-            } else {
-                AlarmState::Nominal
-            });
-            assert_eq!(m.observe_flag(f), expected_states[i], "step {i}");
+            assert_eq!(m.observe_flag(f), expected[i], "step {i}");
         }
         assert_eq!(m.total_observed(), pattern.len() as u64);
+    }
+
+    proptest! {
+        /// The incremental window bookkeeping matches a brute-force
+        /// recount for arbitrary flag sequences and (window, min_novel)
+        /// pairs — including windows larger than the stream and
+        /// mid-stream resets of nothing (the monitor is never reset here,
+        /// so eviction alone must stay exact).
+        #[test]
+        fn monitor_matches_brute_force_recount(
+            raw_flags in proptest::collection::vec(0u8..2, 0..80),
+            window in 1usize..12,
+            min_novel_raw in 0usize..12,
+        ) {
+            let flags: Vec<bool> = raw_flags.iter().map(|&b| b == 1).collect();
+            let min_novel = 1 + min_novel_raw % window;
+            let mut m = StreamMonitor::new(window, min_novel).unwrap();
+            let expected = brute_force_states(&flags, window, min_novel);
+            let mut novel_so_far = 0u64;
+            for (i, &f) in flags.iter().enumerate() {
+                prop_assert_eq!(m.observe_flag(f), expected[i], "step {}", i);
+                novel_so_far += u64::from(f);
+                // Lifetime stats track exactly alongside the window.
+                prop_assert_eq!(m.total_observed(), (i + 1) as u64);
+                let expected_rate = novel_so_far as f64 / (i + 1) as f64;
+                prop_assert!((m.lifetime_novel_rate() - expected_rate).abs() < 1e-12);
+                prop_assert!(m.novel_in_window() <= window.min(i + 1));
+            }
+        }
     }
 
     #[test]

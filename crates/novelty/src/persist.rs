@@ -103,13 +103,29 @@ pub fn detector_from_spec(spec: DetectorSpec) -> Result<NoveltyDetector> {
 impl NoveltyDetector {
     /// Saves the detector to a JSON file.
     ///
+    /// The write is atomic: the JSON lands in a sibling temporary file
+    /// which is then renamed over `path`, so a crash mid-save leaves
+    /// either the previous detector or the new one — never a truncated
+    /// file that [`NoveltyDetector::load`] would reject at the next
+    /// startup.
+    ///
     /// # Errors
     ///
     /// Propagates serialization and I/O errors.
     pub fn save(&self, path: impl AsRef<Path>) -> Result<()> {
+        let path = path.as_ref();
         let spec = detector_to_spec(self)?;
         let json = serde_json::to_string(&spec).map_err(|e| NoveltyError::Serde(e.to_string()))?;
-        std::fs::write(path, json)?;
+        // The temp file must live on the same filesystem as the target
+        // for the rename to be atomic, so build it next to `path`.
+        let mut tmp_name = path.file_name().unwrap_or_default().to_os_string();
+        tmp_name.push(".tmp");
+        let tmp = path.with_file_name(tmp_name);
+        std::fs::write(&tmp, json)?;
+        if let Err(e) = std::fs::rename(&tmp, path) {
+            let _ = std::fs::remove_file(&tmp);
+            return Err(e.into());
+        }
         Ok(())
     }
 
@@ -251,6 +267,31 @@ mod tests {
         let err = NoveltyDetector::load(&path).unwrap_err();
         let msg = err.to_string();
         assert!(msg.contains("predates schema versioning"), "{msg}");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn truncated_file_fails_load_and_atomic_save_leaves_no_temp() {
+        let (detector, data) = trained();
+        let dir = std::env::temp_dir().join("saliency_novelty_persist_test4");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("detector.json");
+        detector.save(&path).unwrap();
+        // The temp file used for the atomic write must be gone.
+        assert!(!dir.join("detector.json.tmp").exists());
+
+        // Simulate a crash mid-write under the old non-atomic scheme:
+        // the target file holds only a prefix of the JSON.
+        let full = std::fs::read_to_string(&path).unwrap();
+        std::fs::write(&path, &full[..full.len() / 2]).unwrap();
+        let err = NoveltyDetector::load(&path).unwrap_err();
+        assert!(matches!(err, NoveltyError::Serde(_)), "{err}");
+
+        // Saving again over the corrupt file restores a loadable one.
+        detector.save(&path).unwrap();
+        let back = NoveltyDetector::load(&path).unwrap();
+        let img = &data.frames()[0].image;
+        assert_eq!(detector.classify(img).unwrap(), back.classify(img).unwrap());
         std::fs::remove_file(&path).unwrap();
     }
 

@@ -1,0 +1,565 @@
+//! The fault-tolerant streaming runtime around a [`NoveltyDetector`].
+//!
+//! [`NoveltyDetector::classify`] is a pure function that errors on bad
+//! input; [`crate::monitor::StreamMonitor`] debounces flags it is handed.
+//! Neither answers the deployment question: *what does the safety monitor
+//! output when the camera feed itself misbehaves?* [`StreamRuntime`]
+//! closes that gap. Every frame — delivered, corrupt, or missing —
+//! flows through four layers and always yields a [`StreamDecision`]:
+//!
+//! 1. the [`FrameGate`] validates and classifies the frame,
+//! 2. admissible frames are scored (optionally against a deadline),
+//! 3. inadmissible or unscorable frames are resolved by the configured
+//!    [`FallbackPolicy`],
+//! 4. the resulting flag feeds the `m`-of-`k` alarm monitor, and the
+//!    frame's outcome feeds the [`HealthTracker`].
+//!
+//! The runtime is deterministic: given the same detector and frame
+//! sequence it produces the same decision sequence, with or without an
+//! attached [`obs::Recorder`] (recording only observes, as everywhere in
+//! this workspace). All observability lands under the `stream-score`
+//! stage: per-frame scoring spans and latency, gate-rejection counters by
+//! class, fallback counters by policy, health-transition counters and a
+//! severity gauge.
+
+use std::time::{Duration, Instant};
+
+use obs::{Recorder, Span};
+use vision::Image;
+
+use crate::monitor::{AlarmState, StreamMonitor};
+use crate::{
+    FrameFault, FrameGate, GateConfig, HealthConfig, HealthEvent, HealthState, HealthTracker,
+    NoveltyDetector, Result, Verdict,
+};
+
+/// What the runtime outputs for a frame that could not be scored.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FallbackPolicy {
+    /// Assume the worst: an unscorable frame is treated as novel, so
+    /// sustained sensor faults raise the alarm just like sustained
+    /// out-of-distribution scenery. The conservative default.
+    TreatAsNovel,
+    /// Coast on the last successful verdict (bounded staleness: suitable
+    /// when transient faults are expected and false alarms are costly).
+    /// Falls back to [`FallbackPolicy::TreatAsNovel`] while no verdict
+    /// exists yet.
+    HoldLastVerdict,
+    /// Emit an explicit "no decision": the alarm window is left
+    /// untouched and `is_novel` is absent. The supervisor sees the
+    /// abstention (it is still a decision, never a silent gap).
+    Abstain,
+}
+
+impl FallbackPolicy {
+    /// Stable name for CLI flags and logs.
+    pub fn name(&self) -> &'static str {
+        match self {
+            FallbackPolicy::TreatAsNovel => "treat-novel",
+            FallbackPolicy::HoldLastVerdict => "hold-last",
+            FallbackPolicy::Abstain => "abstain",
+        }
+    }
+
+    /// Parses a name produced by [`FallbackPolicy::name`].
+    pub fn from_name(name: &str) -> Option<FallbackPolicy> {
+        FallbackPolicy::all().into_iter().find(|p| p.name() == name)
+    }
+
+    /// Every policy, in a stable order.
+    pub fn all() -> [FallbackPolicy; 3] {
+        [
+            FallbackPolicy::TreatAsNovel,
+            FallbackPolicy::HoldLastVerdict,
+            FallbackPolicy::Abstain,
+        ]
+    }
+}
+
+/// How a [`StreamDecision`]'s flag was produced.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DecisionSource {
+    /// The frame was scored by the detector.
+    Scored,
+    /// Fallback: the frame was assumed novel.
+    FallbackNovel,
+    /// Fallback: the last successful verdict was re-used.
+    FallbackHeld,
+    /// Fallback: the runtime explicitly abstained.
+    Abstained,
+}
+
+impl DecisionSource {
+    /// Stable name for logs and counters.
+    pub fn name(&self) -> &'static str {
+        match self {
+            DecisionSource::Scored => "scored",
+            DecisionSource::FallbackNovel => "fallback-novel",
+            DecisionSource::FallbackHeld => "fallback-held",
+            DecisionSource::Abstained => "abstained",
+        }
+    }
+}
+
+/// The runtime's complete output for one frame.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StreamDecision {
+    /// Zero-based frame index in the stream.
+    pub frame: u64,
+    /// How the flag was produced.
+    pub source: DecisionSource,
+    /// The novelty flag; `None` only under [`FallbackPolicy::Abstain`].
+    pub is_novel: Option<bool>,
+    /// The verdict backing the flag: fresh when scored, stale when held,
+    /// absent otherwise.
+    pub verdict: Option<Verdict>,
+    /// Why the gate rejected the frame, when it did.
+    pub gate_fault: Option<FrameFault>,
+    /// The scoring error, when the gate admitted the frame but the
+    /// detector failed on it.
+    pub score_error: Option<String>,
+    /// `true` when scoring succeeded but blew the configured deadline.
+    pub deadline_overrun: bool,
+    /// Health state after this frame.
+    pub health: HealthState,
+    /// Alarm state after this frame.
+    pub alarm: AlarmState,
+}
+
+/// Configuration for a [`StreamRuntime`].
+#[derive(Debug, Clone)]
+pub struct StreamConfig {
+    /// Frame admission thresholds.
+    pub gate: GateConfig,
+    /// Health escalation/recovery thresholds.
+    pub health: HealthConfig,
+    /// What to output for unscorable frames.
+    pub fallback: FallbackPolicy,
+    /// Alarm window size (`k` of the `m`-of-`k` rule, default 8).
+    pub window: usize,
+    /// Novel frames within the window that raise the alarm (default 5).
+    pub min_novel: usize,
+    /// Per-frame scoring deadline. `None` (the default) disables
+    /// deadline tracking, which also keeps decision streams independent
+    /// of wall-clock noise — leave it off when byte-reproducible logs
+    /// matter more than latency enforcement.
+    pub deadline: Option<Duration>,
+}
+
+impl StreamConfig {
+    /// Defaults sized to `detector`'s input geometry.
+    pub fn for_detector(detector: &NoveltyDetector) -> Self {
+        StreamConfig {
+            gate: GateConfig::new(
+                detector.classifier().height(),
+                detector.classifier().width(),
+            ),
+            health: HealthConfig::default(),
+            fallback: FallbackPolicy::TreatAsNovel,
+            window: 8,
+            min_novel: 5,
+            deadline: None,
+        }
+    }
+
+    /// Overrides the fallback policy.
+    pub fn with_fallback(mut self, fallback: FallbackPolicy) -> Self {
+        self.fallback = fallback;
+        self
+    }
+
+    /// Overrides the alarm window (`min_novel` of `window`).
+    pub fn with_alarm_window(mut self, window: usize, min_novel: usize) -> Self {
+        self.window = window;
+        self.min_novel = min_novel;
+        self
+    }
+
+    /// Sets a per-frame scoring deadline.
+    pub fn with_deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+}
+
+/// The fault-tolerant streaming runtime.
+///
+/// # Example
+///
+/// ```no_run
+/// use novelty::{NoveltyDetector, StreamConfig, StreamRuntime};
+/// use simdrive::DriveConfig;
+/// use simdrive::World;
+///
+/// # fn main() -> Result<(), novelty::NoveltyError> {
+/// let detector = NoveltyDetector::load("detector.json")?;
+/// let mut runtime = StreamRuntime::new(&detector, StreamConfig::for_detector(&detector))?;
+/// let drive = DriveConfig::new(World::Outdoor).with_len(100).simulate(7);
+/// for frame in drive.frames() {
+///     let decision = runtime.process(Some(&frame.image));
+///     println!("frame {}: {:?} ({:?})", decision.frame, decision.is_novel, decision.health);
+/// }
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct StreamRuntime<'d> {
+    detector: &'d NoveltyDetector,
+    gate: FrameGate,
+    health: HealthTracker,
+    monitor: StreamMonitor,
+    fallback: FallbackPolicy,
+    deadline: Option<Duration>,
+    last_verdict: Option<Verdict>,
+    frames: u64,
+}
+
+impl<'d> StreamRuntime<'d> {
+    /// A runtime monitoring `detector` under `config`.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the gate, health, or alarm-window configuration is
+    /// invalid.
+    pub fn new(detector: &'d NoveltyDetector, config: StreamConfig) -> Result<Self> {
+        Ok(StreamRuntime {
+            detector,
+            gate: FrameGate::new(config.gate)?,
+            health: HealthTracker::new(config.health)?,
+            monitor: StreamMonitor::new(config.window, config.min_novel)?,
+            fallback: config.fallback,
+            deadline: config.deadline,
+            last_verdict: None,
+            frames: 0,
+        })
+    }
+
+    /// Processes one frame (`None` = the frame never arrived) and
+    /// returns the decision. Never fails and never skips: every call
+    /// yields exactly one [`StreamDecision`].
+    pub fn process(&mut self, frame: Option<&Image>) -> StreamDecision {
+        self.process_recorded(frame, obs::noop())
+    }
+
+    /// [`StreamRuntime::process`] with observability: scoring runs under
+    /// a `stream-score` span with per-frame latency samples, and the
+    /// gate/fallback/health/alarm activity lands in `stream-score.*`
+    /// counters and gauges. Recording never changes the decision.
+    pub fn process_recorded(
+        &mut self,
+        frame: Option<&Image>,
+        recorder: &dyn Recorder,
+    ) -> StreamDecision {
+        let index = self.frames;
+        self.frames += 1;
+        recorder.add("stream-score.frames", 1);
+
+        // Layer 1: admission control.
+        let gate_fault = self.gate.admit(frame);
+        let mut score_error = None;
+        let mut deadline_overrun = false;
+
+        // Layer 2: scoring (only for admitted frames).
+        let scored = match &gate_fault {
+            Some(fault) => {
+                recorder.add("stream-score.gate_rejected", 1);
+                recorder.add(&format!("stream-score.gate_rejected.{}", fault.class()), 1);
+                None
+            }
+            None => {
+                let img = frame.expect("gate admits only delivered frames");
+                let span = Span::root(recorder, "stream-score");
+                let start = (self.deadline.is_some() || recorder.enabled()).then(Instant::now);
+                let result = self.detector.classify(img);
+                let elapsed = start.map(|s| s.elapsed());
+                span.finish();
+                if let Some(elapsed) = elapsed {
+                    recorder.observe("stream-score.latency_secs", elapsed.as_secs_f64());
+                }
+                match result {
+                    Ok(verdict) => {
+                        if let (Some(deadline), Some(elapsed)) = (self.deadline, elapsed) {
+                            if elapsed > deadline {
+                                deadline_overrun = true;
+                                recorder.add("stream-score.deadline_overruns", 1);
+                            }
+                        }
+                        Some(verdict)
+                    }
+                    Err(e) => {
+                        // The gate admits what it can cheaply validate; a
+                        // scoring error past the gate is still a per-frame
+                        // fault, not a stream-ending one.
+                        score_error = Some(e.to_string());
+                        recorder.add("stream-score.score_errors", 1);
+                        None
+                    }
+                }
+            }
+        };
+
+        // Layer 3: fallback resolution — every frame yields a decision.
+        let (source, is_novel, verdict) = match scored {
+            Some(v) => {
+                self.last_verdict = Some(v);
+                (DecisionSource::Scored, Some(v.is_novel), Some(v))
+            }
+            None => match (self.fallback, self.last_verdict) {
+                (FallbackPolicy::HoldLastVerdict, Some(held)) => (
+                    DecisionSource::FallbackHeld,
+                    Some(held.is_novel),
+                    Some(held),
+                ),
+                (FallbackPolicy::Abstain, _) => (DecisionSource::Abstained, None, None),
+                // TreatAsNovel, and HoldLastVerdict before any verdict
+                // exists: assume the worst.
+                _ => (DecisionSource::FallbackNovel, Some(true), None),
+            },
+        };
+        if source != DecisionSource::Scored {
+            recorder.add("stream-score.fallbacks", 1);
+            recorder.add(&format!("stream-score.fallbacks.{}", source.name()), 1);
+        }
+
+        // Layer 4: alarm debouncing and health bookkeeping.
+        let alarm = match is_novel {
+            Some(flag) => self.monitor.observe_flag(flag),
+            None => self.monitor.state(),
+        };
+        if alarm == AlarmState::Raised {
+            recorder.add("stream-score.alarm.raised_frames", 1);
+        }
+        let event = if gate_fault.is_some() {
+            HealthEvent::GateRejected
+        } else if score_error.is_some() {
+            HealthEvent::ScoreFailed
+        } else if deadline_overrun {
+            HealthEvent::DeadlineOverrun
+        } else {
+            HealthEvent::Clean
+        };
+        let before = self.health.state();
+        let health = self.health.observe(event);
+        if health != before {
+            recorder.add("stream-score.health.transitions", 1);
+            recorder.add(&format!("stream-score.health.to_{}", health.name()), 1);
+        }
+        recorder.gauge("stream-score.health.severity", health.severity() as f64);
+
+        StreamDecision {
+            frame: index,
+            source,
+            is_novel,
+            verdict,
+            gate_fault,
+            score_error,
+            deadline_overrun,
+            health,
+            alarm,
+        }
+    }
+
+    /// The detector being monitored.
+    pub fn detector(&self) -> &NoveltyDetector {
+        self.detector
+    }
+
+    /// The health tracker (state, transition log).
+    pub fn health(&self) -> &HealthTracker {
+        &self.health
+    }
+
+    /// The alarm monitor (window contents, lifetime stats).
+    pub fn monitor(&self) -> &StreamMonitor {
+        &self.monitor
+    }
+
+    /// Frames processed so far.
+    pub fn frames_processed(&self) -> u64 {
+        self.frames
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ClassifierConfig, NoveltyDetectorBuilder, ReconstructionObjective};
+    use simdrive::{DatasetConfig, DriveConfig, World};
+    use std::sync::OnceLock;
+
+    /// One tiny trained detector shared by every test in this module
+    /// (training dominates the test's wall time).
+    fn detector() -> &'static NoveltyDetector {
+        static DETECTOR: OnceLock<NoveltyDetector> = OnceLock::new();
+        DETECTOR.get_or_init(|| {
+            let data = DatasetConfig::outdoor()
+                .with_len(24)
+                .with_size(40, 80)
+                .with_supersample(1)
+                .generate(11);
+            NoveltyDetectorBuilder::paper()
+                .classifier_config(ClassifierConfig {
+                    hidden: vec![16, 8, 16],
+                    epochs: 6,
+                    warmup_epochs: 2,
+                    batch_size: 8,
+                    learning_rate: 3e-3,
+                    objective: ReconstructionObjective::Ssim { window: 7 },
+                })
+                .cnn_epochs(1)
+                .seed(1)
+                .train(&data)
+                .unwrap()
+        })
+    }
+
+    fn drive_frames(len: usize, seed: u64) -> Vec<Image> {
+        DriveConfig::new(World::Outdoor)
+            .with_len(len)
+            .with_size(40, 80)
+            .with_supersample(1)
+            .simulate(seed)
+            .frames()
+            .iter()
+            .map(|f| f.image.clone())
+            .collect()
+    }
+
+    fn runtime(fallback: FallbackPolicy) -> StreamRuntime<'static> {
+        let det = detector();
+        StreamRuntime::new(det, StreamConfig::for_detector(det).with_fallback(fallback)).unwrap()
+    }
+
+    #[test]
+    fn clean_stream_scores_every_frame_and_stays_healthy() {
+        let mut rt = runtime(FallbackPolicy::TreatAsNovel);
+        for (i, frame) in drive_frames(10, 3).iter().enumerate() {
+            let d = rt.process(Some(frame));
+            assert_eq!(d.frame, i as u64);
+            assert_eq!(d.source, DecisionSource::Scored);
+            assert!(d.verdict.is_some());
+            assert_eq!(d.gate_fault, None);
+            assert_eq!(d.health, HealthState::Healthy);
+        }
+        assert_eq!(rt.frames_processed(), 10);
+        assert!(rt.health().transitions().is_empty());
+    }
+
+    #[test]
+    fn policies_resolve_unscorable_frames_as_documented() {
+        let frames = drive_frames(4, 5);
+        for policy in FallbackPolicy::all() {
+            let mut rt = runtime(policy);
+            // Prime a last verdict so hold-last has something to hold.
+            let primed = rt.process(Some(&frames[0]));
+            assert_eq!(primed.source, DecisionSource::Scored);
+            // A missing frame must still yield a decision.
+            let d = rt.process(None);
+            assert_eq!(d.gate_fault, Some(FrameFault::MissingFrame));
+            match policy {
+                FallbackPolicy::TreatAsNovel => {
+                    assert_eq!(d.source, DecisionSource::FallbackNovel);
+                    assert_eq!(d.is_novel, Some(true));
+                }
+                FallbackPolicy::HoldLastVerdict => {
+                    assert_eq!(d.source, DecisionSource::FallbackHeld);
+                    assert_eq!(d.is_novel, Some(primed.verdict.unwrap().is_novel));
+                    assert_eq!(d.verdict, primed.verdict);
+                }
+                FallbackPolicy::Abstain => {
+                    assert_eq!(d.source, DecisionSource::Abstained);
+                    assert_eq!(d.is_novel, None);
+                    assert_eq!(d.verdict, None);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn hold_last_without_history_assumes_novel() {
+        let mut rt = runtime(FallbackPolicy::HoldLastVerdict);
+        let d = rt.process(None);
+        assert_eq!(d.source, DecisionSource::FallbackNovel);
+        assert_eq!(d.is_novel, Some(true));
+    }
+
+    #[test]
+    fn sustained_faults_degrade_then_recover_with_hysteresis() {
+        let mut rt = runtime(FallbackPolicy::TreatAsNovel);
+        let frames = drive_frames(20, 7);
+        // 6 consecutive missing frames: Degraded at 2, FailSafe at 6.
+        let mut states = Vec::new();
+        for _ in 0..6 {
+            states.push(rt.process(None).health);
+        }
+        assert_eq!(states[0], HealthState::Healthy);
+        assert_eq!(states[1], HealthState::Degraded);
+        assert_eq!(states[5], HealthState::FailSafe);
+        // Recovery steps down one level per 4 clean frames.
+        let mut recovered = Vec::new();
+        for frame in &frames {
+            recovered.push(rt.process(Some(frame)).health);
+        }
+        assert_eq!(recovered[2], HealthState::FailSafe);
+        assert_eq!(recovered[3], HealthState::Degraded);
+        assert_eq!(recovered[7], HealthState::Healthy);
+        assert_eq!(rt.health().worst_state(), HealthState::FailSafe);
+        assert_eq!(rt.health().transitions().len(), 4);
+    }
+
+    #[test]
+    fn abstain_leaves_the_alarm_window_untouched() {
+        let det = detector();
+        let config = StreamConfig::for_detector(det)
+            .with_fallback(FallbackPolicy::Abstain)
+            .with_alarm_window(2, 1);
+        let mut rt = StreamRuntime::new(det, config).unwrap();
+        // Force the alarm up with a novel-ish frame: a missing frame under
+        // treat-novel would raise it, but abstain must not.
+        for _ in 0..5 {
+            let d = rt.process(None);
+            assert_eq!(d.alarm, AlarmState::Nominal);
+        }
+        assert_eq!(rt.monitor().total_observed(), 0);
+    }
+
+    #[test]
+    fn decisions_are_deterministic_and_recording_does_not_perturb() {
+        let frames = drive_frames(8, 9);
+        let feed = |rt: &mut StreamRuntime<'_>, rec: &dyn Recorder| -> Vec<StreamDecision> {
+            frames
+                .iter()
+                .enumerate()
+                .map(|(i, f)| {
+                    let frame = if i % 3 == 2 { None } else { Some(f) };
+                    rt.process_recorded(frame, rec)
+                })
+                .collect()
+        };
+        let mut a = runtime(FallbackPolicy::HoldLastVerdict);
+        let mut b = runtime(FallbackPolicy::HoldLastVerdict);
+        let recorder = obs::RunRecorder::new();
+        let plain = feed(&mut a, obs::noop());
+        let recorded = feed(&mut b, &recorder);
+        assert_eq!(plain, recorded);
+        let report = recorder.report("stream");
+        assert_eq!(report.counter("stream-score.frames"), Some(8));
+        assert_eq!(
+            report.counter("stream-score.gate_rejected.missing-frame"),
+            report.counter("stream-score.gate_rejected")
+        );
+        assert!(report.stage("stream-score").unwrap().total_secs > 0.0);
+    }
+
+    #[test]
+    fn wrong_size_detector_input_is_caught_by_the_gate() {
+        let mut rt = runtime(FallbackPolicy::TreatAsNovel);
+        let too_small = Image::filled(10, 10, 0.5).unwrap();
+        let d = rt.process(Some(&too_small));
+        assert!(matches!(
+            d.gate_fault,
+            Some(FrameFault::WrongDimensions { .. })
+        ));
+        assert_eq!(d.is_novel, Some(true));
+    }
+}

@@ -1,0 +1,383 @@
+//! Deterministic sensor-fault injection for frame streams.
+//!
+//! A deployed safety monitor (the paper's motivating setting) sees more
+//! than out-of-distribution scenery: cameras drop frames, freeze on a
+//! stale buffer, deliver NaN-poisoned or blown-out exposures, and
+//! truncate transfers mid-frame. [`FaultInjector`] wraps a frame stream
+//! and injects exactly those faults on a schedule that is a pure function
+//! of `(seed, frame index)` — two runs with the same seed and
+//! configuration corrupt the same frames in the same way, so robustness
+//! tests and fault-injection CI jobs are byte-reproducible.
+//!
+//! Faults come from two sources, both deterministic:
+//!
+//! * **explicit bursts** ([`FaultBurst`]): `kind` applied to frames
+//!   `[start, start + len)`, for scripted scenarios;
+//! * **seeded random bursts**: each frame index starts a burst with
+//!   probability `rate`, with kind and length drawn from
+//!   [`crate::hash::hash01`]-style hashes of the index.
+//!
+//! Explicit bursts take precedence over random ones on overlap.
+
+use vision::Image;
+
+use crate::hash::hash01;
+
+/// The classes of sensor fault the injector can produce.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultKind {
+    /// The frame never arrives (sensor drop / bus timeout).
+    Drop,
+    /// The sensor re-delivers its previous frame (stale DMA buffer).
+    Freeze,
+    /// A contiguous block of pixels reads NaN (corrupt transfer).
+    NanBurst,
+    /// Exposure blows out: pixels scaled far beyond the unit range.
+    BrightnessSpike,
+    /// Only a prefix of the rows arrives (interrupted transfer), so the
+    /// delivered image has the wrong height.
+    Truncate,
+}
+
+impl FaultKind {
+    /// Stable lower-case name, used in CLI specs and alarm logs.
+    pub fn name(&self) -> &'static str {
+        match self {
+            FaultKind::Drop => "drop",
+            FaultKind::Freeze => "freeze",
+            FaultKind::NanBurst => "nan",
+            FaultKind::BrightnessSpike => "spike",
+            FaultKind::Truncate => "truncate",
+        }
+    }
+
+    /// Parses a name produced by [`FaultKind::name`].
+    pub fn from_name(name: &str) -> Option<FaultKind> {
+        FaultKind::all().into_iter().find(|k| k.name() == name)
+    }
+
+    /// Every fault class, in a stable order.
+    pub fn all() -> [FaultKind; 5] {
+        [
+            FaultKind::Drop,
+            FaultKind::Freeze,
+            FaultKind::NanBurst,
+            FaultKind::BrightnessSpike,
+            FaultKind::Truncate,
+        ]
+    }
+}
+
+/// One scripted fault window: `kind` hits frames `[start, start + len)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultBurst {
+    /// The fault class to inject.
+    pub kind: FaultKind,
+    /// First affected frame index.
+    pub start: usize,
+    /// Number of consecutive affected frames.
+    pub len: usize,
+}
+
+impl FaultBurst {
+    /// A burst of `kind` covering frames `[start, start + len)`.
+    pub fn new(kind: FaultKind, start: usize, len: usize) -> Self {
+        FaultBurst { kind, start, len }
+    }
+
+    fn covers(&self, index: usize) -> bool {
+        index >= self.start && index < self.start.saturating_add(self.len)
+    }
+}
+
+/// Configuration for a [`FaultInjector`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultConfig {
+    /// Seed for the random schedule (and for corruption patterns such as
+    /// NaN block placement).
+    pub seed: u64,
+    /// Per-frame probability that a random burst starts, in `[0, 1]`.
+    /// Zero (the default) disables random faults entirely.
+    pub rate: f32,
+    /// Maximum length of a random burst (lengths are drawn uniformly in
+    /// `1..=max_burst_len`).
+    pub max_burst_len: usize,
+    /// Scripted bursts, applied on top of (and with precedence over) the
+    /// random schedule.
+    pub bursts: Vec<FaultBurst>,
+}
+
+impl FaultConfig {
+    /// A schedule with no random faults; add scripted bursts with
+    /// [`FaultConfig::with_burst`].
+    pub fn new(seed: u64) -> Self {
+        FaultConfig {
+            seed,
+            rate: 0.0,
+            max_burst_len: 4,
+            bursts: Vec::new(),
+        }
+    }
+
+    /// Adds one scripted burst.
+    pub fn with_burst(mut self, burst: FaultBurst) -> Self {
+        self.bursts.push(burst);
+        self
+    }
+
+    /// Enables seeded random bursts at `rate` starts per frame.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `rate` is not a probability or `max_burst_len` is zero.
+    pub fn with_random(mut self, rate: f32, max_burst_len: usize) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&rate),
+            "fault rate must be in [0, 1], got {rate}"
+        );
+        assert!(max_burst_len > 0, "max_burst_len must be non-zero");
+        self.rate = rate;
+        self.max_burst_len = max_burst_len;
+        self
+    }
+}
+
+/// What the injector delivered for one frame.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InjectedFrame {
+    /// The delivered image; `None` when the frame was dropped (either a
+    /// [`FaultKind::Drop`], or a [`FaultKind::Freeze`] with no previous
+    /// frame to re-deliver).
+    pub image: Option<Image>,
+    /// The fault applied to this frame, if any.
+    pub fault: Option<FaultKind>,
+}
+
+/// A deterministic, seeded fault injector over a frame stream.
+///
+/// Feed frames in order through [`FaultInjector::apply`]; the injector
+/// decides per index whether (and how) to corrupt them. The only state is
+/// the last cleanly delivered frame (needed to re-deliver it during a
+/// freeze), so the output stream is a pure function of the input stream,
+/// the configuration, and the seed.
+///
+/// # Example
+///
+/// ```
+/// use simdrive::{FaultBurst, FaultConfig, FaultInjector, FaultKind};
+/// use vision::Image;
+///
+/// let config = FaultConfig::new(7).with_burst(FaultBurst::new(FaultKind::Drop, 1, 1));
+/// let mut injector = FaultInjector::new(config);
+/// let frame = Image::filled(4, 4, 0.5).unwrap();
+/// assert!(injector.apply(0, &frame).image.is_some());
+/// assert!(injector.apply(1, &frame).image.is_none()); // dropped
+/// ```
+#[derive(Debug, Clone)]
+pub struct FaultInjector {
+    config: FaultConfig,
+    last_delivered: Option<Image>,
+}
+
+/// Hash salts separating the independent random draws of the schedule.
+const SALT_START: u64 = 0xFA01;
+const SALT_KIND: u64 = 0xFA02;
+const SALT_LEN: u64 = 0xFA03;
+const SALT_BLOCK: u64 = 0xFA04;
+
+impl FaultInjector {
+    /// An injector running `config`'s schedule.
+    pub fn new(config: FaultConfig) -> Self {
+        FaultInjector {
+            config,
+            last_delivered: None,
+        }
+    }
+
+    /// The fault (if any) scheduled for frame `index` — a pure function
+    /// of the configuration, usable to inspect a schedule without frames.
+    pub fn fault_at(&self, index: usize) -> Option<FaultKind> {
+        // Scripted bursts win; the first covering burst applies.
+        if let Some(burst) = self.config.bursts.iter().find(|b| b.covers(index)) {
+            return Some(burst.kind);
+        }
+        if self.config.rate <= 0.0 {
+            return None;
+        }
+        // A random burst starting at s covers index when
+        // index − len(s) < s ≤ index; scan the window of possible starts
+        // (most recent start wins, matching "a new fault preempts").
+        let earliest = index.saturating_sub(self.config.max_burst_len.saturating_sub(1));
+        for start in (earliest..=index).rev() {
+            if hash01(self.config.seed ^ SALT_START, start as u64, 0) < self.config.rate {
+                let len = 1
+                    + (hash01(self.config.seed ^ SALT_LEN, start as u64, 0)
+                        * self.config.max_burst_len as f32) as usize;
+                let len = len.min(self.config.max_burst_len);
+                if index < start + len {
+                    let kinds = FaultKind::all();
+                    let pick = (hash01(self.config.seed ^ SALT_KIND, start as u64, 0)
+                        * kinds.len() as f32) as usize;
+                    return Some(kinds[pick.min(kinds.len() - 1)]);
+                }
+            }
+        }
+        None
+    }
+
+    /// Passes frame `index` through the schedule, corrupting it when a
+    /// fault is scheduled. Cleanly delivered frames are remembered so a
+    /// later freeze can re-deliver them.
+    pub fn apply(&mut self, index: usize, frame: &Image) -> InjectedFrame {
+        let fault = self.fault_at(index);
+        let image = match fault {
+            None => {
+                self.last_delivered = Some(frame.clone());
+                Some(frame.clone())
+            }
+            Some(FaultKind::Drop) => None,
+            Some(FaultKind::Freeze) => self.last_delivered.clone(),
+            Some(FaultKind::NanBurst) => Some(self.poison_nan(index, frame)),
+            Some(FaultKind::BrightnessSpike) => Some(frame.map(|v| v * 4.0 + 0.5)),
+            Some(FaultKind::Truncate) => Some(Self::truncate(frame)),
+        };
+        InjectedFrame { image, fault }
+    }
+
+    /// Overwrites a deterministic block (roughly a ninth of the frame)
+    /// with NaN, positioned by hashing the frame index.
+    fn poison_nan(&self, index: usize, frame: &Image) -> Image {
+        let (h, w) = (frame.height(), frame.width());
+        let bh = (h / 3).max(1);
+        let bw = (w / 3).max(1);
+        let y0 =
+            (hash01(self.config.seed ^ SALT_BLOCK, index as u64, 0) * (h - bh + 1) as f32) as usize;
+        let x0 =
+            (hash01(self.config.seed ^ SALT_BLOCK, index as u64, 1) * (w - bw + 1) as f32) as usize;
+        let mut out = frame.clone();
+        for y in y0..(y0 + bh).min(h) {
+            for x in x0..(x0 + bw).min(w) {
+                out.put(y, x, f32::NAN);
+            }
+        }
+        out
+    }
+
+    /// Keeps only the first ~40 % of rows (at least one), modelling an
+    /// interrupted transfer: the delivered image has the wrong height.
+    fn truncate(frame: &Image) -> Image {
+        let rows = (frame.height() * 2 / 5).max(1);
+        Image::from_fn(rows, frame.width(), |y, x| frame.get(y, x))
+            .expect("non-zero truncated dimensions")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn frame(v: f32) -> Image {
+        Image::filled(9, 12, v).unwrap()
+    }
+
+    #[test]
+    fn names_roundtrip() {
+        for kind in FaultKind::all() {
+            assert_eq!(FaultKind::from_name(kind.name()), Some(kind));
+        }
+        assert_eq!(FaultKind::from_name("warp"), None);
+    }
+
+    #[test]
+    fn scripted_bursts_cover_exact_windows() {
+        let injector = FaultInjector::new(FaultConfig::new(0).with_burst(FaultBurst::new(
+            FaultKind::NanBurst,
+            3,
+            2,
+        )));
+        assert_eq!(injector.fault_at(2), None);
+        assert_eq!(injector.fault_at(3), Some(FaultKind::NanBurst));
+        assert_eq!(injector.fault_at(4), Some(FaultKind::NanBurst));
+        assert_eq!(injector.fault_at(5), None);
+    }
+
+    #[test]
+    fn schedule_is_deterministic_and_seed_sensitive() {
+        let cfg = |seed| FaultConfig::new(seed).with_random(0.3, 4);
+        let a: Vec<_> = {
+            let inj = FaultInjector::new(cfg(5));
+            (0..200).map(|i| inj.fault_at(i)).collect()
+        };
+        let b: Vec<_> = {
+            let inj = FaultInjector::new(cfg(5));
+            (0..200).map(|i| inj.fault_at(i)).collect()
+        };
+        assert_eq!(a, b);
+        let c: Vec<_> = {
+            let inj = FaultInjector::new(cfg(6));
+            (0..200).map(|i| inj.fault_at(i)).collect()
+        };
+        assert_ne!(a, c);
+        // At 30 % start rate over 200 frames every class should appear.
+        let hit: std::collections::HashSet<_> = a.iter().flatten().collect();
+        assert!(
+            hit.len() >= 4,
+            "only {} fault classes drawn: {hit:?}",
+            hit.len()
+        );
+    }
+
+    #[test]
+    fn drop_and_freeze_semantics() {
+        let config = FaultConfig::new(1)
+            .with_burst(FaultBurst::new(FaultKind::Freeze, 0, 1)) // freeze before any delivery
+            .with_burst(FaultBurst::new(FaultKind::Drop, 2, 1))
+            .with_burst(FaultBurst::new(FaultKind::Freeze, 3, 2));
+        let mut injector = FaultInjector::new(config);
+        // Freeze with no prior frame degenerates to a drop.
+        assert_eq!(injector.apply(0, &frame(0.1)).image, None);
+        // Clean delivery is remembered.
+        let delivered = injector.apply(1, &frame(0.2));
+        assert_eq!(delivered.fault, None);
+        assert_eq!(delivered.image.as_ref().unwrap().get(0, 0), 0.2);
+        // Drop delivers nothing but keeps the freeze buffer.
+        assert_eq!(injector.apply(2, &frame(0.3)).image, None);
+        // Both frozen frames re-deliver the last clean frame, bit-exact.
+        for i in 3..5 {
+            let frozen = injector.apply(i, &frame(0.9));
+            assert_eq!(frozen.fault, Some(FaultKind::Freeze));
+            assert_eq!(frozen.image.as_ref().unwrap().get(0, 0), 0.2, "frame {i}");
+        }
+    }
+
+    #[test]
+    fn nan_spike_and_truncate_corrupt_as_advertised() {
+        let config = FaultConfig::new(2)
+            .with_burst(FaultBurst::new(FaultKind::NanBurst, 0, 1))
+            .with_burst(FaultBurst::new(FaultKind::BrightnessSpike, 1, 1))
+            .with_burst(FaultBurst::new(FaultKind::Truncate, 2, 1));
+        let mut injector = FaultInjector::new(config);
+        let clean = frame(0.4);
+
+        let nan = injector.apply(0, &clean).image.unwrap();
+        assert!(nan.tensor().has_non_finite());
+        assert_eq!((nan.height(), nan.width()), (9, 12));
+
+        let spiked = injector.apply(1, &clean).image.unwrap();
+        assert!(spiked.tensor().max_value() > 1.5);
+        assert!(!spiked.tensor().has_non_finite());
+
+        let cut = injector.apply(2, &clean).image.unwrap();
+        assert!(cut.height() < clean.height());
+        assert_eq!(cut.width(), clean.width());
+    }
+
+    #[test]
+    fn clean_frames_pass_through_bit_exact() {
+        let mut injector = FaultInjector::new(FaultConfig::new(3));
+        let clean = frame(0.7);
+        let out = injector.apply(0, &clean);
+        assert_eq!(out.fault, None);
+        assert_eq!(out.image.unwrap(), clean);
+    }
+}

@@ -23,6 +23,23 @@ pub fn hash_sym(seed: u64, a: u64, b: u64) -> f32 {
     2.0 * hash01(seed, a, b) - 1.0
 }
 
+/// Order-sensitive 64-bit digest of an image's exact pixel bits.
+///
+/// Two images digest equal iff they are bit-identical (same dimensions,
+/// same `f32` bit patterns — NaNs included), which makes the digest
+/// suitable for stuck-frame detection in a streaming monitor: a camera
+/// that keeps delivering the same buffer produces a run of equal digests,
+/// while even a one-ulp pixel change breaks the run.
+pub fn frame_digest(image: &vision::Image) -> u64 {
+    let mut state = avalanche(
+        (image.height() as u64).wrapping_mul(0x9E3779B97F4A7C15) ^ (image.width() as u64),
+    );
+    for &px in image.as_slice() {
+        state = avalanche(state ^ px.to_bits() as u64);
+    }
+    state
+}
+
 /// Smooth value noise in `[0, 1]`: bilinear interpolation of lattice hashes
 /// at integer coordinates, with `scale` lattice cells per unit.
 pub fn value_noise(seed: u64, x: f32, y: f32, scale: f32) -> f32 {
@@ -95,5 +112,37 @@ mod tests {
     fn value_noise_handles_negative_coordinates() {
         let v = value_noise(9, -3.7, -12.2, 2.0);
         assert!((0.0..=1.0).contains(&v));
+    }
+
+    #[test]
+    fn frame_digest_detects_any_pixel_change() {
+        let mut img = vision::Image::from_fn(6, 9, |y, x| hash01(1, y as u64, x as u64)).unwrap();
+        let base = frame_digest(&img);
+        assert_eq!(
+            base,
+            frame_digest(&img.clone()),
+            "digest is a pure function"
+        );
+        let original = img.get(3, 4);
+        img.put(3, 4, original + 1e-7);
+        assert_ne!(
+            base,
+            frame_digest(&img),
+            "one-ulp-scale change breaks the digest"
+        );
+        img.put(3, 4, original);
+        assert_eq!(base, frame_digest(&img));
+    }
+
+    #[test]
+    fn frame_digest_is_dimension_and_nan_sensitive() {
+        let a = vision::Image::filled(4, 6, 0.5).unwrap();
+        let b = vision::Image::filled(6, 4, 0.5).unwrap();
+        assert_ne!(frame_digest(&a), frame_digest(&b));
+        // NaN frames still digest deterministically (gating needs this to
+        // spot a sensor stuck on a corrupt buffer).
+        let nan = vision::Image::filled(4, 6, f32::NAN).unwrap();
+        assert_eq!(frame_digest(&nan), frame_digest(&nan.clone()));
+        assert_ne!(frame_digest(&nan), frame_digest(&a));
     }
 }

@@ -35,6 +35,7 @@
 mod config;
 mod dataset;
 mod drive;
+mod fault;
 mod hash;
 mod render;
 mod scene;
@@ -43,6 +44,8 @@ mod steering;
 pub use config::{DatasetConfig, Weather, World, DEFAULT_HEIGHT, DEFAULT_WIDTH};
 pub use dataset::{DrivingDataset, Frame};
 pub use drive::DriveConfig;
+pub use fault::{FaultBurst, FaultConfig, FaultInjector, FaultKind, InjectedFrame};
+pub use hash::frame_digest;
 pub use render::{region_masks, render_frame, RegionMasks, RenderedFrame};
 pub use scene::SceneParams;
 pub use steering::steering_angle;

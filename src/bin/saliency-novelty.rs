@@ -5,6 +5,7 @@
 //! saliency-novelty train    --world outdoor --len 200 --pipeline vbp+ssim --out detector.json
 //! saliency-novelty classify --detector detector.json --image frames/frame_0003.pgm
 //! saliency-novelty eval     --detector detector.json --novel-world indoor --len 50
+//! saliency-novelty stream   --detector detector.json --faults nan@20+8 --alarm-log alarms.json
 //! saliency-novelty info     --detector detector.json
 //! saliency-novelty report   --file report.json --expect cnn-train,vbp
 //! ```
@@ -18,12 +19,20 @@
 use std::collections::HashMap;
 use std::path::PathBuf;
 use std::process::ExitCode;
+use std::time::Duration;
 
 use ndtensor::par::{set_thread_config, ThreadConfig};
 use novelty::eval::evaluate_recorded;
-use novelty::{NoveltyDetector, NoveltyDetectorBuilder, PipelineKind};
+use novelty::monitor::AlarmState;
+use novelty::{
+    FallbackPolicy, HealthState, NoveltyDetector, NoveltyDetectorBuilder, PipelineKind,
+    StreamConfig, StreamRuntime,
+};
 use obs::{Recorder, RunRecorder, RunReport};
-use simdrive::{DatasetConfig, Weather, World};
+use serde::Serialize;
+use simdrive::{
+    DatasetConfig, DriveConfig, FaultBurst, FaultConfig, FaultInjector, FaultKind, Weather, World,
+};
 use vision::Image;
 
 const USAGE: &str = "\
@@ -60,6 +69,32 @@ COMMANDS:
              --seed S                 (default 1)
              --json                   emit the summary as JSON
              --obs-out FILE           write an observability report
+  stream     run the fault-tolerant streaming monitor over a simulated
+             drive, optionally with injected sensor faults
+             --detector FILE          (required)
+             --world outdoor|indoor   (default outdoor)
+             --len N                  (default 120)
+             --seed S                 (default 0)
+             --window N               alarm window size (default 8)
+             --min-novel N            flags that raise the alarm (default 5)
+             --fallback treat-novel|hold-last|abstain (default treat-novel)
+             --faults k@s+n,...       scripted fault bursts: kind drop|
+                                      freeze|nan|spike|truncate at frame s
+                                      for n frames (e.g. nan@20+8)
+             --fault-rate P           random burst start probability per
+                                      frame (default 0 = off)
+             --fault-seed S           fault schedule seed (default --seed)
+             --fault-burst-len N      max random burst length (default 4)
+             --deadline-ms N          per-frame scoring deadline; overruns
+                                      degrade health (default off; leaves
+                                      runs byte-reproducible)
+             --alarm-log FILE         write the per-frame decision log as
+                                      JSON (byte-identical across runs
+                                      with the same seeds and schedule)
+             --require-recovery       exit 1 unless health degraded during
+                                      the run AND ended healthy
+             --json                   emit the summary as JSON
+             --obs-out FILE           write an observability report
   info       print a saved detector's configuration
              --detector FILE          (required)
   report     pretty-print an observability report written by --obs-out
@@ -75,7 +110,7 @@ EXIT CODES:
 ";
 
 /// Flags that stand alone instead of consuming a value.
-const BOOL_FLAGS: &[&str] = &["json"];
+const BOOL_FLAGS: &[&str] = &["json", "require-recovery"];
 
 /// CLI failure, split so `main` can map the class to an exit code.
 enum CliError {
@@ -421,6 +456,283 @@ fn cmd_eval(args: &Args) -> CliResult {
     flush_report(&recorder, &obs_out, "eval")
 }
 
+/// One line of the `stream` alarm log. Only deterministic fields are
+/// logged (deadline overruns are deliberately absent), so runs with the
+/// same seeds and fault schedule produce byte-identical logs.
+#[derive(Serialize)]
+struct AlarmLogEntry {
+    /// Frame index in the stream.
+    frame: u64,
+    /// Injected sensor fault, if the injector corrupted this frame.
+    injected: Option<String>,
+    /// Gate rejection class, if the frame was inadmissible.
+    gate: Option<String>,
+    /// How the decision was produced (scored / fallback-* / abstained).
+    source: String,
+    /// The novelty flag; absent under the abstain policy.
+    is_novel: Option<bool>,
+    /// The backing verdict's score, when one exists.
+    score: Option<f32>,
+    /// Health state after this frame.
+    health: String,
+    /// Alarm state after this frame.
+    alarm: String,
+}
+
+fn alarm_name(state: AlarmState) -> &'static str {
+    match state {
+        AlarmState::Nominal => "nominal",
+        AlarmState::Raised => "raised",
+    }
+}
+
+/// Parses `--faults` specs like `nan@20+8,freeze@40` (burst length
+/// defaults to 1).
+fn parse_fault_bursts(spec: &str) -> Result<Vec<FaultBurst>, CliError> {
+    let mut bursts = Vec::new();
+    for part in spec.split(',').map(str::trim).filter(|s| !s.is_empty()) {
+        let (kind_s, rest) = part.split_once('@').ok_or_else(|| {
+            usage_err(format!(
+                "fault burst {part:?} must look like kind@start+len (e.g. nan@20+8)"
+            ))
+        })?;
+        let kind = FaultKind::from_name(kind_s).ok_or_else(|| {
+            usage_err(format!(
+                "unknown fault kind {kind_s:?} (drop|freeze|nan|spike|truncate)"
+            ))
+        })?;
+        let (start_s, len_s) = rest.split_once('+').unwrap_or((rest, "1"));
+        let start: usize = start_s.parse().map_err(|_| {
+            usage_err(format!(
+                "fault burst start must be an integer, got {start_s:?}"
+            ))
+        })?;
+        let len: usize = len_s.parse().map_err(|_| {
+            usage_err(format!(
+                "fault burst length must be an integer, got {len_s:?}"
+            ))
+        })?;
+        if len == 0 {
+            return Err(usage_err(format!("fault burst {part:?} has zero length")));
+        }
+        bursts.push(FaultBurst::new(kind, start, len));
+    }
+    if bursts.is_empty() {
+        return Err(usage_err(
+            "--faults needs at least one kind@start+len burst",
+        ));
+    }
+    Ok(bursts)
+}
+
+fn cmd_stream(args: &Args) -> CliResult {
+    args.reject_unknown(&[
+        "detector",
+        "world",
+        "len",
+        "seed",
+        "window",
+        "min-novel",
+        "fallback",
+        "faults",
+        "fault-rate",
+        "fault-seed",
+        "fault-burst-len",
+        "deadline-ms",
+        "alarm-log",
+        "require-recovery",
+        "json",
+        "obs-out",
+        "threads",
+    ])?;
+    let detector = load_detector_file(args)?;
+    let world = parse_world(&args.get("world", "outdoor"))?;
+    let len = args.usize("len", 120)?;
+    let seed = args.u64("seed", 0)?;
+    let window = args.usize("window", 8)?;
+    let min_novel = args.usize("min-novel", 5)?;
+    let fallback_name = args.get("fallback", "treat-novel");
+    let fallback = FallbackPolicy::from_name(&fallback_name).ok_or_else(|| {
+        usage_err(format!(
+            "unknown fallback policy {fallback_name:?} (treat-novel|hold-last|abstain)"
+        ))
+    })?;
+
+    // Assemble the deterministic fault schedule.
+    let mut fault_config = FaultConfig::new(args.u64("fault-seed", seed)?);
+    if let Some(spec) = args.optional("faults") {
+        for burst in parse_fault_bursts(&spec)? {
+            fault_config = fault_config.with_burst(burst);
+        }
+    }
+    let rate_s = args.get("fault-rate", "0");
+    let rate: f32 = rate_s
+        .parse()
+        .map_err(|_| usage_err(format!("--fault-rate must be a number, got {rate_s:?}")))?;
+    if !(0.0..=1.0).contains(&rate) {
+        return Err(usage_err(format!(
+            "--fault-rate must be in [0, 1], got {rate}"
+        )));
+    }
+    let burst_len = args.usize("fault-burst-len", 4)?;
+    if burst_len == 0 {
+        return Err(usage_err("--fault-burst-len must be at least 1"));
+    }
+    if rate > 0.0 {
+        fault_config = fault_config.with_random(rate, burst_len);
+    }
+
+    let mut config = StreamConfig::for_detector(&detector)
+        .with_fallback(fallback)
+        .with_alarm_window(window, min_novel);
+    let deadline_ms = args.u64("deadline-ms", 0)?;
+    if deadline_ms > 0 {
+        config = config.with_deadline(Duration::from_millis(deadline_ms));
+    }
+    let mut runtime = StreamRuntime::new(&detector, config)
+        .map_err(|e| usage_err(format!("invalid stream configuration: {e}")))?;
+
+    let (recorder, obs_out) = recorder_for(args);
+    let dyn_recorder: &dyn Recorder = match &recorder {
+        Some(r) => r,
+        None => obs::noop(),
+    };
+
+    // Drive frames are rendered at the detector's input size so the gate
+    // checks deployment geometry, whatever the detector was trained on.
+    let drive = DriveConfig::new(world)
+        .with_len(len)
+        .with_size(
+            detector.classifier().height(),
+            detector.classifier().width(),
+        )
+        .simulate(seed);
+    let mut injector = FaultInjector::new(fault_config);
+
+    let mut log = Vec::with_capacity(len);
+    let mut scored = 0u64;
+    let mut fallbacks: HashMap<&'static str, u64> = HashMap::new();
+    let mut gate_rejections: HashMap<&'static str, u64> = HashMap::new();
+    let mut alarm_raised_frames = 0u64;
+    for (i, frame) in drive.frames().iter().enumerate() {
+        let injected = injector.apply(i, &frame.image);
+        let decision = runtime.process_recorded(injected.image.as_ref(), dyn_recorder);
+        if decision.source == novelty::DecisionSource::Scored {
+            scored += 1;
+        } else {
+            *fallbacks.entry(decision.source.name()).or_default() += 1;
+        }
+        if let Some(fault) = &decision.gate_fault {
+            *gate_rejections.entry(fault.class()).or_default() += 1;
+        }
+        if decision.alarm == AlarmState::Raised {
+            alarm_raised_frames += 1;
+        }
+        log.push(AlarmLogEntry {
+            frame: decision.frame,
+            injected: injected.fault.map(|k| k.name().to_string()),
+            gate: decision.gate_fault.as_ref().map(|f| f.class().to_string()),
+            source: decision.source.name().to_string(),
+            is_novel: decision.is_novel,
+            score: decision.verdict.map(|v| v.score),
+            health: decision.health.name().to_string(),
+            alarm: alarm_name(decision.alarm).to_string(),
+        });
+    }
+
+    if let Some(path) = args.optional("alarm-log") {
+        let json = serde_json::to_string(&log)
+            .map_err(|e| runtime_err(format!("cannot serialize alarm log: {e}")))?;
+        std::fs::write(&path, json)
+            .map_err(|e| runtime_err(format!("cannot write alarm log {path}: {e}")))?;
+        eprintln!("wrote alarm log to {path}");
+    }
+
+    let health = runtime.health();
+    let final_state = health.state();
+    let worst = health.worst_state();
+    let transitions = health.transitions().len();
+    let monitor = runtime.monitor();
+    // Sort the breakdown maps so output ordering is stable.
+    let sorted = |m: &HashMap<&'static str, u64>| -> Vec<(String, u64)> {
+        let mut v: Vec<_> = m.iter().map(|(k, n)| (k.to_string(), *n)).collect();
+        v.sort();
+        v
+    };
+    let gate_sorted = sorted(&gate_rejections);
+    let fallback_sorted = sorted(&fallbacks);
+    let breakdown = |v: &[(String, u64)]| -> String {
+        if v.is_empty() {
+            "none".to_string()
+        } else {
+            v.iter()
+                .map(|(k, n)| format!("{k} {n}"))
+                .collect::<Vec<_>>()
+                .join(", ")
+        }
+    };
+
+    if args.is_set("json") {
+        println!(
+            "{{\"frames\": {}, \"scored\": {}, \"fallbacks\": {}, \
+             \"gate_rejections\": {}, \"health_transitions\": {}, \
+             \"worst_health\": \"{}\", \"final_health\": \"{}\", \
+             \"alarm_raised_frames\": {}, \"lifetime_novel_rate\": {:.6}}}",
+            runtime.frames_processed(),
+            scored,
+            fallback_sorted.iter().map(|(_, n)| n).sum::<u64>(),
+            gate_sorted.iter().map(|(_, n)| n).sum::<u64>(),
+            transitions,
+            worst.name(),
+            final_state.name(),
+            alarm_raised_frames,
+            monitor.lifetime_novel_rate()
+        );
+    } else {
+        println!(
+            "processed {} frames with policy {}: {} scored, {} fallback",
+            runtime.frames_processed(),
+            fallback.name(),
+            scored,
+            fallback_sorted.iter().map(|(_, n)| n).sum::<u64>()
+        );
+        println!("gate rejections:    {}", breakdown(&gate_sorted));
+        println!("fallback decisions: {}", breakdown(&fallback_sorted));
+        println!(
+            "health:             {} transitions, worst {}, final {}",
+            transitions,
+            worst.name(),
+            final_state.name()
+        );
+        println!(
+            "alarm:              raised on {} frames, lifetime novel rate {:.1}%",
+            alarm_raised_frames,
+            monitor.lifetime_novel_rate() * 100.0
+        );
+    }
+    flush_report(&recorder, &obs_out, "stream")?;
+
+    if args.is_set("require-recovery") {
+        if worst == HealthState::Healthy {
+            return Err(runtime_err(
+                "--require-recovery: health never degraded (no faults took effect)".to_string(),
+            ));
+        }
+        if final_state != HealthState::Healthy {
+            return Err(runtime_err(format!(
+                "--require-recovery: stream ended {} (worst {}), expected healthy",
+                final_state.name(),
+                worst.name()
+            )));
+        }
+        println!(
+            "recovery check passed: degraded to {} and returned to healthy",
+            worst.name()
+        );
+    }
+    Ok(())
+}
+
 fn cmd_info(args: &Args) -> CliResult {
     args.reject_unknown(&["detector"])?;
     let detector = load_detector_file(args)?;
@@ -505,6 +817,7 @@ fn run() -> CliResult {
         "train" => cmd_train(&args),
         "classify" => cmd_classify(&args),
         "eval" => cmd_eval(&args),
+        "stream" => cmd_stream(&args),
         "info" => cmd_info(&args),
         "report" => cmd_report(&args),
         other => Err(usage_err(format!("unknown command {other:?}\n\n{USAGE}"))),

@@ -61,10 +61,15 @@ pub mod prelude {
     pub use neural::{LrSchedule, Network, TrainConfig};
     pub use novelty::monitor::{AlarmState, StreamMonitor};
     pub use novelty::{
-        Calibrator, Direction, NoveltyDetector, NoveltyDetectorBuilder, PipelineKind, Verdict,
+        Calibrator, Direction, FallbackPolicy, FrameFault, FrameGate, GateConfig, HealthState,
+        HealthTracker, NoveltyDetector, NoveltyDetectorBuilder, PipelineKind, StreamConfig,
+        StreamDecision, StreamRuntime, Verdict,
     };
     pub use obs::{Recorder, RunRecorder, RunReport};
     pub use saliency::{visual_backprop, SaliencyMethod};
-    pub use simdrive::{DatasetConfig, DrivingDataset, Weather, World};
+    pub use simdrive::{
+        DatasetConfig, DrivingDataset, FaultBurst, FaultConfig, FaultInjector, FaultKind, Weather,
+        World,
+    };
     pub use vision::Image;
 }

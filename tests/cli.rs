@@ -260,6 +260,116 @@ fn eval_json_and_threads_flags_work() {
 }
 
 #[test]
+fn stream_with_faults_recovers_and_writes_byte_identical_logs() {
+    let detector = trained_detector_path();
+    let dir = temp_dir("stream");
+    let log_a = dir.join("alarms_a.json");
+    let log_b = dir.join("alarms_b.json");
+    let report = dir.join("stream_report.json");
+    let stream_args = |log: &Path, extra: &[&str]| -> Vec<String> {
+        let mut v: Vec<String> = [
+            "stream",
+            "--detector",
+            detector.to_str().unwrap(),
+            "--len",
+            "60",
+            "--seed",
+            "11",
+            "--faults",
+            "nan@10+8,freeze@30+6",
+            "--alarm-log",
+            log.to_str().unwrap(),
+            "--require-recovery",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        v.extend(extra.iter().map(|s| s.to_string()));
+        v
+    };
+
+    let args_a = stream_args(&log_a, &["--obs-out", report.to_str().unwrap()]);
+    let out = run(&args_a.iter().map(String::as_str).collect::<Vec<_>>());
+    assert!(out.status.success(), "{}\n{}", stdout(&out), stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("gate rejections"), "{text}");
+    assert!(text.contains("recovery check passed"), "{text}");
+
+    // Same seed and schedule → byte-identical alarm log.
+    let args_b = stream_args(&log_b, &[]);
+    let out = run(&args_b.iter().map(String::as_str).collect::<Vec<_>>());
+    assert!(out.status.success(), "{}", stderr(&out));
+    let bytes_a = std::fs::read(&log_a).unwrap();
+    let bytes_b = std::fs::read(&log_b).unwrap();
+    assert!(!bytes_a.is_empty());
+    assert_eq!(bytes_a, bytes_b, "alarm logs differ between identical runs");
+    // The log is JSON and records the injected fault classes.
+    let log_text = String::from_utf8(bytes_a).unwrap();
+    assert!(log_text.contains("\"non-finite-pixels\""), "{log_text}");
+    assert!(log_text.contains("\"fail-safe\"") || log_text.contains("\"degraded\""));
+
+    // The obs report carries the stream-score stage.
+    let out = run(&[
+        "report",
+        "--file",
+        report.to_str().unwrap(),
+        "--expect",
+        "stream-score",
+    ]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    assert!(stdout(&out).contains("all expected stages present"));
+}
+
+#[test]
+fn stream_json_summary_and_fault_free_recovery_check() {
+    let detector = trained_detector_path();
+    let out = run(&[
+        "stream",
+        "--detector",
+        detector.to_str().unwrap(),
+        "--len",
+        "10",
+        "--json",
+    ]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let json = stdout(&out);
+    for field in ["\"frames\": 10", "\"final_health\"", "\"gate_rejections\""] {
+        assert!(json.contains(field), "missing {field} in {json}");
+    }
+
+    // --require-recovery on a fault-free run fails: nothing degraded.
+    let out = run(&[
+        "stream",
+        "--detector",
+        detector.to_str().unwrap(),
+        "--len",
+        "10",
+        "--require-recovery",
+    ]);
+    assert_eq!(out.status.code(), Some(1), "{}", stderr(&out));
+    assert!(stderr(&out).contains("never degraded"));
+}
+
+#[test]
+fn stream_rejects_malformed_fault_specs() {
+    let detector = trained_detector_path();
+    let det = detector.to_str().unwrap();
+    for (extra, needle) in [
+        (vec!["--faults", "warp@3+2"], "unknown fault kind"),
+        (vec!["--faults", "nan-3"], "must look like"),
+        (vec!["--faults", "nan@3+0"], "zero length"),
+        (vec!["--fallback", "yolo"], "unknown fallback policy"),
+        (vec!["--fault-rate", "1.5"], "must be in [0, 1]"),
+    ] {
+        let mut args = vec!["stream", "--detector", det];
+        args.extend(&extra);
+        let out = run(&args);
+        assert_eq!(out.status.code(), Some(2), "{extra:?}: {}", stderr(&out));
+        assert!(stderr(&out).contains(needle), "{extra:?}: {}", stderr(&out));
+    }
+}
+
+#[test]
 fn train_obs_out_then_report_roundtrip() {
     let dir = temp_dir("obs");
     let detector = dir.join("detector.json");
