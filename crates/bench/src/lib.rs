@@ -1,3 +1,5 @@
+#![forbid(unsafe_code)]
+#![deny(missing_debug_implementations)]
 #![warn(missing_docs)]
 
 //! Shared experiment harness for the figure-regeneration binaries and
@@ -181,6 +183,7 @@ pub fn dump_ppm(name: &str, image: &vision::RgbImage) -> Option<std::path::PathB
 /// report in the same schema the CLI's `--obs-out` flag produces (so
 /// `saliency-novelty report --file …` reads both). When unset, every
 /// probe goes to the no-op recorder and costs nothing.
+#[derive(Debug)]
 pub struct ObsSink {
     recorder: Option<obs::RunRecorder>,
     path: Option<std::path::PathBuf>,

@@ -42,7 +42,7 @@ impl Ecdf {
                 "sample contains non-finite values",
             ));
         }
-        values.sort_by(|a, b| a.partial_cmp(b).expect("values are finite"));
+        values.sort_by(f32::total_cmp);
         Ok(Ecdf { sorted: values })
     }
 
@@ -82,9 +82,8 @@ impl Ecdf {
                 format!("quantile must be in [0, 1], got {q}"),
             ));
         }
-        if q == 0.0 {
-            return Ok(self.sorted[0]);
-        }
+        // q = 0 needs no special case: ceil(0) = 0 clamps to rank 1, the
+        // minimum — the same value an explicit branch would return.
         let n = self.sorted.len();
         let rank = (q * n as f32).ceil() as usize;
         Ok(self.sorted[rank.clamp(1, n) - 1])

@@ -44,6 +44,8 @@ pub fn mse(x: &Image, y: &Image) -> Result<f32> {
 /// Fails when the images have different dimensions.
 pub fn psnr(x: &Image, y: &Image) -> Result<f32> {
     let m = mse(x, y)?;
+    // sncheck:allow(no-float-eq): exact zero MSE means bit-identical
+    // images — a sentinel, not a tolerance check.
     if m == 0.0 {
         return Ok(f32::INFINITY);
     }

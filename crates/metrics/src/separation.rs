@@ -55,7 +55,7 @@ pub fn auroc(target: &[f32], novel: &[f32], orientation: ScoreOrientation) -> Re
             }
         }
     }
-    all.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("scores are finite"));
+    all.sort_by(|a, b| a.0.total_cmp(&b.0));
     // Assign average ranks to ties.
     let mut rank_sum_novel = 0.0f64;
     let mut i = 0usize;
@@ -166,7 +166,7 @@ pub fn roc_points(
     };
     // Candidate thresholds: every distinct score.
     let mut thresholds: Vec<f32> = target.iter().chain(novel).map(|&v| flip(v)).collect();
-    thresholds.sort_by(|a, b| a.partial_cmp(b).expect("scores are finite"));
+    thresholds.sort_by(f32::total_cmp);
     thresholds.dedup();
     let mut points = Vec::with_capacity(thresholds.len() + 2);
     // "Everything novel" endpoint: the threshold every score clears,
@@ -191,12 +191,7 @@ pub fn roc_points(
             tpr,
         });
     }
-    points.sort_by(|a, b| {
-        a.fpr
-            .partial_cmp(&b.fpr)
-            .expect("rates are finite")
-            .then(a.tpr.partial_cmp(&b.tpr).expect("rates are finite"))
-    });
+    points.sort_by(|a, b| a.fpr.total_cmp(&b.fpr).then(a.tpr.total_cmp(&b.tpr)));
     Ok(points)
 }
 

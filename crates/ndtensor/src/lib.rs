@@ -1,3 +1,5 @@
+#![forbid(unsafe_code)]
+#![deny(missing_debug_implementations)]
 #![warn(missing_docs)]
 
 //! Dense `f32` tensor math substrate for the `saliency-novelty` workspace.

@@ -62,6 +62,8 @@ pub fn matmul(a: &Tensor, b: &Tensor) -> Result<Tensor> {
             let i = row0 + local_i;
             let arow = &ad[i * k..(i + 1) * k];
             for (l, &av) in arow.iter().enumerate() {
+                // sncheck:allow(no-float-eq): exact-zero sparsity skip,
+                // not a tolerance check.
                 if av == 0.0 {
                     continue;
                 }
@@ -98,6 +100,8 @@ pub fn matmul_at_b(a: &Tensor, b: &Tensor) -> Result<Tensor> {
             let i = row0 + local_i;
             for l in 0..k {
                 let av = ad[l * m + i];
+                // sncheck:allow(no-float-eq): exact-zero sparsity skip,
+                // not a tolerance check.
                 if av == 0.0 {
                     continue;
                 }

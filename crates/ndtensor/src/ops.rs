@@ -22,7 +22,7 @@ macro_rules! binary_op {
             /// fallible variant.
             fn $method(self, rhs: &Tensor) -> Tensor {
                 self.zip_map(rhs, |a, b| a $op b)
-                    .unwrap_or_else(|e| panic!("tensor {}: {e}", stringify!($method)))
+                    .unwrap_or_else(|e| panic!("tensor {}: {e}", stringify!($method))) // sncheck:allow(no-panic-in-lib): std::ops traits are infallible by signature; zip_map is the fallible variant
             }
         }
     };

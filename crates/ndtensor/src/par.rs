@@ -69,6 +69,9 @@ impl ThreadConfig {
             Ok(raw) => match raw.trim().parse::<usize>() {
                 Ok(n) if n >= 1 => ThreadConfig { threads: n },
                 _ => {
+                    // sncheck:allow(no-stdout-in-lib): one-shot env-var
+                    // misconfiguration warning; no recorder exists this
+                    // early in process startup.
                     eprintln!(
                         "warning: ignoring invalid SALIENCY_THREADS={raw:?} \
                          (expected a positive integer); using {} threads",
@@ -282,7 +285,7 @@ pub fn try_for_each_block<E: Send>(
         }
         outcomes = handles
             .into_iter()
-            .map(|h| h.join().expect("parallel worker panicked"))
+            .map(|h| h.join().expect("parallel worker panicked")) // sncheck:allow(no-panic-in-lib): deliberate panic propagation from a poisoned worker
             .collect();
     });
     for outcome in outcomes {
@@ -336,7 +339,7 @@ where
     });
     slots
         .into_iter()
-        .map(|slot| slot.expect("parallel worker panicked"))
+        .map(|slot| slot.expect("parallel worker panicked")) // sncheck:allow(no-panic-in-lib): an empty slot means a worker died; propagate, don't mask
         .collect()
 }
 

@@ -116,6 +116,8 @@ pub fn upsample_sum(map: &Tensor, kh: usize, kw: usize, sh: usize, sw: usize) ->
     for y in 0..h {
         for x in 0..w {
             let v = data[y * w + x];
+            // sncheck:allow(no-float-eq): exact-zero sparsity skip, not
+            // a tolerance check.
             if v == 0.0 {
                 continue;
             }

@@ -68,6 +68,8 @@ impl Layer for Dropout {
     }
 
     fn forward_train(&mut self, input: &Tensor) -> Result<Tensor> {
+        // sncheck:allow(no-float-eq): exact-zero fast path; any nonzero
+        // rate takes the general branch correctly.
         if self.rate == 0.0 {
             self.cached_mask = Some(Tensor::ones(input.shape().clone()));
             return Ok(input.clone());

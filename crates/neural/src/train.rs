@@ -64,11 +64,7 @@ impl LrSchedule {
                 every_epochs,
                 factor,
             } => {
-                if every_epochs == 0
-                    || !factor.is_finite()
-                    || !(0.0..=1.0).contains(&factor)
-                    || factor == 0.0
-                {
+                if every_epochs == 0 || !factor.is_finite() || factor <= 0.0 || factor > 1.0 {
                     return Err(NeuralError::invalid(
                         "LrSchedule",
                         format!("step decay needs every_epochs > 0 and factor in (0, 1], got {every_epochs}, {factor}"),
@@ -194,7 +190,7 @@ impl TrainReport {
         *self
             .epoch_losses
             .last()
-            .expect("fit always records at least one epoch")
+            .expect("fit always records at least one epoch") // sncheck:allow(no-panic-in-lib): documented under # Panics; fit validates epochs > 0
     }
 
     /// `true` when the last epoch improved on the first.
@@ -325,7 +321,7 @@ pub fn fit_recorded(
 
     let mut total_batches = 0u64;
     for epoch in 0..config.epochs {
-        let epoch_start = recorder.enabled().then(std::time::Instant::now);
+        let epoch_timer = obs::Stopwatch::started_if(recorder.enabled());
         optimizer.set_learning_rate(base_lr * config.lr_schedule.multiplier(epoch, config.epochs));
         // Fisher–Yates shuffle.
         for i in (1..order.len()).rev() {
@@ -357,12 +353,12 @@ pub fn fit_recorded(
         }
         let mean = (total / batches as f64) as f32;
         if config.verbose {
-            println!("epoch {epoch:>3}: {} loss {mean:.6}", loss.name());
+            println!("epoch {epoch:>3}: {} loss {mean:.6}", loss.name()); // sncheck:allow(no-stdout-in-lib): opt-in progress output behind config.verbose
         }
         total_batches += batches as u64;
         recorder.push("epoch_loss", mean as f64);
-        if let Some(start) = epoch_start {
-            recorder.push("epoch_secs", start.elapsed().as_secs_f64());
+        if let Some(secs) = epoch_timer.elapsed_secs() {
+            recorder.push("epoch_secs", secs);
         }
         epoch_losses.push(mean);
     }

@@ -229,6 +229,7 @@ impl FrameGate {
     /// advances on every *delivered* frame (even rejected ones), so a
     /// frozen feed of corrupt frames still reads as frozen once it
     /// recovers pixel validity.
+    #[must_use = "ignoring the gate's classification feeds unvetted frames to the detector"]
     pub fn admit(&mut self, frame: Option<&Image>) -> Option<FrameFault> {
         let Some(frame) = frame else {
             // No bits arrived: the stuck tracker keeps its run (a frozen
@@ -382,8 +383,8 @@ mod tests {
     fn drops_do_not_break_a_stuck_run() {
         let mut g = gate();
         let frame = textured(5.0);
-        g.admit(Some(&frame));
-        g.admit(Some(&frame));
+        assert_eq!(g.admit(Some(&frame)), None);
+        assert_eq!(g.admit(Some(&frame)), None);
         assert_eq!(g.admit(None), Some(FrameFault::MissingFrame));
         assert!(matches!(
             g.admit(Some(&frame)),
@@ -395,8 +396,8 @@ mod tests {
     fn reset_clears_stuck_history() {
         let mut g = gate();
         let frame = textured(6.0);
-        g.admit(Some(&frame));
-        g.admit(Some(&frame));
+        assert_eq!(g.admit(Some(&frame)), None);
+        assert_eq!(g.admit(Some(&frame)), None);
         g.reset();
         assert_eq!(g.admit(Some(&frame)), None);
     }

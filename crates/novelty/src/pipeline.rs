@@ -86,6 +86,7 @@ impl PipelineKind {
 /// pipeline produced it — enough to log, audit, or replay the decision
 /// without the detector at hand.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[must_use = "a Verdict is the detector's safety decision; dropping it discards the novelty flag"]
 pub struct Verdict {
     /// `true` when the input was flagged novel.
     pub is_novel: bool,
@@ -210,7 +211,10 @@ impl NoveltyDetector {
         match (self.preprocessing, &self.steering) {
             (Preprocessing::Raw, _) => Ok(image.clone()),
             (Preprocessing::Vbp, Some(net)) => Ok(visual_backprop(net, image)?),
-            (Preprocessing::Vbp, None) => unreachable!("validated at construction"),
+            (Preprocessing::Vbp, None) => Err(NoveltyError::invalid(
+                "preprocess",
+                "VBP preprocessing requires a steering network",
+            )),
         }
     }
 
@@ -257,6 +261,7 @@ impl NoveltyDetector {
     ///
     /// Fails on the first incompatible image (by index, matching serial
     /// iteration order).
+    #[must_use = "the scores are the batch's only output; the call has no other effect"]
     pub fn score_batch(&self, images: &[Image]) -> Result<Vec<f32>> {
         self.score_batch_recorded(images, obs::noop())
     }
@@ -285,10 +290,10 @@ impl NoveltyDetector {
         let pool_before = recorder.enabled().then(obs::par_snapshot);
         let scores = obs::time(recorder, "scoring", || {
             ndtensor::par::try_parallel_map(images.len(), work, |i| {
-                let start = recorder.enabled().then(std::time::Instant::now);
+                let timer = obs::Stopwatch::started_if(recorder.enabled());
                 let score = self.score(&images[i]);
-                if let Some(start) = start {
-                    recorder.observe("scoring.latency_secs", start.elapsed().as_secs_f64());
+                if let Some(secs) = timer.elapsed_secs() {
+                    recorder.observe("scoring.latency_secs", secs);
                 }
                 score
             })
@@ -317,6 +322,7 @@ impl NoveltyDetector {
     ///
     /// Fails on the first incompatible image (by index, matching serial
     /// iteration order).
+    #[must_use = "the verdicts are the batch's only output; the call has no other effect"]
     pub fn classify_batch(&self, images: &[Image]) -> Result<Vec<Verdict>> {
         Ok(self
             .score_batch(images)?

@@ -22,9 +22,9 @@
 //! class, fallback counters by policy, health-transition counters and a
 //! severity gauge.
 
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
-use obs::{Recorder, Span};
+use obs::{Recorder, Span, Stopwatch};
 use vision::Image;
 
 use crate::monitor::{AlarmState, StreamMonitor};
@@ -103,6 +103,7 @@ impl DecisionSource {
 
 /// The runtime's complete output for one frame.
 #[derive(Debug, Clone, PartialEq)]
+#[must_use = "a StreamDecision is the per-frame safety output; dropping it loses the novelty flag and health state"]
 pub struct StreamDecision {
     /// Zero-based frame index in the stream.
     pub frame: u64,
@@ -266,36 +267,47 @@ impl<'d> StreamRuntime<'d> {
                 recorder.add(&format!("stream-score.gate_rejected.{}", fault.class()), 1);
                 None
             }
-            None => {
-                let img = frame.expect("gate admits only delivered frames");
-                let span = Span::root(recorder, "stream-score");
-                let start = (self.deadline.is_some() || recorder.enabled()).then(Instant::now);
-                let result = self.detector.classify(img);
-                let elapsed = start.map(|s| s.elapsed());
-                span.finish();
-                if let Some(elapsed) = elapsed {
-                    recorder.observe("stream-score.latency_secs", elapsed.as_secs_f64());
-                }
-                match result {
-                    Ok(verdict) => {
-                        if let (Some(deadline), Some(elapsed)) = (self.deadline, elapsed) {
-                            if elapsed > deadline {
-                                deadline_overrun = true;
-                                recorder.add("stream-score.deadline_overruns", 1);
+            // The gate admits only delivered frames, so `frame` is Some
+            // here; degrade to a per-frame score error rather than panic
+            // if that invariant ever breaks — every frame must still
+            // yield exactly one decision.
+            None => match frame {
+                Some(img) => {
+                    let span = Span::root(recorder, "stream-score");
+                    let timer =
+                        Stopwatch::started_if(self.deadline.is_some() || recorder.enabled());
+                    let result = self.detector.classify(img);
+                    let elapsed = timer.elapsed();
+                    span.finish();
+                    if let Some(elapsed) = elapsed {
+                        recorder.observe("stream-score.latency_secs", elapsed.as_secs_f64());
+                    }
+                    match result {
+                        Ok(verdict) => {
+                            if let (Some(deadline), Some(elapsed)) = (self.deadline, elapsed) {
+                                if elapsed > deadline {
+                                    deadline_overrun = true;
+                                    recorder.add("stream-score.deadline_overruns", 1);
+                                }
                             }
+                            Some(verdict)
                         }
-                        Some(verdict)
-                    }
-                    Err(e) => {
-                        // The gate admits what it can cheaply validate; a
-                        // scoring error past the gate is still a per-frame
-                        // fault, not a stream-ending one.
-                        score_error = Some(e.to_string());
-                        recorder.add("stream-score.score_errors", 1);
-                        None
+                        Err(e) => {
+                            // The gate admits what it can cheaply validate;
+                            // a scoring error past the gate is still a
+                            // per-frame fault, not a stream-ending one.
+                            score_error = Some(e.to_string());
+                            recorder.add("stream-score.score_errors", 1);
+                            None
+                        }
                     }
                 }
-            }
+                None => {
+                    score_error = Some("gate admitted an undelivered frame".to_string());
+                    recorder.add("stream-score.score_errors", 1);
+                    None
+                }
+            },
         };
 
         // Layer 3: fallback resolution — every frame yields a decision.

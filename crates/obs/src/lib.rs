@@ -1,3 +1,5 @@
+#![forbid(unsafe_code)]
+#![deny(missing_debug_implementations)]
 #![warn(missing_docs)]
 
 //! Observability for the train→saliency→novelty pipeline.
@@ -53,6 +55,7 @@ mod error;
 mod par_stats;
 mod recorder;
 mod report;
+mod stopwatch;
 
 pub use error::ObsError;
 pub use par_stats::{par_snapshot, record_par_delta};
@@ -61,6 +64,7 @@ pub use report::{
     CounterReport, GaugeReport, HistogramReport, RunReport, SeriesReport, StageReport,
     REPORT_SCHEMA_VERSION,
 };
+pub use stopwatch::Stopwatch;
 
 /// Convenience alias used across the crate.
 pub type Result<T> = std::result::Result<T, ObsError>;

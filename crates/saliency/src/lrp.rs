@@ -157,8 +157,8 @@ pub fn lrp(network: &Network, image: &Image, config: &LrpConfig) -> Result<Image
     // Seed relevance with the output itself.
     let mut relevance = acts
         .last()
-        .expect("forward_collect guarantees non-empty activations")
-        .clone();
+        .cloned()
+        .ok_or_else(|| SaliencyError::invalid("lrp", "network produced no activations"))?;
 
     for (i, layer) in layers.iter().enumerate().rev() {
         let layer_input = if i == 0 { &input } else { &acts[i - 1] };

@@ -100,6 +100,8 @@ pub fn area_fraction(ground_truth: &Image, threshold: f32) -> f32 {
 /// region is empty.
 pub fn concentration_ratio(mask: &Image, ground_truth: &Image, threshold: f32) -> Result<f32> {
     let area = area_fraction(ground_truth, threshold);
+    // sncheck:allow(no-float-eq): exact-zero emptiness sentinel from
+    // area_fraction.
     if area == 0.0 {
         return Err(SaliencyError::invalid(
             "concentration_ratio",

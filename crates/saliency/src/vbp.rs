@@ -165,7 +165,10 @@ pub fn visual_backprop(network: &Network, image: &Image) -> Result<Image> {
         .map(|b| channel_mean(&acts[b.act_index]))
         .collect::<Result<_>>()?;
 
-    let mut mask = averages.last().expect("blocks is non-empty").clone();
+    let mut mask = averages
+        .last()
+        .cloned()
+        .ok_or_else(|| SaliencyError::invalid("visual_backprop", "network has no conv blocks"))?;
     // Walk deep → shallow, upscaling through each conv's geometry and
     // gating with the shallower averaged map.
     for j in (1..blocks.len()).rev() {

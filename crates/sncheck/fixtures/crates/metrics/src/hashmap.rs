@@ -1,0 +1,12 @@
+//! Fixture: unordered hash collections on the deterministic path must
+//! fire.
+
+use std::collections::{HashMap, HashSet};
+
+pub fn bad_map() -> HashMap<String, f32> {
+    HashMap::new()
+}
+
+pub fn bad_set() -> HashSet<u64> {
+    HashSet::new()
+}

@@ -1,0 +1,33 @@
+//! Fixture: every spelling of `no-panic-in-lib` must fire.
+
+pub fn bad_unwrap(x: Option<u32>) -> u32 {
+    x.unwrap()
+}
+
+pub fn bad_expect(x: Option<u32>) -> u32 {
+    x.expect("always present")
+}
+
+pub fn bad_panic() {
+    panic!("boom");
+}
+
+pub fn bad_unreachable(n: u32) -> u32 {
+    match n {
+        0 => 1,
+        _ => unreachable!("callers pass zero"),
+    }
+}
+
+pub fn bad_todo() {
+    todo!()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_is_exempt() {
+        None::<u32>.unwrap();
+        panic!("fine in tests");
+    }
+}

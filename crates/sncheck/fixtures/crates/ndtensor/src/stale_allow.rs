@@ -1,0 +1,10 @@
+//! Fixture: suppression hygiene — a stale allow and an unknown rule name
+//! must each produce a warn-severity diagnostic.
+
+pub fn nothing_to_suppress() -> u32 {
+    7 // sncheck:allow(no-panic-in-lib): stale — nothing fires here
+}
+
+pub fn misspelled() -> u32 {
+    8 // sncheck:allow(no-panics-in-lib): misspelled rule name
+}

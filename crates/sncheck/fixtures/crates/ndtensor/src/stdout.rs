@@ -1,0 +1,13 @@
+//! Fixture: std-stream writes from library code must fire.
+
+pub fn bad_println(score: f32) {
+    println!("score = {score}");
+}
+
+pub fn bad_eprintln() {
+    eprintln!("something happened");
+}
+
+pub fn bad_dbg(x: u32) -> u32 {
+    dbg!(x)
+}

@@ -1,0 +1,15 @@
+//! Fixture: every violation here carries a suppression, so the file must
+//! come back clean — including the own-line comment form.
+
+pub fn allowed_unwrap(x: Option<u32>) -> u32 {
+    x.unwrap() // sncheck:allow(no-panic-in-lib): fixture demonstrates the trailing form
+}
+
+pub fn allowed_float(x: f32) -> bool {
+    // sncheck:allow(no-float-eq): fixture demonstrates the own-line form
+    x == 0.25
+}
+
+pub fn allowed_pair(a: Option<u32>) -> bool {
+    a.unwrap() as f32 == 1.0 // sncheck:allow(no-panic-in-lib, no-float-eq): one comment, two rules
+}

@@ -1,0 +1,11 @@
+//! Fixture: ambient clock reads outside `crates/obs` must fire.
+
+use std::time::{Instant, SystemTime};
+
+pub fn bad_instant() -> Instant {
+    Instant::now()
+}
+
+pub fn bad_system_time() -> SystemTime {
+    SystemTime::now()
+}

@@ -1,0 +1,19 @@
+//! Fixture: lexical float equality must fire (literals either side, and
+//! well-known float constants).
+
+pub fn bad_literal_rhs(x: f32) -> bool {
+    x == 0.5
+}
+
+pub fn bad_literal_lhs(x: f32) -> bool {
+    1.0 != x
+}
+
+pub fn bad_constant(x: f32) -> bool {
+    x == f32::INFINITY
+}
+
+pub fn fine_comparisons(x: f32) -> bool {
+    // `<=`/`>=` are single tokens; they must NOT trip the rule.
+    x <= 0.5 && x >= -0.5
+}

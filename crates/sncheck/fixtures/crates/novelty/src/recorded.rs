@@ -1,0 +1,17 @@
+//! Fixture: a public `*_recorded` entry point without its plain-named
+//! wrapper must fire; a properly paired one must not.
+
+pub struct Recorder;
+
+pub fn orphan_recorded(r: &Recorder) -> f32 {
+    let _ = r;
+    0.0
+}
+
+pub fn paired(x: f32) -> f32 {
+    paired_recorded(x)
+}
+
+pub fn paired_recorded(x: f32) -> f32 {
+    x
+}

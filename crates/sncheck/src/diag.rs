@@ -1,0 +1,206 @@
+//! Diagnostics: the linter's output type and its two renderings.
+//!
+//! Both renderings are fully deterministic — diagnostics are sorted by
+//! `(path, line, col, rule)`, no timestamps or environment data are
+//! included, and the JSON writer is hand-rolled so the byte stream is a
+//! pure function of the findings. CI relies on this: the acceptance
+//! check runs the tool twice and `cmp`s the JSON artifacts.
+
+use std::fmt;
+
+/// How a diagnostic counts toward the exit code.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Hygiene findings (stale or unknown suppressions); fail only under
+    /// `--deny-all`.
+    Warn,
+    /// Invariant violations; always fail.
+    Deny,
+}
+
+impl Severity {
+    /// Lowercase label used in human and JSON output.
+    pub fn label(self) -> &'static str {
+        match self {
+            Severity::Warn => "warn",
+            Severity::Deny => "deny",
+        }
+    }
+}
+
+/// One finding, anchored to a file position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Workspace-relative path with `/` separators.
+    pub path: String,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+    /// Rule identifier (e.g. `no-panic-in-lib`).
+    pub rule: &'static str,
+    /// Severity class.
+    pub severity: Severity,
+    /// Human explanation, including the remedy.
+    pub message: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}:{}: {} [{}] {}",
+            self.path,
+            self.line,
+            self.col,
+            self.severity.label(),
+            self.rule,
+            self.message
+        )
+    }
+}
+
+/// The result of checking a set of files.
+#[derive(Debug, Clone, Default)]
+pub struct Report {
+    /// Number of files scanned (including clean ones).
+    pub files_checked: usize,
+    /// All findings, sorted by `(path, line, col, rule)`.
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+impl Report {
+    /// Sorts diagnostics into the canonical deterministic order.
+    pub fn sort(&mut self) {
+        self.diagnostics.sort_by(|a, b| {
+            (&a.path, a.line, a.col, a.rule).cmp(&(&b.path, b.line, b.col, b.rule))
+        });
+    }
+
+    /// Findings at [`Severity::Deny`].
+    pub fn deny_count(&self) -> usize {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity == Severity::Deny)
+            .count()
+    }
+
+    /// Renders the canonical JSON document (stable byte-for-byte).
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(256 + self.diagnostics.len() * 128);
+        out.push_str("{\n");
+        out.push_str("  \"sncheck_schema_version\": 1,\n");
+        out.push_str(&format!("  \"files_checked\": {},\n", self.files_checked));
+        out.push_str(&format!(
+            "  \"diagnostic_count\": {},\n",
+            self.diagnostics.len()
+        ));
+        out.push_str("  \"diagnostics\": [");
+        for (i, d) in self.diagnostics.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("\n    {");
+            out.push_str(&format!("\"path\": {}, ", json_string(&d.path)));
+            out.push_str(&format!("\"line\": {}, ", d.line));
+            out.push_str(&format!("\"col\": {}, ", d.col));
+            out.push_str(&format!("\"rule\": {}, ", json_string(d.rule)));
+            out.push_str(&format!(
+                "\"severity\": {}, ",
+                json_string(d.severity.label())
+            ));
+            out.push_str(&format!("\"message\": {}", json_string(&d.message)));
+            out.push('}');
+        }
+        if !self.diagnostics.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("]\n}\n");
+        out
+    }
+}
+
+/// Escapes `s` as a JSON string literal.
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diag(path: &str, line: u32, col: u32, rule: &'static str) -> Diagnostic {
+        Diagnostic {
+            path: path.to_string(),
+            line,
+            col,
+            rule,
+            severity: Severity::Deny,
+            message: "m".to_string(),
+        }
+    }
+
+    #[test]
+    fn sort_is_canonical() {
+        let mut r = Report {
+            files_checked: 2,
+            diagnostics: vec![diag("b.rs", 1, 1, "x"), diag("a.rs", 9, 1, "x")],
+        };
+        r.sort();
+        assert_eq!(r.diagnostics[0].path, "a.rs");
+    }
+
+    #[test]
+    fn json_is_deterministic_and_escaped() {
+        let mut r = Report {
+            files_checked: 1,
+            diagnostics: vec![Diagnostic {
+                path: "a\"b.rs".to_string(),
+                line: 3,
+                col: 7,
+                rule: "no-float-eq",
+                severity: Severity::Warn,
+                message: "tab\there\nand \\slash".to_string(),
+            }],
+        };
+        r.sort();
+        let a = r.to_json();
+        let b = r.to_json();
+        assert_eq!(a, b);
+        assert!(a.contains("\\\"b.rs"));
+        assert!(a.contains("tab\\there\\nand \\\\slash"));
+        assert!(a.contains("\"files_checked\": 1"));
+        assert!(a.contains("\"severity\": \"warn\""));
+    }
+
+    #[test]
+    fn empty_report_json() {
+        let r = Report::default();
+        let j = r.to_json();
+        assert!(j.contains("\"diagnostics\": []"));
+        assert!(j.ends_with("}\n"));
+    }
+
+    #[test]
+    fn display_has_file_line_anchor() {
+        let d = diag("crates/x/src/a.rs", 12, 5, "no-panic-in-lib");
+        assert_eq!(
+            d.to_string(),
+            "crates/x/src/a.rs:12:5: deny [no-panic-in-lib] m"
+        );
+    }
+}

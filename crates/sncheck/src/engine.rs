@@ -1,0 +1,346 @@
+//! Ties lexer, scope tracker and rules together over real files, and
+//! implements the `sncheck:allow` suppression protocol.
+//!
+//! A suppression is a comment containing the `sncheck:allow` marker with
+//! a parenthesised rule list, optionally followed by `: reason` — see
+//! the CLI usage text for the exact shape. A trailing comment silences
+//! exactly those rules on its own line; a comment on a line of its own
+//! (no code before it) silences them on the next line of code instead,
+//! so rustfmt moving a comment off a `{` line does not void it.
+//! Suppressions are themselves linted: naming an unknown rule or
+//! suppressing nothing produces a `warn` diagnostic, so stale allows
+//! cannot accumulate.
+
+use std::collections::BTreeMap;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use crate::diag::{Diagnostic, Report, Severity};
+use crate::lexer::{lex, Comment};
+use crate::rules::{classify, is_known_rule, run_rules, FileCtx};
+use crate::scope::test_scopes;
+
+/// Directory names never descended into during workspace discovery.
+/// `fixtures` holds deliberately-bad snippets for the self-test.
+const SKIP_DIRS: &[&str] = &["target", "vendor", ".git", "fixtures"];
+
+/// One parsed `sncheck:allow` entry. `line` is the line of code the
+/// suppression targets; `comment_line` is where the comment itself
+/// starts (they differ for the own-line form) and anchors hygiene
+/// diagnostics.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Suppression {
+    line: u32,
+    comment_line: u32,
+    rule: String,
+}
+
+/// Extracts suppressions from a file's comments. Unknown rule names are
+/// reported immediately as `unknown-rule` warnings.
+///
+/// `token_lines` is the sorted, deduplicated set of lines containing
+/// code; it decides whether a comment is trailing (targets its own line)
+/// or own-line (targets the next line of code).
+fn parse_suppressions(
+    rel: &str,
+    comments: &[Comment],
+    token_lines: &[u32],
+    out_diags: &mut Vec<Diagnostic>,
+) -> Vec<Suppression> {
+    let mut sups = Vec::new();
+    for c in comments {
+        let Some(start) = c.text.find("sncheck:allow(") else {
+            continue;
+        };
+        let after = &c.text[start + "sncheck:allow(".len()..];
+        let Some(end) = after.find(')') else {
+            out_diags.push(Diagnostic {
+                path: rel.to_string(),
+                line: c.line,
+                col: 1,
+                rule: "unknown-rule",
+                severity: Severity::Warn,
+                message: "malformed `sncheck:allow(...)`: missing closing parenthesis".to_string(),
+            });
+            continue;
+        };
+        // A trailing comment shares its line with code; an own-line
+        // comment targets the next line that has any.
+        let target = if token_lines.binary_search(&c.line).is_ok() {
+            c.line
+        } else {
+            let next = token_lines.partition_point(|&l| l <= c.line);
+            token_lines.get(next).copied().unwrap_or(c.line)
+        };
+        for name in after[..end].split(',') {
+            let name = name.trim();
+            if name.is_empty() {
+                continue;
+            }
+            if is_known_rule(name) {
+                sups.push(Suppression {
+                    line: target,
+                    comment_line: c.line,
+                    rule: name.to_string(),
+                });
+            } else {
+                out_diags.push(Diagnostic {
+                    path: rel.to_string(),
+                    line: c.line,
+                    col: 1,
+                    rule: "unknown-rule",
+                    severity: Severity::Warn,
+                    message: format!(
+                        "`sncheck:allow({name})` names no known rule; see `sncheck --list-rules`"
+                    ),
+                });
+            }
+        }
+    }
+    sups
+}
+
+/// Checks one file's source text. `rel` is the workspace-relative path
+/// used for classification and diagnostics.
+pub fn check_source(rel: &str, source: &str) -> Vec<Diagnostic> {
+    let lexed = lex(source);
+    let scopes = test_scopes(&lexed.tokens);
+    let kind = classify(rel);
+    let ctx = FileCtx {
+        rel,
+        kind: &kind,
+        tokens: &lexed.tokens,
+        scopes: &scopes,
+    };
+    let raw = run_rules(&ctx);
+
+    let mut token_lines: Vec<u32> = lexed.tokens.iter().map(|t| t.line).collect();
+    token_lines.dedup();
+
+    let mut diags = Vec::new();
+    let suppressions = parse_suppressions(rel, &lexed.comments, &token_lines, &mut diags);
+    let mut used = vec![false; suppressions.len()];
+    for d in raw {
+        let hit = suppressions
+            .iter()
+            .position(|s| s.line == d.line && s.rule == d.rule);
+        match hit {
+            Some(k) => used[k] = true,
+            None => diags.push(d),
+        }
+    }
+    for (k, s) in suppressions.iter().enumerate() {
+        // A suppression may cover several diagnostics of the same rule on
+        // its line; one hit marks it used. Suppressions inside test
+        // regions are ignored rather than flagged — rules are off there.
+        if !used[k] && !scopes.line_is_test(s.line) {
+            diags.push(Diagnostic {
+                path: rel.to_string(),
+                line: s.comment_line,
+                col: 1,
+                rule: "unused-suppression",
+                severity: Severity::Warn,
+                message: format!(
+                    "`sncheck:allow({})` suppresses nothing on line {}; remove it",
+                    s.rule, s.line
+                ),
+            });
+        }
+    }
+    diags
+}
+
+/// Recursively collects `.rs` files under `dir`, skipping [`SKIP_DIRS`].
+/// Results are sorted for deterministic output.
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    let mut entries: Vec<PathBuf> = fs::read_dir(dir)?
+        .collect::<io::Result<Vec<_>>>()?
+        .into_iter()
+        .map(|e| e.path())
+        .collect();
+    entries.sort();
+    for path in entries {
+        let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+        if path.is_dir() {
+            if !SKIP_DIRS.contains(&name) {
+                collect_rs_files(&path, out)?;
+            }
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Discovers every checkable `.rs` file under `root` (the workspace).
+pub fn discover_workspace(root: &Path) -> io::Result<Vec<PathBuf>> {
+    let mut files = Vec::new();
+    collect_rs_files(root, &mut files)?;
+    Ok(files)
+}
+
+/// Expands an explicit path argument: files are taken as-is, directories
+/// are walked like the workspace (including `fixtures` when named
+/// directly — a directory passed on the command line is always scanned,
+/// only nested skip-dirs are pruned).
+pub fn expand_path(path: &Path) -> io::Result<Vec<PathBuf>> {
+    if path.is_dir() {
+        let mut files = Vec::new();
+        let mut entries: Vec<PathBuf> = fs::read_dir(path)?
+            .collect::<io::Result<Vec<_>>>()?
+            .into_iter()
+            .map(|e| e.path())
+            .collect();
+        entries.sort();
+        for p in entries {
+            let name = p.file_name().and_then(|n| n.to_str()).unwrap_or("");
+            if p.is_dir() {
+                if !SKIP_DIRS.contains(&name) || name == "fixtures" {
+                    let mut sub = expand_path(&p)?;
+                    files.append(&mut sub);
+                }
+            } else if name.ends_with(".rs") {
+                files.push(p);
+            }
+        }
+        Ok(files)
+    } else {
+        Ok(vec![path.to_path_buf()])
+    }
+}
+
+/// The workspace-relative form of `path` used for classification: the
+/// prefix `root` is stripped when present.
+fn relativise(root: &Path, path: &Path) -> String {
+    let rel = path.strip_prefix(root).unwrap_or(path);
+    rel.to_string_lossy().replace('\\', "/")
+}
+
+/// Checks a set of files, returning a sorted [`Report`]. Paths are
+/// classified relative to `root`.
+pub fn check_files(root: &Path, files: &[PathBuf]) -> io::Result<Report> {
+    // BTreeMap keeps per-file work grouped and the iteration ordered even
+    // if the caller passed an unsorted list.
+    let mut by_rel: BTreeMap<String, PathBuf> = BTreeMap::new();
+    for f in files {
+        by_rel.insert(relativise(root, f), f.clone());
+    }
+    let mut report = Report::default();
+    for (rel, path) in &by_rel {
+        let source = fs::read_to_string(path)
+            .map_err(|e| io::Error::new(e.kind(), format!("reading {}: {e}", path.display())))?;
+        report.diagnostics.extend(check_source(rel, &source));
+        report.files_checked += 1;
+    }
+    report.sort();
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const LIB: &str = "crates/novelty/src/x.rs";
+
+    #[test]
+    fn suppression_silences_exactly_its_line() {
+        let src = "fn f() {\n\
+                   x.unwrap(); // sncheck:allow(no-panic-in-lib): infallible by construction\n\
+                   y.unwrap();\n\
+                   }";
+        let diags = check_source(LIB, src);
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert_eq!(diags[0].line, 3);
+    }
+
+    #[test]
+    fn own_line_suppression_covers_the_next_code_line() {
+        let src = "fn f() {\n\
+                   // sncheck:allow(no-panic-in-lib): infallible by construction\n\
+                   x.unwrap();\n\
+                   y.unwrap();\n\
+                   }";
+        let diags = check_source(LIB, src);
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert_eq!(diags[0].line, 4);
+    }
+
+    #[test]
+    fn own_line_suppression_skips_blank_and_comment_lines() {
+        let src = "fn f() {\n\
+                   // sncheck:allow(no-panic-in-lib): reason\n\
+                   \n\
+                   // an unrelated comment\n\
+                   x.unwrap();\n\
+                   }";
+        assert!(check_source(LIB, src).is_empty());
+    }
+
+    #[test]
+    fn unused_own_line_suppression_anchors_to_the_comment() {
+        let src = "fn f() {\n\
+                   // sncheck:allow(no-float-eq): stale\n\
+                   x.unwrap();\n\
+                   }";
+        let diags = check_source(LIB, src);
+        assert_eq!(diags.len(), 2, "{diags:?}");
+        assert!(diags
+            .iter()
+            .any(|d| d.rule == "unused-suppression" && d.line == 2));
+    }
+
+    #[test]
+    fn suppression_covers_multiple_hits_on_its_line() {
+        let src = "fn f() { a.unwrap(); b.unwrap(); } // sncheck:allow(no-panic-in-lib)";
+        assert!(check_source(LIB, src).is_empty());
+    }
+
+    #[test]
+    fn multi_rule_suppression() {
+        let src =
+            "fn f() { println!(\"{}\", m.unwrap()); } // sncheck:allow(no-panic-in-lib, no-stdout-in-lib)";
+        assert!(check_source(LIB, src).is_empty());
+    }
+
+    #[test]
+    fn unused_suppression_is_flagged() {
+        let src = "fn f() {} // sncheck:allow(no-panic-in-lib)";
+        let diags = check_source(LIB, src);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].rule, "unused-suppression");
+        assert_eq!(diags[0].severity, Severity::Warn);
+    }
+
+    #[test]
+    fn unknown_rule_is_flagged() {
+        let src = "fn f() {} // sncheck:allow(no-such-rule)";
+        let diags = check_source(LIB, src);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].rule, "unknown-rule");
+    }
+
+    #[test]
+    fn suppression_does_not_leak_to_other_rules() {
+        let src = "fn f() { x.unwrap(); } // sncheck:allow(no-float-eq)";
+        let diags = check_source(LIB, src);
+        // The unwrap still fires, and the float-eq allow is unused.
+        assert_eq!(diags.len(), 2, "{diags:?}");
+        assert!(diags.iter().any(|d| d.rule == "no-panic-in-lib"));
+        assert!(diags.iter().any(|d| d.rule == "unused-suppression"));
+    }
+
+    #[test]
+    fn suppressions_in_test_code_are_not_hygiene_checked() {
+        let src = "#[cfg(test)]\nmod tests {\n fn t() { x.unwrap(); // sncheck:allow(no-panic-in-lib)\n }\n}";
+        assert!(check_source(LIB, src).is_empty());
+    }
+
+    #[test]
+    fn bins_and_tests_are_exempt() {
+        let panicky = "fn main() { x.unwrap(); println!(\"ok\"); }";
+        assert!(check_source("src/bin/cli.rs", panicky).is_empty());
+        assert!(check_source("tests/integration.rs", panicky).is_empty());
+        assert!(check_source("crates/neural/benches/b.rs", panicky).is_empty());
+    }
+}

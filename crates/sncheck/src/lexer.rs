@@ -1,0 +1,568 @@
+//! A hand-rolled lossy Rust lexer.
+//!
+//! The rule engine only needs to know *where code is* — identifiers,
+//! punctuation and literals with their source positions — and, just as
+//! importantly, where code *is not*: rule trigger words inside string
+//! literals, char literals or comments must never fire. The lexer
+//! therefore handles the full literal grammar (escapes, raw strings with
+//! arbitrary hash fences, byte/char literals, lifetimes, nested block
+//! comments) but is deliberately lenient about everything else: an
+//! unterminated literal consumes the rest of the file instead of
+//! erroring, so the tool degrades gracefully on malformed input.
+
+/// What a token is, as far as the rules care.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (including raw `r#idents`).
+    Ident,
+    /// A lifetime such as `'a` (not a char literal).
+    Lifetime,
+    /// Numeric literal; `float` is true for decimal floats.
+    Number {
+        /// Whether the literal is a float (`1.0`, `1e-3`, `2f32`).
+        float: bool,
+    },
+    /// String literal of any flavour (`"…"`, `r#"…"#`, `b"…"`, `c"…"`).
+    Str,
+    /// Char or byte-char literal (`'x'`, `b'\n'`).
+    Char,
+    /// Punctuation; multi-char operators (`::`, `==`, `!=`, …) are one
+    /// token.
+    Punct,
+}
+
+/// One lexed token with its 1-based source position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// Classification.
+    pub kind: TokenKind,
+    /// Source text. For raw identifiers the `r#` prefix is stripped so
+    /// rules match on the name itself; for string/char literals this is
+    /// the body without quotes.
+    pub text: String,
+    /// 1-based line of the token's first character.
+    pub line: u32,
+    /// 1-based column (in characters) of the token's first character.
+    pub col: u32,
+}
+
+/// One comment (line or block) with the line it starts on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Comment {
+    /// Comment text without the `//` / `/* */` markers.
+    pub text: String,
+    /// 1-based line of the comment's first character.
+    pub line: u32,
+}
+
+/// Lexer output: the token stream plus every comment (comments carry
+/// `sncheck:allow` suppressions, so they are first-class).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Lexed {
+    /// All non-comment tokens in source order.
+    pub tokens: Vec<Token>,
+    /// All comments in source order.
+    pub comments: Vec<Comment>,
+}
+
+/// Multi-character operators, longest first so maximal munch is a linear
+/// scan. `!=`, `==`, `<=` and `>=` must be single tokens or the
+/// `no-float-eq` rule would confuse `a <= 1.0` with an equality.
+const PUNCTS: &[&str] = &[
+    "<<=", ">>=", "..=", "...", "==", "!=", "<=", ">=", "&&", "||", "::", "->", "=>", "..", "+=",
+    "-=", "*=", "/=", "%=", "^=", "&=", "|=", "<<", ">>",
+];
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+struct Lexer {
+    chars: Vec<char>,
+    pos: usize,
+    line: u32,
+    col: u32,
+}
+
+impl Lexer {
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek(0)?;
+        self.pos += 1;
+        if c == '\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+
+    fn take_while(&mut self, pred: impl Fn(char) -> bool, into: &mut String) {
+        while let Some(c) = self.peek(0) {
+            if !pred(c) {
+                break;
+            }
+            into.push(c);
+            self.bump();
+        }
+    }
+
+    /// Consumes a `"…"` body after the opening quote. Non-raw strings
+    /// honour `\` escapes; raw strings end at a `"` followed by `hashes`
+    /// `#` characters.
+    fn string_body(&mut self, raw: bool, hashes: usize) -> String {
+        let mut body = String::new();
+        while let Some(c) = self.peek(0) {
+            if !raw && c == '\\' {
+                body.push(c);
+                self.bump();
+                if let Some(esc) = self.bump() {
+                    body.push(esc);
+                }
+                continue;
+            }
+            if c == '"' {
+                let fence_closed = (1..=hashes).all(|k| self.peek(k) == Some('#'));
+                if fence_closed {
+                    self.bump();
+                    for _ in 0..hashes {
+                        self.bump();
+                    }
+                    return body;
+                }
+            }
+            body.push(c);
+            self.bump();
+        }
+        body // unterminated: lenient, consume to EOF
+    }
+
+    /// Consumes a char-literal body after the opening `'`, including the
+    /// closing quote. Bounded so a stray quote cannot eat the file.
+    fn char_body(&mut self) -> String {
+        let mut body = String::new();
+        // Longest legal char literal is '\u{10FFFF}' — 10 inner chars.
+        for _ in 0..12 {
+            match self.peek(0) {
+                None | Some('\n') => break,
+                Some('\\') => {
+                    body.push('\\');
+                    self.bump();
+                    if let Some(esc) = self.bump() {
+                        body.push(esc);
+                    }
+                }
+                Some('\'') => {
+                    self.bump();
+                    break;
+                }
+                Some(c) => {
+                    body.push(c);
+                    self.bump();
+                }
+            }
+        }
+        body
+    }
+}
+
+/// Lexes `source` into tokens and comments. Never fails: malformed input
+/// produces a best-effort stream.
+pub fn lex(source: &str) -> Lexed {
+    let mut lx = Lexer {
+        chars: source.chars().collect(),
+        pos: 0,
+        line: 1,
+        col: 1,
+    };
+    let mut out = Lexed::default();
+
+    while let Some(c) = lx.peek(0) {
+        let (line, col) = (lx.line, lx.col);
+        if c.is_whitespace() {
+            lx.bump();
+            continue;
+        }
+
+        // Comments.
+        if c == '/' && lx.peek(1) == Some('/') {
+            lx.bump();
+            lx.bump();
+            let mut text = String::new();
+            lx.take_while(|c| c != '\n', &mut text);
+            out.comments.push(Comment { text, line });
+            continue;
+        }
+        if c == '/' && lx.peek(1) == Some('*') {
+            lx.bump();
+            lx.bump();
+            let mut text = String::new();
+            let mut depth = 1usize;
+            while depth > 0 {
+                match (lx.peek(0), lx.peek(1)) {
+                    (Some('/'), Some('*')) => {
+                        depth += 1;
+                        text.push_str("/*");
+                        lx.bump();
+                        lx.bump();
+                    }
+                    (Some('*'), Some('/')) => {
+                        depth -= 1;
+                        lx.bump();
+                        lx.bump();
+                        if depth > 0 {
+                            text.push_str("*/");
+                        }
+                    }
+                    (Some(ch), _) => {
+                        text.push(ch);
+                        lx.bump();
+                    }
+                    (None, _) => break, // unterminated: lenient
+                }
+            }
+            out.comments.push(Comment { text, line });
+            continue;
+        }
+
+        // Identifiers, which may turn out to prefix a literal: r"…",
+        // r#"…"#, b"…", br#"…"#, c"…", cr#"…"#, b'…', r#ident.
+        if is_ident_start(c) {
+            let mut text = String::new();
+            lx.take_while(is_ident_continue, &mut text);
+            let string_prefix = matches!(text.as_str(), "r" | "b" | "c" | "br" | "cr");
+            if string_prefix && lx.peek(0) == Some('"') {
+                lx.bump();
+                let raw = text.contains('r');
+                let body = lx.string_body(raw, 0);
+                out.tokens.push(Token {
+                    kind: TokenKind::Str,
+                    text: body,
+                    line,
+                    col,
+                });
+                continue;
+            }
+            if string_prefix && lx.peek(0) == Some('#') {
+                let mut hashes = 0usize;
+                while lx.peek(hashes) == Some('#') {
+                    hashes += 1;
+                }
+                if lx.peek(hashes) == Some('"') {
+                    for _ in 0..=hashes {
+                        lx.bump(); // hashes + opening quote
+                    }
+                    let body = lx.string_body(true, hashes);
+                    out.tokens.push(Token {
+                        kind: TokenKind::Str,
+                        text: body,
+                        line,
+                        col,
+                    });
+                    continue;
+                }
+                if text == "r" && hashes == 1 && lx.peek(1).is_some_and(is_ident_start) {
+                    // Raw identifier r#name: strip the prefix.
+                    lx.bump(); // '#'
+                    let mut name = String::new();
+                    lx.take_while(is_ident_continue, &mut name);
+                    out.tokens.push(Token {
+                        kind: TokenKind::Ident,
+                        text: name,
+                        line,
+                        col,
+                    });
+                    continue;
+                }
+            }
+            if text == "b" && lx.peek(0) == Some('\'') {
+                lx.bump();
+                let body = lx.char_body();
+                out.tokens.push(Token {
+                    kind: TokenKind::Char,
+                    text: body,
+                    line,
+                    col,
+                });
+                continue;
+            }
+            out.tokens.push(Token {
+                kind: TokenKind::Ident,
+                text,
+                line,
+                col,
+            });
+            continue;
+        }
+
+        // Numbers.
+        if c.is_ascii_digit() {
+            let mut text = String::new();
+            let mut float = false;
+            let radix_prefix = c == '0'
+                && matches!(lx.peek(1), Some('x') | Some('X') | Some('o') | Some('b'))
+                // `0b` could open a byte-string-looking ident soup; only a
+                // radix when followed by an alphanumeric digit.
+                && lx.peek(2).is_some_and(|d| d.is_ascii_alphanumeric());
+            if radix_prefix {
+                text.push(lx.bump().unwrap_or_default());
+                text.push(lx.bump().unwrap_or_default());
+                lx.take_while(|c| c.is_ascii_alphanumeric() || c == '_', &mut text);
+            } else {
+                lx.take_while(|c| c.is_ascii_digit() || c == '_', &mut text);
+                if lx.peek(0) == Some('.') && lx.peek(1).is_some_and(|d| d.is_ascii_digit()) {
+                    float = true;
+                    text.push('.');
+                    lx.bump();
+                    lx.take_while(|c| c.is_ascii_digit() || c == '_', &mut text);
+                }
+                if matches!(lx.peek(0), Some('e') | Some('E')) {
+                    let signed = matches!(lx.peek(1), Some('+') | Some('-'))
+                        && lx.peek(2).is_some_and(|d| d.is_ascii_digit());
+                    let plain = lx.peek(1).is_some_and(|d| d.is_ascii_digit());
+                    if signed || plain {
+                        float = true;
+                        text.push(lx.bump().unwrap_or_default());
+                        if signed {
+                            text.push(lx.bump().unwrap_or_default());
+                        }
+                        lx.take_while(|c| c.is_ascii_digit() || c == '_', &mut text);
+                    }
+                }
+                // Suffix (f32, u64, …). An f-suffix makes it a float.
+                let before = text.len();
+                lx.take_while(is_ident_continue, &mut text);
+                if text[before..].starts_with('f') {
+                    float = true;
+                }
+            }
+            out.tokens.push(Token {
+                kind: TokenKind::Number { float },
+                text,
+                line,
+                col,
+            });
+            continue;
+        }
+
+        // Plain string literals.
+        if c == '"' {
+            lx.bump();
+            let body = lx.string_body(false, 0);
+            out.tokens.push(Token {
+                kind: TokenKind::Str,
+                text: body,
+                line,
+                col,
+            });
+            continue;
+        }
+
+        // Lifetimes vs char literals.
+        if c == '\'' {
+            lx.bump();
+            let next = lx.peek(0);
+            let is_char = match next {
+                Some('\\') => true,
+                Some(n) if is_ident_continue(n) => lx.peek(1) == Some('\''),
+                Some('\'') | None => false, // `''` malformed; treat as empty char
+                Some(_) => true,            // '(' and friends
+            };
+            if is_char || next == Some('\'') {
+                let body = lx.char_body();
+                out.tokens.push(Token {
+                    kind: TokenKind::Char,
+                    text: body,
+                    line,
+                    col,
+                });
+            } else {
+                let mut name = String::new();
+                lx.take_while(is_ident_continue, &mut name);
+                out.tokens.push(Token {
+                    kind: TokenKind::Lifetime,
+                    text: name,
+                    line,
+                    col,
+                });
+            }
+            continue;
+        }
+
+        // Multi-char punctuation, maximal munch.
+        let mut matched = None;
+        for p in PUNCTS {
+            if p.chars().enumerate().all(|(k, pc)| lx.peek(k) == Some(pc)) {
+                matched = Some(*p);
+                break;
+            }
+        }
+        if let Some(p) = matched {
+            for _ in 0..p.chars().count() {
+                lx.bump();
+            }
+            out.tokens.push(Token {
+                kind: TokenKind::Punct,
+                text: p.to_string(),
+                line,
+                col,
+            });
+            continue;
+        }
+        lx.bump();
+        out.tokens.push(Token {
+            kind: TokenKind::Punct,
+            text: c.to_string(),
+            line,
+            col,
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn texts(src: &str) -> Vec<(TokenKind, String)> {
+        lex(src)
+            .tokens
+            .into_iter()
+            .map(|t| (t.kind, t.text))
+            .collect()
+    }
+
+    #[test]
+    fn idents_and_puncts() {
+        let t = texts("let x = a.unwrap();");
+        assert_eq!(t[0], (TokenKind::Ident, "let".into()));
+        assert_eq!(t[3], (TokenKind::Ident, "a".into()));
+        assert_eq!(t[4], (TokenKind::Punct, ".".into()));
+        assert_eq!(t[5], (TokenKind::Ident, "unwrap".into()));
+    }
+
+    #[test]
+    fn comments_are_captured_not_tokenised() {
+        let lexed = lex("a // panic! in comment\nb /* unwrap() */ c");
+        assert_eq!(lexed.tokens.len(), 3);
+        assert_eq!(lexed.comments.len(), 2);
+        assert_eq!(lexed.comments[0].line, 1);
+        assert!(lexed.comments[0].text.contains("panic!"));
+        assert_eq!(lexed.comments[1].line, 2);
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let lexed = lex("/* a /* b */ c */ x");
+        assert_eq!(lexed.tokens.len(), 1);
+        assert_eq!(lexed.tokens[0].text, "x");
+        assert_eq!(lexed.comments[0].text, " a /* b */ c ");
+    }
+
+    #[test]
+    fn strings_swallow_trigger_words() {
+        for src in [
+            r#"let s = "panic! unwrap() HashMap";"#,
+            r##"let s = r#"Instant::now() // not a comment"#;"##,
+            r#"let s = b"thread::spawn";"#,
+            r##"let s = br#"SystemTime"#;"##,
+        ] {
+            let lexed = lex(src);
+            assert!(
+                lexed.tokens.iter().all(|t| t.kind != TokenKind::Ident
+                    || ![
+                        "panic",
+                        "unwrap",
+                        "HashMap",
+                        "Instant",
+                        "spawn",
+                        "SystemTime"
+                    ]
+                    .contains(&t.text.as_str())),
+                "trigger leaked from literal in {src}"
+            );
+            assert!(lexed.comments.is_empty(), "comment leaked from {src}");
+        }
+    }
+
+    #[test]
+    fn escaped_quotes_stay_inside_strings() {
+        let t = texts(r#"let s = "a\"unwrap()\"b"; x"#);
+        assert_eq!(t.last().map(|t| t.1.as_str()), Some("x"));
+        assert!(t.iter().all(|t| t.1 != "unwrap"));
+    }
+
+    #[test]
+    fn lifetimes_versus_chars() {
+        let t = texts("fn f<'a>(x: &'a str) { let c = 'x'; let q = '\\''; }");
+        assert!(t.contains(&(TokenKind::Lifetime, "a".into())));
+        assert!(t.contains(&(TokenKind::Char, "x".into())));
+        assert!(t.iter().filter(|t| t.0 == TokenKind::Char).count() >= 2);
+    }
+
+    #[test]
+    fn underscore_lifetime_and_underscore_char() {
+        let t = texts("&'_ str");
+        assert!(t.contains(&(TokenKind::Lifetime, "_".into())));
+        let t = texts("let c = '_';");
+        assert!(t.contains(&(TokenKind::Char, "_".into())));
+    }
+
+    #[test]
+    fn numbers_and_floats() {
+        let t = texts("1 1.5 1e-3 2f32 0x1e5 7u64 0..n 1.0f64");
+        assert_eq!(t[0], (TokenKind::Number { float: false }, "1".into()));
+        assert_eq!(t[1], (TokenKind::Number { float: true }, "1.5".into()));
+        assert_eq!(t[2], (TokenKind::Number { float: true }, "1e-3".into()));
+        assert_eq!(t[3], (TokenKind::Number { float: true }, "2f32".into()));
+        // Hex with an `e` digit is not a float.
+        assert_eq!(t[4], (TokenKind::Number { float: false }, "0x1e5".into()));
+        assert_eq!(t[5], (TokenKind::Number { float: false }, "7u64".into()));
+        // Ranges do not glue the dot onto the number.
+        assert_eq!(t[6], (TokenKind::Number { float: false }, "0".into()));
+        assert_eq!(t[7], (TokenKind::Punct, "..".into()));
+        assert_eq!(
+            t.last(),
+            Some(&(TokenKind::Number { float: true }, "1.0f64".into()))
+        );
+    }
+
+    #[test]
+    fn multichar_operators_are_single_tokens() {
+        let t = texts("a == b != c <= d >= e :: f -> g => h");
+        let puncts: Vec<&str> = t
+            .iter()
+            .filter(|t| t.0 == TokenKind::Punct)
+            .map(|t| t.1.as_str())
+            .collect();
+        assert_eq!(puncts, ["==", "!=", "<=", ">=", "::", "->", "=>"]);
+    }
+
+    #[test]
+    fn raw_identifier_prefix_is_stripped() {
+        let t = texts("let r#type = 1;");
+        assert!(t.contains(&(TokenKind::Ident, "type".into())));
+    }
+
+    #[test]
+    fn positions_are_one_based() {
+        let lexed = lex("a\n  b");
+        assert_eq!((lexed.tokens[0].line, lexed.tokens[0].col), (1, 1));
+        assert_eq!((lexed.tokens[1].line, lexed.tokens[1].col), (2, 3));
+    }
+
+    #[test]
+    fn unterminated_literals_are_lenient() {
+        assert_eq!(lex("let s = \"abc").tokens.len(), 4);
+        assert_eq!(lex("/* never closed").comments.len(), 1);
+        assert!(!lex("let c = 'x").tokens.is_empty());
+    }
+}

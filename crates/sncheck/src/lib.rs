@@ -1,0 +1,43 @@
+#![forbid(unsafe_code)]
+#![deny(missing_debug_implementations)]
+#![warn(missing_docs)]
+
+//! `sncheck` — the workspace invariant linter.
+//!
+//! The reproduction's headline guarantees are dynamic: bit-identical
+//! scores at any thread count (`tests/parallel_parity.rs`), recording
+//! that never perturbs detector JSON (`tests/observability.rs`), and
+//! byte-reproducible fault schedules (`tests/stream_runtime.rs`). Those
+//! tests only catch a regression on the paths they exercise; one stray
+//! `Instant::now()` in a scoring branch or a `HashMap` iteration in
+//! calibration silently breaks the ECDF-threshold contract the paper's
+//! novelty test depends on. This crate turns the invariants into
+//! machine-checked rules that run on every commit, on every line.
+//!
+//! The tool is offline and std-only: a hand-rolled [`lexer`] (comments,
+//! string/raw-string/char literals), a [`scope`] tracker that exempts
+//! `#[cfg(test)]`/`#[test]` code, a [`rules`] engine, per-line
+//! `sncheck:allow` comment suppressions with hygiene checking, and
+//! human + JSON [`diag`]nostics with `file:line` anchors. Output is
+//! byte-identical across runs by construction — the linter itself obeys
+//! the determinism rules it enforces (no clock, no environment, ordered
+//! maps only).
+//!
+//! ```
+//! let diags = sncheck::check_source(
+//!     "crates/novelty/src/demo.rs",
+//!     "fn f(x: Option<u8>) -> u8 { x.unwrap() }",
+//! );
+//! assert_eq!(diags.len(), 1);
+//! assert_eq!(diags[0].rule, "no-panic-in-lib");
+//! ```
+
+pub mod diag;
+pub mod engine;
+pub mod lexer;
+pub mod rules;
+pub mod scope;
+
+pub use diag::{Diagnostic, Report, Severity};
+pub use engine::{check_files, check_source, discover_workspace, expand_path};
+pub use rules::{classify, FileKind, RuleInfo, RULES};

@@ -1,0 +1,156 @@
+//! Command-line driver for the workspace invariant linter.
+//!
+//! Exit codes: `0` clean, `1` denied diagnostics found, `2` usage or I/O
+//! error — the same convention as the `saliency-novelty` CLI.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use sncheck::{check_files, discover_workspace, expand_path, Severity, RULES};
+
+const USAGE: &str = "\
+sncheck — workspace invariant linter for the saliency-novelty reproduction
+
+USAGE:
+    sncheck [OPTIONS] [PATHS...]
+
+OPTIONS:
+    --workspace        Check every .rs file under the root (skipping
+                       target/, vendor/ and fixtures/)
+    --root <DIR>       Directory paths are classified against (default .)
+    --json <FILE>      Also write diagnostics as deterministic JSON
+    --deny-all         Treat hygiene warnings (unused/unknown
+                       suppressions) as errors too
+    --quiet            Suppress per-diagnostic lines; print the summary only
+    --list-rules       Print the rule table and exit
+    -h, --help         Show this help
+
+Suppress a finding on its own line with a trailing comment:
+    risky.unwrap() // sncheck:allow(no-panic-in-lib): length checked above
+
+EXIT CODES:
+    0  no denied diagnostics
+    1  denied diagnostics present
+    2  usage or I/O error
+";
+
+struct Options {
+    workspace: bool,
+    root: PathBuf,
+    json: Option<PathBuf>,
+    deny_all: bool,
+    quiet: bool,
+    paths: Vec<PathBuf>,
+}
+
+fn parse_args(args: &[String]) -> Result<Option<Options>, String> {
+    let mut opts = Options {
+        workspace: false,
+        root: PathBuf::from("."),
+        json: None,
+        deny_all: false,
+        quiet: false,
+        paths: Vec::new(),
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--workspace" => opts.workspace = true,
+            "--deny-all" => opts.deny_all = true,
+            "--quiet" => opts.quiet = true,
+            "--root" => {
+                let v = it.next().ok_or("--root needs a directory argument")?;
+                opts.root = PathBuf::from(v);
+            }
+            "--json" => {
+                let v = it.next().ok_or("--json needs a file argument")?;
+                opts.json = Some(PathBuf::from(v));
+            }
+            "--list-rules" => {
+                for r in RULES {
+                    println!("{:<30} {}", r.id, r.summary);
+                }
+                return Ok(None);
+            }
+            "-h" | "--help" => {
+                print!("{USAGE}");
+                return Ok(None);
+            }
+            flag if flag.starts_with('-') => {
+                return Err(format!("unknown option `{flag}`"));
+            }
+            path => opts.paths.push(PathBuf::from(path)),
+        }
+    }
+    if !opts.workspace && opts.paths.is_empty() {
+        return Err("nothing to check: pass --workspace or explicit paths".to_string());
+    }
+    Ok(Some(opts))
+}
+
+fn run(opts: &Options) -> Result<bool, String> {
+    let mut files: Vec<PathBuf> = Vec::new();
+    if opts.workspace {
+        files.extend(
+            discover_workspace(&opts.root)
+                .map_err(|e| format!("scanning {}: {e}", opts.root.display()))?,
+        );
+    }
+    for p in &opts.paths {
+        if !p.exists() {
+            return Err(format!("no such path: {}", p.display()));
+        }
+        files.extend(expand_path(p).map_err(|e| format!("scanning {}: {e}", p.display()))?);
+    }
+
+    let report = check_files(&opts.root, &files).map_err(|e| e.to_string())?;
+
+    if let Some(json_path) = &opts.json {
+        std::fs::write(json_path, report.to_json())
+            .map_err(|e| format!("writing {}: {e}", json_path.display()))?;
+    }
+
+    let denied = report
+        .diagnostics
+        .iter()
+        .filter(|d| d.severity == Severity::Deny || opts.deny_all)
+        .count();
+    if !opts.quiet {
+        for d in &report.diagnostics {
+            println!("{d}");
+        }
+    }
+    println!(
+        "sncheck: {} file{} checked, {} diagnostic{} ({} denied)",
+        report.files_checked,
+        if report.files_checked == 1 { "" } else { "s" },
+        report.diagnostics.len(),
+        if report.diagnostics.len() == 1 {
+            ""
+        } else {
+            "s"
+        },
+        denied,
+    );
+    Ok(denied == 0)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = match parse_args(&args) {
+        Ok(Some(opts)) => opts,
+        Ok(None) => return ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}\n\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    match run(&opts) {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => ExitCode::from(1),
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::from(2)
+        }
+    }
+}

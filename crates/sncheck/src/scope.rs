@@ -1,0 +1,224 @@
+//! Item-scope tracking: which tokens live in test code.
+//!
+//! The invariants `sncheck` enforces are *library* invariants — tests are
+//! encouraged to `unwrap()`, spawn threads and compare floats. This pass
+//! walks the token stream once and marks every token that is (a) covered
+//! by a `#[cfg(test)]` or `#[test]` attribute, or (b) inside a braced
+//! region such an attribute introduced (the usual `mod tests { … }`).
+//!
+//! The tracker is deliberately syntactic: it counts delimiter depth
+//! rather than parsing items. `#[cfg(not(test))]` is recognised as *not*
+//! test code; exotic combinations like `cfg(any(test, feature = "x"))`
+//! are treated as test code (conservative: rules go quiet there rather
+//! than firing on code the lib build never sees — such a region would
+//! also never compile into the shipping library anyway).
+
+use crate::lexer::{Token, TokenKind};
+
+/// Per-token test-ness plus the test line ranges (used to exempt
+/// suppression comments inside test regions from `unused-suppression`).
+#[derive(Debug, Clone, Default)]
+pub struct TestScopes {
+    /// `mask[i]` is true when `tokens[i]` is test-only code.
+    pub mask: Vec<bool>,
+    /// Closed line ranges `(first, last)` covered by test regions.
+    pub line_ranges: Vec<(u32, u32)>,
+}
+
+impl TestScopes {
+    /// Whether the given 1-based source line falls in a test region.
+    pub fn line_is_test(&self, line: u32) -> bool {
+        self.line_ranges
+            .iter()
+            .any(|&(lo, hi)| (lo..=hi).contains(&line))
+    }
+}
+
+/// True for `#[test]`-like attribute bodies (`test`, `tokio::test`, …)
+/// and for `#[cfg(…)]` bodies that mention `test` without `not`.
+fn is_test_attr(attr: &[Token]) -> bool {
+    let idents: Vec<&str> = attr
+        .iter()
+        .filter(|t| t.kind == TokenKind::Ident)
+        .map(|t| t.text.as_str())
+        .collect();
+    match idents.first() {
+        Some(&"cfg") | Some(&"cfg_attr") => idents.contains(&"test") && !idents.contains(&"not"),
+        Some(_) => idents.last() == Some(&"test"),
+        None => false,
+    }
+}
+
+/// Computes the test mask for a token stream.
+pub fn test_scopes(tokens: &[Token]) -> TestScopes {
+    let mut scopes = TestScopes {
+        mask: vec![false; tokens.len()],
+        line_ranges: Vec::new(),
+    };
+    // Combined (), [], {} depth — items end at `;`/`,`/`{` at the depth
+    // where their attribute appeared, and `[u8; 3]` in a signature must
+    // not terminate the pending attribute early.
+    let mut depth: i64 = 0;
+    // Depths at which an open test region's brace sits, with the line it
+    // opened on.
+    let mut regions: Vec<(i64, u32)> = Vec::new();
+    // Depth at which a test attribute is waiting for its item.
+    let mut pending: Option<i64> = None;
+
+    let mut i = 0;
+    while i < tokens.len() {
+        let tok = &tokens[i];
+        let in_test = !regions.is_empty() || pending.is_some();
+        scopes.mask[i] = in_test;
+
+        // Attributes: `#[…]` and inner `#![…]`.
+        let is_hash = tok.kind == TokenKind::Punct && tok.text == "#";
+        let attr_open = is_hash
+            && (tokens.get(i + 1).is_some_and(|t| t.text == "[")
+                || (tokens.get(i + 1).is_some_and(|t| t.text == "!")
+                    && tokens.get(i + 2).is_some_and(|t| t.text == "[")));
+        if attr_open {
+            let mut j = i + 1;
+            if tokens[j].text == "!" {
+                j += 1;
+            }
+            j += 1; // past '['
+            let body_start = j;
+            let mut bracket_depth = 1i64;
+            while j < tokens.len() && bracket_depth > 0 {
+                match tokens[j].text.as_str() {
+                    "[" => bracket_depth += 1,
+                    "]" => bracket_depth -= 1,
+                    _ => {}
+                }
+                j += 1;
+            }
+            let body_end = j.saturating_sub(1); // index of the closing ']'
+            if is_test_attr(&tokens[body_start..body_end]) {
+                pending = Some(depth);
+            }
+            for k in i..j {
+                scopes.mask[k] = !regions.is_empty() || pending.is_some();
+            }
+            i = j;
+            continue;
+        }
+
+        if tok.kind == TokenKind::Punct {
+            match tok.text.as_str() {
+                "{" => {
+                    if pending == Some(depth) {
+                        regions.push((depth, tok.line));
+                        pending = None;
+                        scopes.mask[i] = true;
+                    }
+                    depth += 1;
+                }
+                "(" | "[" => depth += 1,
+                "}" => {
+                    depth -= 1;
+                    if regions.last().map(|&(d, _)| d) == Some(depth) {
+                        let (_, start_line) = regions.pop().expect("just checked");
+                        scopes.line_ranges.push((start_line, tok.line));
+                        scopes.mask[i] = true; // closing brace is test too
+                    }
+                }
+                ")" | "]" => depth -= 1,
+                ";" | "," if pending == Some(depth) => {
+                    pending = None;
+                    scopes.mask[i] = true;
+                }
+                _ => {}
+            }
+        }
+        i += 1;
+    }
+    // An unterminated region (malformed input) runs to EOF.
+    if let Some(&(_, start_line)) = regions.last() {
+        let last_line = tokens.last().map_or(start_line, |t| t.line);
+        scopes.line_ranges.push((start_line, last_line));
+    }
+    scopes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn mask_of(src: &str) -> (Vec<Token>, TestScopes) {
+        let lexed = lex(src);
+        let scopes = test_scopes(&lexed.tokens);
+        (lexed.tokens, scopes)
+    }
+
+    fn ident_is_test(tokens: &[Token], scopes: &TestScopes, name: &str) -> bool {
+        let idx = tokens
+            .iter()
+            .position(|t| t.kind == TokenKind::Ident && t.text == name)
+            .unwrap_or_else(|| panic!("ident {name} not found"));
+        scopes.mask[idx]
+    }
+
+    #[test]
+    fn cfg_test_mod_is_test() {
+        let src =
+            "fn lib() {}\n#[cfg(test)]\nmod tests {\n fn helper() { body(); }\n}\nfn lib2() {}";
+        let (tokens, scopes) = mask_of(src);
+        assert!(!ident_is_test(&tokens, &scopes, "lib"));
+        assert!(ident_is_test(&tokens, &scopes, "helper"));
+        assert!(ident_is_test(&tokens, &scopes, "body"));
+        assert!(!ident_is_test(&tokens, &scopes, "lib2"));
+        assert!(scopes.line_is_test(4));
+        assert!(!scopes.line_is_test(1));
+    }
+
+    #[test]
+    fn test_fn_is_test() {
+        let src = "#[test]\nfn t() { a(); }\nfn lib() { b(); }";
+        let (tokens, scopes) = mask_of(src);
+        assert!(ident_is_test(&tokens, &scopes, "a"));
+        assert!(!ident_is_test(&tokens, &scopes, "b"));
+    }
+
+    #[test]
+    fn cfg_not_test_is_lib() {
+        let src = "#[cfg(not(test))]\nfn lib() { a(); }";
+        let (tokens, scopes) = mask_of(src);
+        assert!(!ident_is_test(&tokens, &scopes, "a"));
+    }
+
+    #[test]
+    fn attr_on_use_item_clears_at_semicolon() {
+        let src = "#[cfg(test)]\nuse std::collections::HashMap;\nfn lib() { a(); }";
+        let (tokens, scopes) = mask_of(src);
+        assert!(ident_is_test(&tokens, &scopes, "HashMap"));
+        assert!(!ident_is_test(&tokens, &scopes, "a"));
+    }
+
+    #[test]
+    fn signature_brackets_do_not_end_pending() {
+        let src = "#[test]\nfn t(x: [u8; 3]) { a(); }\nfn lib() { b(); }";
+        let (tokens, scopes) = mask_of(src);
+        assert!(ident_is_test(&tokens, &scopes, "a"));
+        assert!(!ident_is_test(&tokens, &scopes, "b"));
+    }
+
+    #[test]
+    fn nested_braces_stay_in_region() {
+        let src = "#[cfg(test)]\nmod tests { fn t() { if x { y(); } } }\nfn lib() { z(); }";
+        let (tokens, scopes) = mask_of(src);
+        assert!(ident_is_test(&tokens, &scopes, "y"));
+        assert!(!ident_is_test(&tokens, &scopes, "z"));
+    }
+
+    #[test]
+    fn other_attributes_are_not_test() {
+        let src = "#[derive(Debug)]\nstruct S;\nfn lib() { a(); }";
+        let (tokens, scopes) = mask_of(src);
+        assert!(!ident_is_test(&tokens, &scopes, "a"));
+        let src = "#![warn(missing_docs)]\nfn lib() { a(); }";
+        let (tokens, scopes) = mask_of(src);
+        assert!(!ident_is_test(&tokens, &scopes, "a"));
+    }
+}

@@ -30,6 +30,8 @@ pub fn add_gaussian_noise(img: &Image, rng: &mut impl Rng, sigma: f32) -> Result
             format!("sigma must be non-negative and finite, got {sigma}"),
         ));
     }
+    // sncheck:allow(no-float-eq): exact-zero no-op fast path; also
+    // catches -0.0, which passes the sign check above.
     if sigma == 0.0 {
         return Ok(img.clone());
     }

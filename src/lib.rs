@@ -1,3 +1,5 @@
+#![forbid(unsafe_code)]
+#![deny(missing_debug_implementations)]
 #![warn(missing_docs)]
 
 //! # saliency-novelty
