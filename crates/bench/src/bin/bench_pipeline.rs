@@ -1,0 +1,312 @@
+//! Machine-readable perf baseline for the scoring hot path.
+//!
+//! Emits `BENCH_pipeline.json`: kernel-level ns/iter for the GEMM
+//! variants at pipeline-representative shapes, plus end-to-end
+//! single-thread `score_batch` and `StreamRuntime` frames/sec, plus
+//! scratch-pool hit statistics. The schema is versioned so future PRs
+//! can diff trajectories mechanically.
+//!
+//! Usage:
+//!   bench_pipeline [--out PATH] [--check PATH] [--quick]
+//!
+//! `--check PATH` loads a previously committed baseline and exits
+//! non-zero if end-to-end frames/sec regressed more than 20% against it
+//! (the CI bench-smoke gate). `--quick` shrinks iteration counts for
+//! smoke runs.
+
+use std::hint::black_box;
+use std::time::Instant;
+
+use ndtensor::{matmul, matmul_a_bt, matmul_at_b, set_thread_config, Tensor, ThreadConfig};
+use novelty::{
+    ClassifierConfig, NoveltyDetector, NoveltyDetectorBuilder, ReconstructionObjective,
+    StreamConfig, StreamRuntime,
+};
+use serde::{Deserialize, Serialize};
+use simdrive::DatasetConfig;
+
+/// Bump on breaking changes to the JSON layout.
+const BENCH_SCHEMA_VERSION: u32 = 1;
+
+/// One kernel microbenchmark result.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct KernelBench {
+    /// Kernel entry point measured.
+    kernel: String,
+    /// Human-readable shape, e.g. `m8 k25 n4212`.
+    shape: String,
+    /// Mean wall time per call, nanoseconds.
+    ns_per_iter: f64,
+}
+
+/// End-to-end throughput numbers (single thread).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct PipelineBench {
+    /// Frames scored per second through `NoveltyDetector::score_batch`.
+    score_batch_frames_per_sec: f64,
+    /// Frames processed per second through a warmed `StreamRuntime`.
+    stream_frames_per_sec: f64,
+}
+
+/// Scratch-pool effectiveness over the stream run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct ScratchBench {
+    /// Pool takes served from a recycled buffer.
+    hits: u64,
+    /// Pool takes that had to allocate.
+    misses: u64,
+    /// Bytes newly allocated through the pool.
+    bytes_allocated: u64,
+    /// hits / (hits + misses), 0 when the pool is idle.
+    hit_rate: f64,
+}
+
+/// The whole report.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct BenchReport {
+    /// [`BENCH_SCHEMA_VERSION`] at write time.
+    schema_version: u32,
+    /// Worker threads pinned for the run (always 1 here).
+    threads: u64,
+    /// Frame geometry, `[height, width]`.
+    image_hw: Vec<u64>,
+    /// Kernel microbenchmarks.
+    kernels: Vec<KernelBench>,
+    /// End-to-end throughput.
+    pipeline: PipelineBench,
+    /// Scratch-pool statistics for the stream segment.
+    scratch: ScratchBench,
+    /// Numbers measured at the pre-PR kernels on the same machine, for
+    /// the recorded before/after trajectory. Empty when not applicable.
+    reference: Vec<PipelineBench>,
+}
+
+fn time_iters(iters: usize, mut f: impl FnMut()) -> f64 {
+    // One warmup call, then a timed batch.
+    f();
+    let start = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    start.elapsed().as_nanos() as f64 / iters as f64
+}
+
+fn pseudo(shape: impl Into<ndtensor::Shape>, seed: u64) -> Tensor {
+    let shape = shape.into();
+    let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1);
+    Tensor::from_fn(shape, |_| {
+        state = state
+            .wrapping_mul(6_364_136_223_846_793_005)
+            .wrapping_add(1_442_695_040_888_963_407);
+        ((state >> 33) as f32 / (1u64 << 31) as f32) - 1.0
+    })
+}
+
+/// Pipeline-representative GEMM shapes: the first PilotNet conv layer as
+/// im2col GEMM (compact widths, 60×160 input), a mid conv layer, and the
+/// autoencoder's large dense layers at batch 1 (the streaming case).
+fn kernel_benches(iters: usize) -> Vec<KernelBench> {
+    let mut out = Vec::new();
+    let cases: &[(&str, usize, usize, usize)] = &[
+        // conv1 as GEMM: f=8 filters, k=1*5*5, n=28*78 output pixels.
+        ("matmul", 8, 25, 2184),
+        // conv3 as GEMM: f=16, k=12*5*5, n=4*17.
+        ("matmul", 16, 300, 68),
+        // dense decode head at batch 1: [1, 64] x [9600, 64]^T.
+        ("matmul_a_bt", 1, 64, 9600),
+        // dense encode at batch 1: [1, 9600] x [64, 9600]^T.
+        ("matmul_a_bt", 1, 9600, 64),
+        // dense backward shapes (training path).
+        ("matmul_at_b", 32, 64, 9600),
+        ("matmul_at_b", 25, 8, 2184),
+    ];
+    for &(kernel, m, k, n) in cases {
+        let ns = match kernel {
+            "matmul" => {
+                let a = pseudo([m, k], 11);
+                let b = pseudo([k, n], 12);
+                time_iters(iters, || {
+                    black_box(matmul(black_box(&a), black_box(&b)).expect("matmul"));
+                })
+            }
+            "matmul_a_bt" => {
+                let a = pseudo([m, k], 13);
+                let b = pseudo([n, k], 14);
+                time_iters(iters, || {
+                    black_box(matmul_a_bt(black_box(&a), black_box(&b)).expect("matmul_a_bt"));
+                })
+            }
+            "matmul_at_b" => {
+                let a = pseudo([k, m], 15);
+                let b = pseudo([k, n], 16);
+                time_iters(iters, || {
+                    black_box(matmul_at_b(black_box(&a), black_box(&b)).expect("matmul_at_b"));
+                })
+            }
+            _ => unreachable!(),
+        };
+        out.push(KernelBench {
+            kernel: kernel.to_string(),
+            shape: format!("m{m} k{k} n{n}"),
+            ns_per_iter: ns,
+        });
+    }
+    out
+}
+
+/// Trains the bench detector: paper geometry (60×160, VBP + SSIM), quick
+/// weights — throughput does not depend on weight quality.
+fn train_detector() -> NoveltyDetector {
+    let data = DatasetConfig::outdoor().with_len(24).generate(7);
+    NoveltyDetectorBuilder::paper()
+        .cnn_epochs(1)
+        .classifier_config(ClassifierConfig {
+            epochs: 1,
+            warmup_epochs: 0,
+            objective: ReconstructionObjective::paper_ssim(),
+            ..ClassifierConfig::paper()
+        })
+        .seed(1)
+        .train(&data)
+        .expect("bench detector trains")
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut out_path = "BENCH_pipeline.json".to_string();
+    let mut check_path: Option<String> = None;
+    let mut quick = false;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--out" if i + 1 < args.len() => {
+                out_path = args[i + 1].clone();
+                i += 1;
+            }
+            "--check" if i + 1 < args.len() => {
+                check_path = Some(args[i + 1].clone());
+                i += 1;
+            }
+            "--quick" => quick = true,
+            other => {
+                eprintln!("bench_pipeline: unknown argument `{other}`");
+                eprintln!("usage: bench_pipeline [--out PATH] [--check PATH] [--quick]");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+
+    // Single-thread throughout: the acceptance criterion is the 1-core
+    // (CI container) number, where the thread pool cannot help.
+    set_thread_config(ThreadConfig::serial());
+
+    let kernel_iters = if quick { 20 } else { 200 };
+    let frames = if quick { 12 } else { 48 };
+
+    eprintln!("bench_pipeline: kernels ({kernel_iters} iters each)");
+    let kernels = kernel_benches(kernel_iters);
+
+    eprintln!("bench_pipeline: training detector (60x160, quick weights)");
+    let detector = train_detector();
+    let data = DatasetConfig::outdoor().with_len(frames).generate(9);
+    let batch: Vec<_> = data.frames().iter().map(|f| f.image.clone()).collect();
+
+    // score_batch throughput.
+    let _ = detector.score_batch(&batch).expect("warmup scores"); // warmup
+    let start = Instant::now();
+    let scores = detector.score_batch(&batch).expect("bench scores");
+    let score_secs = start.elapsed().as_secs_f64();
+    black_box(&scores);
+    let score_fps = batch.len() as f64 / score_secs;
+    eprintln!("bench_pipeline: score_batch {score_fps:.2} frames/sec");
+
+    // Warmed stream throughput + scratch stats over the measured span.
+    let stream_config = StreamConfig::for_detector(&detector);
+    let mut runtime = StreamRuntime::new(&detector, stream_config).expect("stream runtime");
+    for image in batch.iter().take(4) {
+        let _ = runtime.process(Some(image)); // warmup
+    }
+    let scratch_before = ndtensor::scratch::stats();
+    let start = Instant::now();
+    for image in &batch {
+        let _ = black_box(runtime.process(Some(image)));
+    }
+    let stream_secs = start.elapsed().as_secs_f64();
+    let scratch_delta = ndtensor::scratch::stats().since(scratch_before);
+    let stream_fps = batch.len() as f64 / stream_secs;
+    eprintln!("bench_pipeline: stream {stream_fps:.2} frames/sec");
+
+    let total = scratch_delta.hits + scratch_delta.misses;
+    let report = BenchReport {
+        schema_version: BENCH_SCHEMA_VERSION,
+        threads: 1,
+        image_hw: vec![60, 160],
+        kernels,
+        pipeline: PipelineBench {
+            score_batch_frames_per_sec: score_fps,
+            stream_frames_per_sec: stream_fps,
+        },
+        scratch: ScratchBench {
+            hits: scratch_delta.hits,
+            misses: scratch_delta.misses,
+            bytes_allocated: scratch_delta.bytes_allocated,
+            hit_rate: if total == 0 {
+                0.0
+            } else {
+                scratch_delta.hits as f64 / total as f64
+            },
+        },
+        reference: Vec::new(),
+    };
+
+    // Load the baseline before writing: with the default --out the check
+    // target and the output file are the same path, and writing first
+    // would compare the run against itself.
+    let baseline = check_path.as_ref().map(|path| {
+        let text = std::fs::read_to_string(path)
+            .unwrap_or_else(|e| panic!("bench_pipeline: cannot read baseline {path}: {e}"));
+        let baseline: BenchReport = serde_json::from_str(&text)
+            .unwrap_or_else(|e| panic!("bench_pipeline: baseline {path} does not parse: {e}"));
+        assert_eq!(
+            baseline.schema_version, BENCH_SCHEMA_VERSION,
+            "baseline schema version mismatch"
+        );
+        baseline
+    });
+
+    let json = serde_json::to_string(&report).expect("report serializes");
+    std::fs::write(&out_path, format!("{json}\n")).expect("report is written");
+    eprintln!("bench_pipeline: wrote {out_path}");
+
+    if let Some(baseline) = baseline {
+        let mut failed = false;
+        for (name, now, then) in [
+            (
+                "score_batch",
+                score_fps,
+                baseline.pipeline.score_batch_frames_per_sec,
+            ),
+            (
+                "stream",
+                stream_fps,
+                baseline.pipeline.stream_frames_per_sec,
+            ),
+        ] {
+            let floor = 0.8 * then;
+            if now < floor {
+                eprintln!(
+                    "bench_pipeline: REGRESSION {name}: {now:.2} frames/sec < 80% of baseline {then:.2}"
+                );
+                failed = true;
+            } else {
+                eprintln!(
+                    "bench_pipeline: {name} ok: {now:.2} frames/sec vs baseline {then:.2} (floor {floor:.2})"
+                );
+            }
+        }
+        if failed {
+            std::process::exit(1);
+        }
+    }
+}

@@ -96,15 +96,25 @@ impl SsimConfig {
 }
 
 /// Summed-area table over an `h × w` buffer, `(h+1) × (w+1)` entries in f64.
+///
+/// The table borrows its storage from the [`ndtensor::scratch`] pool and
+/// returns it on drop, so repeated SSIM evaluation (the per-frame scoring
+/// hot path) allocates nothing once warmed.
 struct Integral {
     sums: Vec<f64>,
     w1: usize,
 }
 
+impl Drop for Integral {
+    fn drop(&mut self) {
+        ndtensor::scratch::give_f64(std::mem::take(&mut self.sums));
+    }
+}
+
 impl Integral {
     fn build(data: impl Iterator<Item = f64>, h: usize, w: usize) -> Self {
         let w1 = w + 1;
-        let mut sums = vec![0.0f64; (h + 1) * w1];
+        let mut sums = ndtensor::scratch::take_zeroed_f64((h + 1) * w1);
         let mut it = data;
         for y in 0..h {
             let mut row = 0.0f64;
@@ -280,9 +290,9 @@ pub fn ssim_with_grad(x: &Image, y: &Image, cfg: &SsimConfig) -> Result<(f32, Im
 
     // Per-window coefficient maps such that, for pixel j inside window w:
     //   ∂S_w/∂y_j = x_j·coef_x[w] + y_j·coef_y[w] + coef_c[w].
-    let mut coef_x = vec![0.0f64; mh * mw];
-    let mut coef_y = vec![0.0f64; mh * mw];
-    let mut coef_c = vec![0.0f64; mh * mw];
+    let mut coef_x = ndtensor::scratch::take_zeroed_f64(mh * mw);
+    let mut coef_y = ndtensor::scratch::take_zeroed_f64(mh * mw);
+    let mut coef_c = ndtensor::scratch::take_zeroed_f64(mh * mw);
     let mut total = 0.0f64;
     per_window(x, y, cfg, |wy, wx, s| {
         let (score, a1, a2, b1, b2) = window_score(&s, cfg);
@@ -302,6 +312,9 @@ pub fn ssim_with_grad(x: &Image, y: &Image, cfg: &SsimConfig) -> Result<(f32, Im
     let icx = Integral::build(coef_x.iter().copied(), mh, mw);
     let icy = Integral::build(coef_y.iter().copied(), mh, mw);
     let icc = Integral::build(coef_c.iter().copied(), mh, mw);
+    ndtensor::scratch::give_f64(coef_x);
+    ndtensor::scratch::give_f64(coef_y);
+    ndtensor::scratch::give_f64(coef_c);
 
     let xs = x.as_slice();
     let ys = y.as_slice();

@@ -1,14 +1,24 @@
 //! 2-D convolution (NCHW) via im2col, with full backward pass.
 //!
 //! The forward pass lowers each sample to a column matrix and multiplies it
-//! against the flattened kernel bank. Both passes parallelise over the
-//! batch dimension through [`crate::par`]: each worker owns a disjoint
-//! sample range (the inner GEMMs then stay on that worker), and the
-//! weight/bias gradient reduction is performed by the caller in sample
-//! order, so results are bit-identical for any thread count.
+//! against the flattened kernel bank. The flattened view is the weight
+//! tensor's own contiguous storage — `[F, C, KH, KW]` row-major *is*
+//! `[F, C·KH·KW]` — so the kernel bank is "packed" exactly once per layer
+//! and reused across every sample of every batch with no reshape copy.
+//! Both passes parallelise over the batch dimension through [`crate::par`]:
+//! each worker owns a disjoint sample range (the inner GEMMs then stay on
+//! that worker), and the weight/bias gradient reduction is performed by the
+//! caller in sample order, so results are bit-identical for any thread
+//! count.
+//!
+//! Hot-path buffers (column matrices, per-sample gradients) come from
+//! [`crate::scratch`], and [`conv2d_into`] / [`conv2d_backward_into`] /
+//! [`im2col_into`] / [`col2im_into`] let callers recycle output storage,
+//! so a warmed pipeline performs no per-frame heap allocation.
 
+use crate::matmul::{mm_a_bt, mm_accum, mm_at_b_accum};
 use crate::par::{try_for_each_block, try_parallel_map};
-use crate::{matmul, matmul_a_bt, matmul_at_b, Result, Tensor, TensorError};
+use crate::{scratch, Result, Tensor, TensorError};
 
 /// Stride and zero-padding configuration for a 2-D convolution.
 ///
@@ -83,16 +93,29 @@ impl Conv2dSpec {
     }
 }
 
-/// Lowers one `C×H×W` sample to a `[C·KH·KW, OH·OW]` column matrix.
-///
-/// Out-of-bounds taps (from padding) contribute zeros. This is the exact
-/// adjoint of [`col2im`].
-///
-/// # Errors
-///
-/// Propagates the shape errors of [`Conv2dSpec::output_hw`]; additionally
-/// fails when `sample.len() != c*h*w`.
-pub fn im2col(
+fn im2col_geometry(
+    sample_len: usize,
+    c: usize,
+    h: usize,
+    w: usize,
+    kh: usize,
+    kw: usize,
+    spec: Conv2dSpec,
+) -> Result<(usize, usize)> {
+    if sample_len != c * h * w {
+        return Err(TensorError::LengthMismatch {
+            expected: c * h * w,
+            actual: sample_len,
+        });
+    }
+    spec.output_hw(h, w, kh, kw)
+}
+
+/// Writes the column matrix for one sample. Assigns every element of
+/// `out` (padding taps become zeros), so the buffer needs no pre-zeroing.
+/// Geometry must be validated by the caller.
+#[allow(clippy::too_many_arguments)]
+fn im2col_core(
     sample: &[f32],
     c: usize,
     h: usize,
@@ -100,19 +123,14 @@ pub fn im2col(
     kh: usize,
     kw: usize,
     spec: Conv2dSpec,
-) -> Result<Tensor> {
-    if sample.len() != c * h * w {
-        return Err(TensorError::LengthMismatch {
-            expected: c * h * w,
-            actual: sample.len(),
-        });
-    }
-    let (oh, ow) = spec.output_hw(h, w, kh, kw)?;
+    oh: usize,
+    ow: usize,
+    out: &mut [f32],
+) {
     let (sh, sw) = spec.stride;
     let (ph, pw) = spec.padding;
-    let rows = c * kh * kw;
     let cols = oh * ow;
-    let mut out = vec![0.0f32; rows * cols];
+    debug_assert_eq!(out.len(), c * kh * kw * cols);
     for ci in 0..c {
         let plane = &sample[ci * h * w..(ci + 1) * h * w];
         for ky in 0..kh {
@@ -121,54 +139,46 @@ pub fn im2col(
                 let orow = &mut out[row * cols..(row + 1) * cols];
                 for oy in 0..oh {
                     let iy = (oy * sh + ky) as isize - ph as isize;
+                    let seg = &mut orow[oy * ow..(oy + 1) * ow];
                     if iy < 0 || iy >= h as isize {
+                        seg.fill(0.0);
                         continue;
                     }
-                    for ox in 0..ow {
+                    let prow = &plane[iy as usize * w..(iy as usize + 1) * w];
+                    for (ox, o) in seg.iter_mut().enumerate() {
                         let ix = (ox * sw + kx) as isize - pw as isize;
-                        if ix < 0 || ix >= w as isize {
-                            continue;
-                        }
-                        orow[oy * ow + ox] = plane[iy as usize * w + ix as usize];
+                        *o = if ix < 0 || ix >= w as isize {
+                            0.0
+                        } else {
+                            prow[ix as usize]
+                        };
                     }
                 }
             }
         }
     }
-    Tensor::from_vec([rows, cols], out)
 }
 
-/// Accumulates a `[C·KH·KW, OH·OW]` column matrix back into a `C×H×W`
-/// sample buffer (the adjoint of [`im2col`]).
-///
-/// # Errors
-///
-/// Fails when the column matrix does not match the implied geometry.
-pub fn col2im(
-    cols: &Tensor,
+/// Accumulates a column matrix back into a sample buffer. `out` must be
+/// zeroed (or hold a value to accumulate onto); geometry must be
+/// validated by the caller.
+#[allow(clippy::too_many_arguments)]
+fn col2im_core(
+    data: &[f32],
     c: usize,
     h: usize,
     w: usize,
     kh: usize,
     kw: usize,
     spec: Conv2dSpec,
-) -> Result<Vec<f32>> {
-    let (oh, ow) = spec.output_hw(h, w, kh, kw)?;
-    let rows = c * kh * kw;
-    let ncols = oh * ow;
-    if cols.shape().dims() != [rows, ncols] {
-        return Err(TensorError::invalid(
-            "col2im",
-            format!(
-                "column matrix shape {} does not match expected [{rows}, {ncols}]",
-                cols.shape()
-            ),
-        ));
-    }
+    oh: usize,
+    ow: usize,
+    out: &mut [f32],
+) {
     let (sh, sw) = spec.stride;
     let (ph, pw) = spec.padding;
-    let data = cols.as_slice();
-    let mut out = vec![0.0f32; c * h * w];
+    let ncols = oh * ow;
+    debug_assert_eq!(out.len(), c * h * w);
     for ci in 0..c {
         let plane = &mut out[ci * h * w..(ci + 1) * h * w];
         for ky in 0..kh {
@@ -191,7 +201,136 @@ pub fn col2im(
             }
         }
     }
+}
+
+/// Lowers one `C×H×W` sample to a `[C·KH·KW, OH·OW]` column matrix.
+///
+/// Out-of-bounds taps (from padding) contribute zeros. This is the exact
+/// adjoint of [`col2im`].
+///
+/// # Errors
+///
+/// Propagates the shape errors of [`Conv2dSpec::output_hw`]; additionally
+/// fails when `sample.len() != c*h*w`.
+pub fn im2col(
+    sample: &[f32],
+    c: usize,
+    h: usize,
+    w: usize,
+    kh: usize,
+    kw: usize,
+    spec: Conv2dSpec,
+) -> Result<Tensor> {
+    let (oh, ow) = im2col_geometry(sample.len(), c, h, w, kh, kw, spec)?;
+    let mut out = Tensor::zeros([c * kh * kw, oh * ow]);
+    im2col_core(sample, c, h, w, kh, kw, spec, oh, ow, out.as_mut_slice());
     Ok(out)
+}
+
+/// Like [`im2col`], but writes into `out` (length `c·kh·kw·oh·ow`),
+/// recycling its storage.
+///
+/// # Errors
+///
+/// Like [`im2col`], plus [`TensorError::LengthMismatch`] when `out` has
+/// the wrong length.
+#[allow(clippy::too_many_arguments)]
+pub fn im2col_into(
+    sample: &[f32],
+    c: usize,
+    h: usize,
+    w: usize,
+    kh: usize,
+    kw: usize,
+    spec: Conv2dSpec,
+    out: &mut [f32],
+) -> Result<()> {
+    let (oh, ow) = im2col_geometry(sample.len(), c, h, w, kh, kw, spec)?;
+    let expected = c * kh * kw * oh * ow;
+    if out.len() != expected {
+        return Err(TensorError::LengthMismatch {
+            expected,
+            actual: out.len(),
+        });
+    }
+    im2col_core(sample, c, h, w, kh, kw, spec, oh, ow, out);
+    Ok(())
+}
+
+fn col2im_geometry(
+    cols: &Tensor,
+    c: usize,
+    h: usize,
+    w: usize,
+    kh: usize,
+    kw: usize,
+    spec: Conv2dSpec,
+) -> Result<(usize, usize)> {
+    let (oh, ow) = spec.output_hw(h, w, kh, kw)?;
+    let rows = c * kh * kw;
+    let ncols = oh * ow;
+    if cols.shape().dims() != [rows, ncols] {
+        return Err(TensorError::invalid(
+            "col2im",
+            format!(
+                "column matrix shape {} does not match expected [{rows}, {ncols}]",
+                cols.shape()
+            ),
+        ));
+    }
+    Ok((oh, ow))
+}
+
+/// Accumulates a `[C·KH·KW, OH·OW]` column matrix back into a `C×H×W`
+/// sample buffer (the adjoint of [`im2col`]).
+///
+/// # Errors
+///
+/// Fails when the column matrix does not match the implied geometry.
+pub fn col2im(
+    cols: &Tensor,
+    c: usize,
+    h: usize,
+    w: usize,
+    kh: usize,
+    kw: usize,
+    spec: Conv2dSpec,
+) -> Result<Vec<f32>> {
+    let (oh, ow) = col2im_geometry(cols, c, h, w, kh, kw, spec)?;
+    let mut out = scratch::take(c * h * w);
+    out.resize(c * h * w, 0.0);
+    col2im_core(cols.as_slice(), c, h, w, kh, kw, spec, oh, ow, &mut out);
+    Ok(out)
+}
+
+/// Like [`col2im`], but accumulates into `out` (length `c·h·w`), which
+/// must be zeroed first unless accumulation onto existing values is
+/// intended.
+///
+/// # Errors
+///
+/// Like [`col2im`], plus [`TensorError::LengthMismatch`] when `out` has
+/// the wrong length.
+#[allow(clippy::too_many_arguments)]
+pub fn col2im_into(
+    cols: &Tensor,
+    c: usize,
+    h: usize,
+    w: usize,
+    kh: usize,
+    kw: usize,
+    spec: Conv2dSpec,
+    out: &mut [f32],
+) -> Result<()> {
+    let (oh, ow) = col2im_geometry(cols, c, h, w, kh, kw, spec)?;
+    if out.len() != c * h * w {
+        return Err(TensorError::LengthMismatch {
+            expected: c * h * w,
+            actual: out.len(),
+        });
+    }
+    col2im_core(cols.as_slice(), c, h, w, kh, kw, spec, oh, ow, out);
+    Ok(())
 }
 
 /// Resolved geometry of one convolution: batch, channels, spatial sizes.
@@ -255,6 +394,80 @@ fn conv_geometry(input: &Tensor, weight: &Tensor, spec: Conv2dSpec) -> Result<Co
     })
 }
 
+fn check_bias(bias: Option<&Tensor>, f: usize, weight: &Tensor) -> Result<()> {
+    if let Some(b) = bias {
+        if b.shape().dims() != [f] {
+            return Err(TensorError::ShapeMismatch {
+                op: "conv2d",
+                lhs: b.shape().clone(),
+                rhs: weight.shape().clone(),
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Forward pass over a pre-validated geometry, writing into a zeroed
+/// `out` of length `n·f·oh·ow`.
+fn conv2d_impl(
+    input: &Tensor,
+    weight: &Tensor,
+    bias: Option<&Tensor>,
+    spec: Conv2dSpec,
+    g: &ConvGeometry,
+    out: &mut [f32],
+) -> Result<()> {
+    let &ConvGeometry {
+        n,
+        c,
+        h,
+        w,
+        f,
+        kh,
+        kw,
+        oh,
+        ow,
+    } = g;
+    // `[F, C, KH, KW]` row-major storage is already the `[F, C·KH·KW]`
+    // GEMM operand: the kernel bank is packed once per layer, for free.
+    let wd = weight.as_slice();
+    let sample_len = c * h * w;
+    let out_len = f * oh * ow;
+    let kdim = c * kh * kw;
+    let ncols = oh * ow;
+    let work = n * out_len * kdim;
+    try_for_each_block(out, out_len, work, |n0, chunk| {
+        // One column buffer per worker chunk, reused across its samples.
+        let mut cols = scratch::take(kdim * ncols);
+        cols.resize(kdim * ncols, 0.0);
+        for (local, dst) in chunk.chunks_mut(out_len).enumerate() {
+            let ni = n0 + local;
+            im2col_core(
+                &input.as_slice()[ni * sample_len..(ni + 1) * sample_len],
+                c,
+                h,
+                w,
+                kh,
+                kw,
+                spec,
+                oh,
+                ow,
+                &mut cols,
+            );
+            mm_accum(wd, f, kdim, &cols, ncols, dst);
+            if let Some(b) = bias {
+                for (fi, &bv) in b.as_slice().iter().enumerate() {
+                    for v in &mut dst[fi * ncols..(fi + 1) * ncols] {
+                        *v += bv;
+                    }
+                }
+            }
+        }
+        scratch::give(cols);
+        Ok(())
+    })
+}
+
 /// 2-D convolution forward pass.
 ///
 /// * `input`: `[N, C, H, W]`
@@ -273,56 +486,38 @@ pub fn conv2d(
     bias: Option<&Tensor>,
     spec: Conv2dSpec,
 ) -> Result<Tensor> {
-    let ConvGeometry {
-        n,
-        c,
-        h,
-        w,
-        f,
-        kh,
-        kw,
-        oh,
-        ow,
-    } = conv_geometry(input, weight, spec)?;
-    if let Some(b) = bias {
-        if b.shape().dims() != [f] {
-            return Err(TensorError::ShapeMismatch {
-                op: "conv2d",
-                lhs: b.shape().clone(),
-                rhs: weight.shape().clone(),
-            });
-        }
+    let g = conv_geometry(input, weight, spec)?;
+    check_bias(bias, g.f, weight)?;
+    let mut out = Tensor::zeros([g.n, g.f, g.oh, g.ow]);
+    conv2d_impl(input, weight, bias, spec, &g, out.as_mut_slice())?;
+    Ok(out)
+}
+
+/// Like [`conv2d`], but writes into `out` (length `n·f·oh·ow`), recycling
+/// its storage.
+///
+/// # Errors
+///
+/// Like [`conv2d`], plus [`TensorError::LengthMismatch`] when `out` has
+/// the wrong length.
+pub fn conv2d_into(
+    input: &Tensor,
+    weight: &Tensor,
+    bias: Option<&Tensor>,
+    spec: Conv2dSpec,
+    out: &mut [f32],
+) -> Result<()> {
+    let g = conv_geometry(input, weight, spec)?;
+    check_bias(bias, g.f, weight)?;
+    let expected = g.n * g.f * g.oh * g.ow;
+    if out.len() != expected {
+        return Err(TensorError::LengthMismatch {
+            expected,
+            actual: out.len(),
+        });
     }
-    let w2 = weight.reshape([f, c * kh * kw])?;
-    let mut out = vec![0.0f32; n * f * oh * ow];
-    let sample_len = c * h * w;
-    let out_len = f * oh * ow;
-    let work = n * out_len * (c * kh * kw);
-    try_for_each_block(&mut out, out_len, work, |n0, chunk| {
-        for (local, dst) in chunk.chunks_mut(out_len).enumerate() {
-            let ni = n0 + local;
-            let cols = im2col(
-                &input.as_slice()[ni * sample_len..(ni + 1) * sample_len],
-                c,
-                h,
-                w,
-                kh,
-                kw,
-                spec,
-            )?;
-            let prod = matmul(&w2, &cols)?;
-            dst.copy_from_slice(prod.as_slice());
-            if let Some(b) = bias {
-                for (fi, &bv) in b.as_slice().iter().enumerate() {
-                    for v in &mut dst[fi * oh * ow..(fi + 1) * oh * ow] {
-                        *v += bv;
-                    }
-                }
-            }
-        }
-        Ok(())
-    })?;
-    Tensor::from_vec([n, f, oh, ow], out)
+    out.fill(0.0);
+    conv2d_impl(input, weight, bias, spec, &g, out)
 }
 
 /// Gradients produced by [`conv2d_backward`].
@@ -334,6 +529,112 @@ pub struct Conv2dGrads {
     pub grad_weight: Tensor,
     /// Gradient with respect to the bias, `[F]`.
     pub grad_bias: Tensor,
+}
+
+/// Backward pass over a pre-validated geometry, accumulating into zeroed
+/// gradient slices.
+#[allow(clippy::too_many_arguments)]
+fn conv2d_backward_impl(
+    input: &Tensor,
+    weight: &Tensor,
+    grad_output: &Tensor,
+    spec: Conv2dSpec,
+    g: &ConvGeometry,
+    grad_input: &mut [f32],
+    grad_weight: &mut [f32],
+    grad_bias: &mut [f32],
+) -> Result<()> {
+    let &ConvGeometry {
+        n,
+        c,
+        h,
+        w,
+        f,
+        kh,
+        kw,
+        oh,
+        ow,
+    } = g;
+    let wd = weight.as_slice();
+    let god = grad_output.as_slice();
+    let sample_len = c * h * w;
+    let out_len = f * oh * ow;
+    let kdim = c * kh * kw;
+    let ncols = oh * ow;
+
+    // Per-sample contributions are computed in parallel; the dW/dB
+    // reduction below then accumulates them in sample order, which is the
+    // exact floating-point summation sequence of the serial pass. All
+    // per-sample buffers are pooled: the column matrix built here has the
+    // exact forward-pass shape, so a training step reuses one buffer for
+    // both directions instead of allocating twice.
+    let work = 2 * n * out_len * kdim;
+    let per_sample = try_parallel_map(n, work, |ni| -> Result<(Vec<f32>, Vec<f32>, Vec<f32>)> {
+        let mut cols = scratch::take(kdim * ncols);
+        cols.resize(kdim * ncols, 0.0);
+        im2col_core(
+            &input.as_slice()[ni * sample_len..(ni + 1) * sample_len],
+            c,
+            h,
+            w,
+            kh,
+            kw,
+            spec,
+            oh,
+            ow,
+            &mut cols,
+        );
+        let gout = &god[ni * out_len..(ni + 1) * out_len];
+        // dW contribution: gOut · colsᵀ.
+        let mut dw = scratch::take(f * kdim);
+        dw.resize(f * kdim, 0.0);
+        mm_a_bt(gout, f, ncols, &cols, kdim, &mut dw);
+        // dCols = Wᵀ · gOut, then scatter back to the input.
+        let mut dcols = scratch::take(kdim * ncols);
+        dcols.resize(kdim * ncols, 0.0);
+        mm_at_b_accum(wd, f, kdim, 0, kdim, gout, ncols, &mut dcols);
+        let mut dsample = scratch::take(sample_len);
+        dsample.resize(sample_len, 0.0);
+        col2im_core(&dcols, c, h, w, kh, kw, spec, oh, ow, &mut dsample);
+        scratch::give(dcols);
+        scratch::give(cols);
+        // dB contribution: row sums of gOut.
+        let mut db = scratch::take(f);
+        for fi in 0..f {
+            db.push(gout[fi * ncols..(fi + 1) * ncols].iter().sum());
+        }
+        Ok((dw, dsample, db))
+    })?;
+    for (ni, (dw, dsample, db)) in per_sample.into_iter().enumerate() {
+        for (gw, &d) in grad_weight.iter_mut().zip(&dw) {
+            *gw += d;
+        }
+        grad_input[ni * sample_len..(ni + 1) * sample_len].copy_from_slice(&dsample);
+        for (gb, &d) in grad_bias.iter_mut().zip(&db) {
+            *gb += d;
+        }
+        scratch::give(dw);
+        scratch::give(dsample);
+        scratch::give(db);
+    }
+    Ok(())
+}
+
+fn check_backward_shapes(grad_output: &Tensor, g: &ConvGeometry) -> Result<()> {
+    if grad_output.shape().dims() != [g.n, g.f, g.oh, g.ow] {
+        return Err(TensorError::invalid(
+            "conv2d_backward",
+            format!(
+                "grad_output shape {} does not match expected [{}, {}, {}, {}]",
+                grad_output.shape(),
+                g.n,
+                g.f,
+                g.oh,
+                g.ow
+            ),
+        ));
+    }
+    Ok(())
 }
 
 /// 2-D convolution backward pass.
@@ -350,79 +651,67 @@ pub fn conv2d_backward(
     grad_output: &Tensor,
     spec: Conv2dSpec,
 ) -> Result<Conv2dGrads> {
-    let ConvGeometry {
-        n,
-        c,
-        h,
-        w,
-        f,
-        kh,
-        kw,
-        oh,
-        ow,
-    } = conv_geometry(input, weight, spec)?;
-    if grad_output.shape().dims() != [n, f, oh, ow] {
+    let g = conv_geometry(input, weight, spec)?;
+    check_backward_shapes(grad_output, &g)?;
+    let mut grad_input = Tensor::zeros([g.n, g.c, g.h, g.w]);
+    let mut grad_weight = Tensor::zeros([g.f, g.c, g.kh, g.kw]);
+    let mut grad_bias = Tensor::zeros([g.f]);
+    conv2d_backward_impl(
+        input,
+        weight,
+        grad_output,
+        spec,
+        &g,
+        grad_input.as_mut_slice(),
+        grad_weight.as_mut_slice(),
+        grad_bias.as_mut_slice(),
+    )?;
+    Ok(Conv2dGrads {
+        grad_input,
+        grad_weight,
+        grad_bias,
+    })
+}
+
+/// Like [`conv2d_backward`], but overwrites the tensors of an existing
+/// [`Conv2dGrads`] (which must already have the right shapes), recycling
+/// their storage.
+///
+/// # Errors
+///
+/// Like [`conv2d_backward`], plus [`TensorError::Invalid`] when `grads`
+/// has mismatched shapes.
+pub fn conv2d_backward_into(
+    input: &Tensor,
+    weight: &Tensor,
+    grad_output: &Tensor,
+    spec: Conv2dSpec,
+    grads: &mut Conv2dGrads,
+) -> Result<()> {
+    let g = conv_geometry(input, weight, spec)?;
+    check_backward_shapes(grad_output, &g)?;
+    if grads.grad_input.shape().dims() != [g.n, g.c, g.h, g.w]
+        || grads.grad_weight.shape().dims() != [g.f, g.c, g.kh, g.kw]
+        || grads.grad_bias.shape().dims() != [g.f]
+    {
         return Err(TensorError::invalid(
-            "conv2d_backward",
-            format!(
-                "grad_output shape {} does not match expected [{n}, {f}, {oh}, {ow}]",
-                grad_output.shape()
-            ),
+            "conv2d_backward_into",
+            "gradient buffers do not match the convolution geometry",
         ));
     }
-    let w2 = weight.reshape([f, c * kh * kw])?;
-    let sample_len = c * h * w;
-    let out_len = f * oh * ow;
-    let mut grad_input = vec![0.0f32; n * sample_len];
-    let mut grad_weight = Tensor::zeros([f, c * kh * kw]);
-    let mut grad_bias = vec![0.0f32; f];
-
-    // Per-sample contributions are computed in parallel; the dW/dB
-    // reduction below then accumulates them in sample order, which is the
-    // exact floating-point summation sequence of the serial pass.
-    let work = 2 * n * out_len * (c * kh * kw);
-    let per_sample = try_parallel_map(n, work, |ni| -> Result<(Tensor, Vec<f32>, Vec<f32>)> {
-        let cols = im2col(
-            &input.as_slice()[ni * sample_len..(ni + 1) * sample_len],
-            c,
-            h,
-            w,
-            kh,
-            kw,
-            spec,
-        )?;
-        let gout = Tensor::from_vec(
-            [f, oh * ow],
-            grad_output.as_slice()[ni * out_len..(ni + 1) * out_len].to_vec(),
-        )?;
-        // dW contribution: gOut · colsᵀ
-        let dw = matmul_a_bt(&gout, &cols)?;
-        // dCols = Wᵀ · gOut, then scatter back to the input.
-        let dcols = matmul_at_b(&w2, &gout)?;
-        let dsample = col2im(&dcols, c, h, w, kh, kw, spec)?;
-        // dB contribution: row sums of gOut.
-        let db = (0..f)
-            .map(|fi| {
-                gout.as_slice()[fi * oh * ow..(fi + 1) * oh * ow]
-                    .iter()
-                    .sum()
-            })
-            .collect();
-        Ok((dw, dsample, db))
-    })?;
-    for (ni, (dw, dsample, db)) in per_sample.into_iter().enumerate() {
-        grad_weight.axpy(1.0, &dw)?;
-        grad_input[ni * sample_len..(ni + 1) * sample_len].copy_from_slice(&dsample);
-        for (gb, d) in grad_bias.iter_mut().zip(db) {
-            *gb += d;
-        }
-    }
-
-    Ok(Conv2dGrads {
-        grad_input: Tensor::from_vec([n, c, h, w], grad_input)?,
-        grad_weight: grad_weight.reshape([f, c, kh, kw])?,
-        grad_bias: Tensor::from_vec([f], grad_bias)?,
-    })
+    grads.grad_input.as_mut_slice().fill(0.0);
+    grads.grad_weight.as_mut_slice().fill(0.0);
+    grads.grad_bias.as_mut_slice().fill(0.0);
+    conv2d_backward_impl(
+        input,
+        weight,
+        grad_output,
+        spec,
+        &g,
+        grads.grad_input.as_mut_slice(),
+        grads.grad_weight.as_mut_slice(),
+        grads.grad_bias.as_mut_slice(),
+    )
 }
 
 #[cfg(test)]
@@ -534,6 +823,62 @@ mod tests {
             &naive_conv(&input, &weight, None, spec),
             1e-4,
         );
+    }
+
+    #[test]
+    fn conv_into_is_bit_identical_to_wrapper() {
+        let input = pseudo([2, 2, 7, 9], 3);
+        let weight = pseudo([4, 2, 3, 3], 4);
+        let bias = pseudo([4], 5);
+        let spec = Conv2dSpec::new((2, 1), (1, 0));
+        let reference = conv2d(&input, &weight, Some(&bias), spec).unwrap();
+        let mut out = vec![9.0f32; reference.len()];
+        conv2d_into(&input, &weight, Some(&bias), spec, &mut out).unwrap();
+        assert_eq!(out.as_slice(), reference.as_slice());
+        let mut short = vec![0.0f32; 3];
+        assert!(conv2d_into(&input, &weight, Some(&bias), spec, &mut short).is_err());
+    }
+
+    #[test]
+    fn im2col_and_col2im_into_match_allocating_forms() {
+        let (c, h, w, kh, kw) = (2, 6, 7, 3, 2);
+        let spec = Conv2dSpec::new((2, 1), (1, 1));
+        let x = pseudo([c * h * w], 17).into_vec();
+        let cols = im2col(&x, c, h, w, kh, kw, spec).unwrap();
+        let mut cols2 = vec![5.0f32; cols.len()];
+        im2col_into(&x, c, h, w, kh, kw, spec, &mut cols2).unwrap();
+        assert_eq!(cols2.as_slice(), cols.as_slice());
+
+        let back = col2im(&cols, c, h, w, kh, kw, spec).unwrap();
+        let mut back2 = vec![0.0f32; c * h * w];
+        col2im_into(&cols, c, h, w, kh, kw, spec, &mut back2).unwrap();
+        assert_eq!(back2, back);
+
+        let mut short = vec![0.0f32; 3];
+        assert!(im2col_into(&x, c, h, w, kh, kw, spec, &mut short).is_err());
+        assert!(col2im_into(&cols, c, h, w, kh, kw, spec, &mut short).is_err());
+    }
+
+    #[test]
+    fn backward_into_is_bit_identical_to_wrapper() {
+        let spec = Conv2dSpec::new((2, 2), (1, 1));
+        let input = pseudo([2, 2, 5, 6], 51);
+        let weight = pseudo([3, 2, 3, 3], 52);
+        let out = conv2d(&input, &weight, None, spec).unwrap();
+        let gout = pseudo(out.shape().dims().to_vec(), 53);
+        let reference = conv2d_backward(&input, &weight, &gout, spec).unwrap();
+        let mut grads = Conv2dGrads {
+            grad_input: Tensor::full(input.shape().clone(), 3.0),
+            grad_weight: Tensor::full(weight.shape().clone(), 3.0),
+            grad_bias: Tensor::full([3], 3.0),
+        };
+        conv2d_backward_into(&input, &weight, &gout, spec, &mut grads).unwrap();
+        assert_eq!(grads.grad_input, reference.grad_input);
+        assert_eq!(grads.grad_weight, reference.grad_weight);
+        assert_eq!(grads.grad_bias, reference.grad_bias);
+
+        grads.grad_bias = Tensor::zeros([7]);
+        assert!(conv2d_backward_into(&input, &weight, &gout, spec, &mut grads).is_err());
     }
 
     #[test]

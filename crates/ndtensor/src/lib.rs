@@ -38,13 +38,19 @@ mod matmul;
 mod ops;
 pub mod par;
 mod resample;
+pub mod scratch;
 mod shape;
 mod tensor;
 
-pub use conv::{col2im, conv2d, conv2d_backward, im2col, Conv2dGrads, Conv2dSpec};
+pub use conv::{
+    col2im, col2im_into, conv2d, conv2d_backward, conv2d_backward_into, conv2d_into, im2col,
+    im2col_into, Conv2dGrads, Conv2dSpec,
+};
 pub use error::TensorError;
 pub use init::{fill_he_normal, fill_normal, fill_uniform, fill_xavier_uniform};
-pub use matmul::{matmul, matmul_a_bt, matmul_at_b};
+pub use matmul::{
+    matmul, matmul_a_bt, matmul_a_bt_into, matmul_at_b, matmul_at_b_into, matmul_into,
+};
 pub use par::{set_thread_config, thread_config, with_serial, ThreadConfig};
 pub use resample::{resize_bilinear, resize_nearest, upsample_sum};
 pub use shape::Shape;

@@ -7,6 +7,24 @@
 //! * [`matmul_at_b`] — `C = Aᵀ·B`
 //! * [`matmul_a_bt`] — `C = A·Bᵀ`
 //!
+//! Each has a `_into` twin ([`matmul_into`], [`matmul_at_b_into`],
+//! [`matmul_a_bt_into`]) that writes into a caller-provided buffer so hot
+//! loops can recycle storage; the allocating forms are thin wrappers that
+//! draw their output from [`crate::scratch`].
+//!
+//! The inner kernels are packed and cache-blocked: accumulating kernels
+//! tile the output columns ([`COL_TILE`]) and pack the corresponding B
+//! panel into contiguous scratch so it stays resident while every output
+//! row in the worker's chunk streams over it; `matmul_at_b` first packs
+//! the strided Aᵀ rows of its chunk into scratch (one pass, instead of
+//! one stride-`m` walk per output element); `matmul_a_bt` tiles B rows
+//! and runs [`JB`] independent dot-product accumulators for
+//! instruction-level parallelism. Blocking only ever reorders *which
+//! output element is worked on next* — the per-element accumulation
+//! remains a single chain in ascending-`k` order, with the historical
+//! exact-zero skips preserved verbatim, so results are bit-identical to
+//! the naive kernels and to any thread count.
+//!
 //! All kernels parallelise over output rows through [`crate::par`] once the
 //! arithmetic volume crosses [`crate::par::PARALLEL_THRESHOLD`], so small
 //! problems stay on one thread and avoid spawn overhead. Row partitioning
@@ -14,7 +32,25 @@
 //! bit-identical for any thread count.
 
 use crate::par::for_each_block;
-use crate::{Result, Tensor, TensorError};
+use crate::{scratch, Result, Tensor, TensorError};
+
+/// Output-column tile width for the accumulating kernels: a packed
+/// `k × COL_TILE` B panel of the pipeline's conv GEMMs fits in L1/L2.
+const COL_TILE: usize = 256;
+
+/// B-row tile for [`matmul_a_bt`]: `BT_ROW_TILE × k` B rows stay hot
+/// while every A row of the chunk is processed.
+const BT_ROW_TILE: usize = 64;
+
+/// Independent accumulators in the `A·Bᵀ` micro-kernel. Each output
+/// element still owns exactly one sequential chain; the `JB` chains
+/// belong to different elements and only overlap in time.
+const JB: usize = 8;
+
+/// Minimum rows in a chunk before packing the B panel pays for itself
+/// (the packing pass is amortised over the chunk's rows). The decision
+/// never affects values — packed and unpacked paths are bit-identical.
+const PACK_MIN_ROWS: usize = 4;
 
 fn dims2(t: &Tensor, op: &'static str) -> Result<(usize, usize)> {
     if t.rank() != 2 {
@@ -25,6 +61,168 @@ fn dims2(t: &Tensor, op: &'static str) -> Result<(usize, usize)> {
         });
     }
     Ok((t.shape().dims()[0], t.shape().dims()[1]))
+}
+
+fn check_out_len(actual: usize, expected: usize) -> Result<()> {
+    if actual != expected {
+        return Err(TensorError::LengthMismatch { expected, actual });
+    }
+    Ok(())
+}
+
+/// Accumulates `out[i][j] += Σ_l arows[i][l] · b[l][j]` for a packed row
+/// block `arows: [rows, k]` against `b: [k, n]`, with column tiling and
+/// optional B-panel packing. `out` must hold the `rows × n` output block
+/// already initialised (normally to zero).
+///
+/// Per output element the summation is a single chain in ascending `l`,
+/// skipping exact-zero `arows` entries — identical to the naive kernel.
+pub(crate) fn mm_accum(
+    arows: &[f32],
+    rows: usize,
+    k: usize,
+    bd: &[f32],
+    n: usize,
+    out: &mut [f32],
+) {
+    debug_assert_eq!(arows.len(), rows * k);
+    debug_assert_eq!(out.len(), rows * n);
+    if rows == 0 || n == 0 || k == 0 {
+        return;
+    }
+    let pack = rows >= PACK_MIN_ROWS;
+    let mut panel = if pack {
+        scratch::take(k * COL_TILE.min(n))
+    } else {
+        Vec::new()
+    };
+    let mut jc = 0;
+    while jc < n {
+        let tw = COL_TILE.min(n - jc);
+        if pack {
+            // Pack the k×tw B panel contiguously: one streaming copy,
+            // then every row of the chunk reuses it from cache.
+            panel.clear();
+            for l in 0..k {
+                panel.extend_from_slice(&bd[l * n + jc..l * n + jc + tw]);
+            }
+        }
+        for i in 0..rows {
+            let arow = &arows[i * k..(i + 1) * k];
+            let orow = &mut out[i * n + jc..i * n + jc + tw];
+            for (l, &av) in arow.iter().enumerate() {
+                // sncheck:allow(no-float-eq): exact-zero sparsity skip,
+                // not a tolerance check.
+                if av == 0.0 {
+                    continue;
+                }
+                let brow = if pack {
+                    &panel[l * tw..(l + 1) * tw]
+                } else {
+                    &bd[l * n + jc..l * n + jc + tw]
+                };
+                for (o, &bv) in orow.iter_mut().zip(brow) {
+                    *o += av * bv;
+                }
+            }
+        }
+        jc += tw;
+    }
+    scratch::give(panel);
+}
+
+/// Accumulates the `Aᵀ·B` output rows `i0..i0 + rows` into `out` by first
+/// transposing that column block of `A: [k, m]` into contiguous scratch
+/// (single pass over `A`, fixing the historical stride-`m` inner loop),
+/// then running [`mm_accum`].
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn mm_at_b_accum(
+    ad: &[f32],
+    k: usize,
+    m: usize,
+    i0: usize,
+    rows: usize,
+    bd: &[f32],
+    n: usize,
+    out: &mut [f32],
+) {
+    if rows == 0 || k == 0 {
+        return;
+    }
+    let mut pa = scratch::take(rows * k);
+    pa.resize(rows * k, 0.0);
+    for l in 0..k {
+        let acol = &ad[l * m + i0..l * m + i0 + rows];
+        for (i, &av) in acol.iter().enumerate() {
+            pa[i * k + l] = av;
+        }
+    }
+    mm_accum(&pa, rows, k, bd, n, out);
+    scratch::give(pa);
+}
+
+/// Writes `out[i][j] = Σ_l arows[i][l] · b[j][l]` for a packed row block
+/// `arows: [rows, k]` against `b: [n, k]`, tiling B rows and running
+/// [`JB`] independent accumulators. Every element of `out` is assigned.
+pub(crate) fn mm_a_bt(arows: &[f32], rows: usize, k: usize, bd: &[f32], n: usize, out: &mut [f32]) {
+    debug_assert_eq!(arows.len(), rows * k);
+    debug_assert_eq!(out.len(), rows * n);
+    if rows == 0 || n == 0 {
+        return;
+    }
+    let mut j0 = 0;
+    loop {
+        let tile_end = (j0 + BT_ROW_TILE).min(n);
+        for i in 0..rows {
+            let arow = &arows[i * k..(i + 1) * k];
+            let orow = &mut out[i * n..(i + 1) * n];
+            let mut j = j0;
+            while j + JB <= tile_end {
+                let mut acc = [0.0f32; JB];
+                let base: [&[f32]; JB] = std::array::from_fn(|t| &bd[(j + t) * k..(j + t + 1) * k]);
+                for (l, &av) in arow.iter().enumerate() {
+                    for t in 0..JB {
+                        acc[t] += av * base[t][l];
+                    }
+                }
+                orow[j..j + JB].copy_from_slice(&acc);
+                j += JB;
+            }
+            while j < tile_end {
+                let brow = &bd[j * k..(j + 1) * k];
+                let mut acc = 0.0f32;
+                for (&av, &bv) in arow.iter().zip(brow) {
+                    acc += av * bv;
+                }
+                orow[j] = acc;
+                j += 1;
+            }
+        }
+        if tile_end == n {
+            break;
+        }
+        j0 = tile_end;
+    }
+}
+
+fn check_mm(a: &Tensor, b: &Tensor, op: &'static str) -> Result<(usize, usize, usize)> {
+    let (m, k) = dims2(a, op)?;
+    let (kb, n) = dims2(b, op)?;
+    if k != kb {
+        return Err(TensorError::ShapeMismatch {
+            op,
+            lhs: a.shape().clone(),
+            rhs: b.shape().clone(),
+        });
+    }
+    Ok((m, k, n))
+}
+
+fn matmul_slices(ad: &[f32], m: usize, k: usize, bd: &[f32], n: usize, out: &mut [f32]) {
+    for_each_block(out, n, m * n * k, |row0, chunk| {
+        let rows = chunk.len().checked_div(n).unwrap_or(0);
+        mm_accum(&ad[row0 * k..(row0 + rows) * k], rows, k, bd, n, chunk);
+    });
 }
 
 /// Computes `C = A·B` for `A: [m, k]` and `B: [k, n]`.
@@ -46,35 +244,31 @@ fn dims2(t: &Tensor, op: &'static str) -> Result<(usize, usize)> {
 /// # }
 /// ```
 pub fn matmul(a: &Tensor, b: &Tensor) -> Result<Tensor> {
-    let (m, k) = dims2(a, "matmul")?;
-    let (kb, n) = dims2(b, "matmul")?;
-    if k != kb {
-        return Err(TensorError::ShapeMismatch {
-            op: "matmul",
-            lhs: a.shape().clone(),
-            rhs: b.shape().clone(),
-        });
-    }
-    let mut out = vec![0.0f32; m * n];
-    let (ad, bd) = (a.as_slice(), b.as_slice());
-    for_each_block(&mut out, n, m * n * k, |row0, chunk| {
-        for (local_i, orow) in chunk.chunks_mut(n).enumerate() {
-            let i = row0 + local_i;
-            let arow = &ad[i * k..(i + 1) * k];
-            for (l, &av) in arow.iter().enumerate() {
-                // sncheck:allow(no-float-eq): exact-zero sparsity skip,
-                // not a tolerance check.
-                if av == 0.0 {
-                    continue;
-                }
-                let brow = &bd[l * n..(l + 1) * n];
-                for (o, &bv) in orow.iter_mut().zip(brow) {
-                    *o += av * bv;
-                }
-            }
-        }
+    let (m, k, n) = check_mm(a, b, "matmul")?;
+    let mut out = Tensor::zeros([m, n]);
+    matmul_slices(a.as_slice(), m, k, b.as_slice(), n, out.as_mut_slice());
+    Ok(out)
+}
+
+/// Computes `C = A·B` into `out` (length `m·n`), recycling its storage.
+///
+/// # Errors
+///
+/// Like [`matmul`], plus [`TensorError::LengthMismatch`] when `out` has
+/// the wrong length.
+pub fn matmul_into(a: &Tensor, b: &Tensor, out: &mut [f32]) -> Result<()> {
+    let (m, k, n) = check_mm(a, b, "matmul_into")?;
+    check_out_len(out.len(), m * n)?;
+    out.fill(0.0);
+    matmul_slices(a.as_slice(), m, k, b.as_slice(), n, out);
+    Ok(())
+}
+
+fn matmul_at_b_slices(ad: &[f32], k: usize, m: usize, bd: &[f32], n: usize, out: &mut [f32]) {
+    for_each_block(out, n, m * n * k, |row0, chunk| {
+        let rows = chunk.len().checked_div(n).unwrap_or(0);
+        mm_at_b_accum(ad, k, m, row0, rows, bd, n, chunk);
     });
-    Tensor::from_vec([m, n], out)
 }
 
 /// Computes `C = Aᵀ·B` for `A: [k, m]` and `B: [k, n]` without transposing.
@@ -93,26 +287,38 @@ pub fn matmul_at_b(a: &Tensor, b: &Tensor) -> Result<Tensor> {
             rhs: b.shape().clone(),
         });
     }
-    let mut out = vec![0.0f32; m * n];
-    let (ad, bd) = (a.as_slice(), b.as_slice());
-    for_each_block(&mut out, n, m * n * k, |row0, chunk| {
-        for (local_i, orow) in chunk.chunks_mut(n).enumerate() {
-            let i = row0 + local_i;
-            for l in 0..k {
-                let av = ad[l * m + i];
-                // sncheck:allow(no-float-eq): exact-zero sparsity skip,
-                // not a tolerance check.
-                if av == 0.0 {
-                    continue;
-                }
-                let brow = &bd[l * n..(l + 1) * n];
-                for (o, &bv) in orow.iter_mut().zip(brow) {
-                    *o += av * bv;
-                }
-            }
-        }
+    let mut out = Tensor::zeros([m, n]);
+    matmul_at_b_slices(a.as_slice(), k, m, b.as_slice(), n, out.as_mut_slice());
+    Ok(out)
+}
+
+/// Computes `C = Aᵀ·B` into `out` (length `m·n`), recycling its storage.
+///
+/// # Errors
+///
+/// Like [`matmul_at_b`], plus [`TensorError::LengthMismatch`] when `out`
+/// has the wrong length.
+pub fn matmul_at_b_into(a: &Tensor, b: &Tensor, out: &mut [f32]) -> Result<()> {
+    let (k, m) = dims2(a, "matmul_at_b_into")?;
+    let (kb, n) = dims2(b, "matmul_at_b_into")?;
+    if k != kb {
+        return Err(TensorError::ShapeMismatch {
+            op: "matmul_at_b_into",
+            lhs: a.shape().clone(),
+            rhs: b.shape().clone(),
+        });
+    }
+    check_out_len(out.len(), m * n)?;
+    out.fill(0.0);
+    matmul_at_b_slices(a.as_slice(), k, m, b.as_slice(), n, out);
+    Ok(())
+}
+
+fn matmul_a_bt_slices(ad: &[f32], m: usize, k: usize, bd: &[f32], n: usize, out: &mut [f32]) {
+    for_each_block(out, n, m * n * k, |row0, chunk| {
+        let rows = chunk.len().checked_div(n).unwrap_or(0);
+        mm_a_bt(&ad[row0 * k..(row0 + rows) * k], rows, k, bd, n, chunk);
     });
-    Tensor::from_vec([m, n], out)
 }
 
 /// Computes `C = A·Bᵀ` for `A: [m, k]` and `B: [n, k]` without transposing.
@@ -131,23 +337,31 @@ pub fn matmul_a_bt(a: &Tensor, b: &Tensor) -> Result<Tensor> {
             rhs: b.shape().clone(),
         });
     }
-    let mut out = vec![0.0f32; m * n];
-    let (ad, bd) = (a.as_slice(), b.as_slice());
-    for_each_block(&mut out, n, m * n * k, |row0, chunk| {
-        for (local_i, orow) in chunk.chunks_mut(n).enumerate() {
-            let i = row0 + local_i;
-            let arow = &ad[i * k..(i + 1) * k];
-            for (j, o) in orow.iter_mut().enumerate() {
-                let brow = &bd[j * k..(j + 1) * k];
-                let mut acc = 0.0f32;
-                for (&av, &bv) in arow.iter().zip(brow) {
-                    acc += av * bv;
-                }
-                *o = acc;
-            }
-        }
-    });
-    Tensor::from_vec([m, n], out)
+    let mut out = Tensor::zeros([m, n]);
+    matmul_a_bt_slices(a.as_slice(), m, k, b.as_slice(), n, out.as_mut_slice());
+    Ok(out)
+}
+
+/// Computes `C = A·Bᵀ` into `out` (length `m·n`), recycling its storage.
+///
+/// # Errors
+///
+/// Like [`matmul_a_bt`], plus [`TensorError::LengthMismatch`] when `out`
+/// has the wrong length.
+pub fn matmul_a_bt_into(a: &Tensor, b: &Tensor, out: &mut [f32]) -> Result<()> {
+    let (m, k) = dims2(a, "matmul_a_bt_into")?;
+    let (n, kb) = dims2(b, "matmul_a_bt_into")?;
+    if k != kb {
+        return Err(TensorError::ShapeMismatch {
+            op: "matmul_a_bt_into",
+            lhs: a.shape().clone(),
+            rhs: b.shape().clone(),
+        });
+    }
+    check_out_len(out.len(), m * n)?;
+    // The kernel assigns every element; zero-fill is unnecessary.
+    matmul_a_bt_slices(a.as_slice(), m, k, b.as_slice(), n, out);
+    Ok(())
 }
 
 #[cfg(test)]
@@ -209,6 +423,59 @@ mod tests {
     }
 
     #[test]
+    fn into_variants_validate_output_length() {
+        let a = pseudo([2, 3], 1);
+        let b = pseudo([3, 4], 2);
+        let mut short = vec![0.0f32; 7];
+        assert!(matmul_into(&a, &b, &mut short).is_err());
+        let bt = pseudo([4, 3], 3);
+        assert!(matmul_a_bt_into(&a, &bt, &mut short).is_err());
+        let at = pseudo([3, 2], 4);
+        assert!(matmul_at_b_into(&at, &b, &mut short).is_err());
+    }
+
+    #[test]
+    fn into_variants_are_bit_identical_to_wrappers() {
+        for seed in 0..6u64 {
+            let (m, k, n) = (3 + seed as usize, 5 + seed as usize, 300 + seed as usize);
+            let a = pseudo([m, k], seed);
+            let b = pseudo([k, n], seed + 10);
+            let mut out = vec![7.0f32; m * n];
+            matmul_into(&a, &b, &mut out).unwrap();
+            assert_eq!(out, matmul(&a, &b).unwrap().as_slice());
+
+            let at = pseudo([k, m], seed + 20);
+            let mut out2 = vec![7.0f32; m * n];
+            matmul_at_b_into(&at, &b, &mut out2).unwrap();
+            assert_eq!(out2, matmul_at_b(&at, &b).unwrap().as_slice());
+
+            let bt = pseudo([n, k], seed + 30);
+            let mut out3 = vec![7.0f32; m * n];
+            matmul_a_bt_into(&a, &bt, &mut out3).unwrap();
+            assert_eq!(out3, matmul_a_bt(&a, &bt).unwrap().as_slice());
+        }
+    }
+
+    #[test]
+    fn shapes_spanning_tile_boundaries_match_naive() {
+        // Exercise the column tiling (n > COL_TILE), the B-row tiling
+        // (n > BT_ROW_TILE) and the JB remainder loop.
+        for &(m, k, n) in &[(5, 3, 513), (2, 7, 300), (9, 2, 65), (1, 300, 70)] {
+            let a = pseudo([m, k], 91);
+            let b = pseudo([k, n], 92);
+            assert_close(&matmul(&a, &b).unwrap(), &naive(&a, &b), 1e-4);
+
+            let at = pseudo([k, m], 93);
+            let expect = naive(&at.transpose2d().unwrap(), &b);
+            assert_close(&matmul_at_b(&at, &b).unwrap(), &expect, 1e-4);
+
+            let bt = pseudo([n, k], 94);
+            let expect2 = naive(&a, &bt.transpose2d().unwrap());
+            assert_close(&matmul_a_bt(&a, &bt).unwrap(), &expect2, 1e-4);
+        }
+    }
+
+    #[test]
     fn transposed_variants_match_explicit_transpose() {
         let a = pseudo([7, 4], 11);
         let b = pseudo([7, 5], 12);
@@ -267,6 +534,18 @@ mod tests {
             let b2 = pseudo([n, k], seed + 3);
             let expect2 = naive(&a2, &b2.transpose2d().unwrap());
             assert_close(&matmul_a_bt(&a2, &b2).unwrap(), &expect2, 1e-4);
+        }
+
+        #[test]
+        fn into_matches_wrapper_bitwise(
+            m in 1usize..10, k in 1usize..10, n in 1usize..10, seed in 0u64..1_000
+        ) {
+            let a = pseudo([m, k], seed);
+            let b = pseudo([k, n], seed + 1);
+            let mut out = vec![3.5f32; m * n];
+            matmul_into(&a, &b, &mut out).unwrap();
+            let reference = matmul(&a, &b).unwrap();
+            prop_assert_eq!(out.as_slice(), reference.as_slice());
         }
 
         #[test]

@@ -5,7 +5,7 @@
 //! upsamples averaged feature maps back to the resolution of the previous
 //! layer).
 
-use crate::{Result, Tensor, TensorError};
+use crate::{scratch, Result, Tensor, TensorError};
 
 fn require_map(t: &Tensor, op: &'static str) -> Result<(usize, usize)> {
     if t.rank() != 2 {
@@ -38,7 +38,7 @@ pub fn resize_nearest(map: &Tensor, out_h: usize, out_w: usize) -> Result<Tensor
     let (h, w) = require_map(map, "resize_nearest")?;
     require_target(out_h, out_w, "resize_nearest")?;
     let data = map.as_slice();
-    let mut out = Vec::with_capacity(out_h * out_w);
+    let mut out = scratch::take(out_h * out_w);
     for oy in 0..out_h {
         let sy = ((oy as f32 + 0.5) * h as f32 / out_h as f32 - 0.5)
             .round()
@@ -63,7 +63,7 @@ pub fn resize_bilinear(map: &Tensor, out_h: usize, out_w: usize) -> Result<Tenso
     let (h, w) = require_map(map, "resize_bilinear")?;
     require_target(out_h, out_w, "resize_bilinear")?;
     let data = map.as_slice();
-    let mut out = Vec::with_capacity(out_h * out_w);
+    let mut out = scratch::take(out_h * out_w);
     let scale_y = h as f32 / out_h as f32;
     let scale_x = w as f32 / out_w as f32;
     for oy in 0..out_h {
@@ -112,7 +112,8 @@ pub fn upsample_sum(map: &Tensor, kh: usize, kw: usize, sh: usize, sw: usize) ->
     let out_h = (h - 1) * sh + kh;
     let out_w = (w - 1) * sw + kw;
     let data = map.as_slice();
-    let mut out = vec![0.0f32; out_h * out_w];
+    let mut out = scratch::take(out_h * out_w);
+    out.resize(out_h * out_w, 0.0);
     for y in 0..h {
         for x in 0..w {
             let v = data[y * w + x];

@@ -1,9 +1,28 @@
 use std::fmt;
+use std::hash::{Hash, Hasher};
+
+/// Ranks up to this are stored inline; NCHW (rank 4) is the deepest
+/// shape the workspace uses, so the scoring hot path never allocates a
+/// dimension list.
+const MAX_INLINE_RANK: usize = 4;
+
+/// Backing storage for a dimension list: inline for rank ≤
+/// [`MAX_INLINE_RANK`] (the hot path), heap for anything deeper.
+#[derive(Debug, Clone)]
+enum Dims {
+    Inline {
+        buf: [usize; MAX_INLINE_RANK],
+        len: u8,
+    },
+    Spilled(Vec<usize>),
+}
 
 /// The dimensions of a tensor, stored outermost-first (row-major order).
 ///
 /// A `Shape` is a thin, immutable wrapper around a dimension list. Rank-0
-/// shapes are allowed and denote scalars (volume 1).
+/// shapes are allowed and denote scalars (volume 1). Shapes of rank ≤ 4
+/// are stored inline (no heap allocation) — a hot-path requirement for
+/// the zero-allocation streaming loop.
 ///
 /// # Example
 ///
@@ -15,8 +34,8 @@ use std::fmt;
 /// assert_eq!(s.volume(), 24);
 /// assert_eq!(s.strides(), vec![12, 4, 1]);
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
-pub struct Shape(Vec<usize>);
+#[derive(Debug, Clone)]
+pub struct Shape(Dims);
 
 impl Shape {
     /// Creates a shape from anything convertible into a dimension list.
@@ -24,19 +43,35 @@ impl Shape {
         dims.into()
     }
 
+    fn from_slice(dims: &[usize]) -> Self {
+        if dims.len() <= MAX_INLINE_RANK {
+            let mut buf = [0usize; MAX_INLINE_RANK];
+            buf[..dims.len()].copy_from_slice(dims);
+            Shape(Dims::Inline {
+                buf,
+                len: dims.len() as u8,
+            })
+        } else {
+            Shape(Dims::Spilled(dims.to_vec()))
+        }
+    }
+
     /// The scalar shape (rank 0, volume 1).
     pub fn scalar() -> Self {
-        Shape(Vec::new())
+        Shape::from_slice(&[])
     }
 
     /// Returns the dimension list, outermost first.
     pub fn dims(&self) -> &[usize] {
-        &self.0
+        match &self.0 {
+            Dims::Inline { buf, len } => &buf[..*len as usize],
+            Dims::Spilled(v) => v,
+        }
     }
 
     /// Number of dimensions.
     pub fn rank(&self) -> usize {
-        self.0.len()
+        self.dims().len()
     }
 
     /// Total number of elements described by this shape.
@@ -44,12 +79,12 @@ impl Shape {
     /// A rank-0 (scalar) shape has volume 1; any zero-sized dimension makes
     /// the volume 0.
     pub fn volume(&self) -> usize {
-        self.0.iter().product()
+        self.dims().iter().product()
     }
 
     /// Returns the size of dimension `axis`, or `None` when out of range.
     pub fn dim(&self, axis: usize) -> Option<usize> {
-        self.0.get(axis).copied()
+        self.dims().get(axis).copied()
     }
 
     /// Row-major strides, in elements.
@@ -59,7 +94,7 @@ impl Shape {
     pub fn strides(&self) -> Vec<usize> {
         let mut strides = vec![1usize; self.rank()];
         for i in (0..self.rank().saturating_sub(1)).rev() {
-            strides[i] = strides[i + 1] * self.0[i + 1];
+            strides[i] = strides[i + 1] * self.dims()[i + 1];
         }
         strides
     }
@@ -75,11 +110,11 @@ impl Shape {
         let mut off = 0usize;
         let mut stride = 1usize;
         for axis in (0..self.rank()).rev() {
-            if index[axis] >= self.0[axis] {
+            if index[axis] >= self.dims()[axis] {
                 return None;
             }
             off += index[axis] * stride;
-            stride *= self.0[axis];
+            stride *= self.dims()[axis];
         }
         Some(off)
     }
@@ -94,8 +129,8 @@ impl Shape {
         let mut rem = offset;
         let mut idx = vec![0usize; self.rank()];
         for axis in (0..self.rank()).rev() {
-            idx[axis] = rem % self.0[axis];
-            rem /= self.0[axis];
+            idx[axis] = rem % self.dims()[axis];
+            rem /= self.dims()[axis];
         }
         Some(idx)
     }
@@ -109,7 +144,7 @@ impl Shape {
 impl fmt::Display for Shape {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "[")?;
-        for (i, d) in self.0.iter().enumerate() {
+        for (i, d) in self.dims().iter().enumerate() {
             if i > 0 {
                 write!(f, ", ")?;
             }
@@ -119,33 +154,53 @@ impl fmt::Display for Shape {
     }
 }
 
+impl PartialEq for Shape {
+    fn eq(&self, other: &Shape) -> bool {
+        self.dims() == other.dims()
+    }
+}
+
+impl Eq for Shape {}
+
+impl Hash for Shape {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.dims().hash(state);
+    }
+}
+
+impl Default for Shape {
+    fn default() -> Self {
+        Shape::scalar()
+    }
+}
+
 impl From<Vec<usize>> for Shape {
     fn from(dims: Vec<usize>) -> Self {
-        Shape(dims)
+        Shape::from_slice(&dims)
     }
 }
 
 impl From<&[usize]> for Shape {
     fn from(dims: &[usize]) -> Self {
-        Shape(dims.to_vec())
+        Shape::from_slice(dims)
     }
 }
 
 impl<const N: usize> From<[usize; N]> for Shape {
     fn from(dims: [usize; N]) -> Self {
-        Shape(dims.to_vec())
+        Shape::from_slice(&dims)
     }
 }
 
 impl From<usize> for Shape {
     fn from(dim: usize) -> Self {
-        Shape(vec![dim])
+        Shape::from_slice(&[dim])
     }
 }
 
 impl AsRef<[usize]> for Shape {
     fn as_ref(&self) -> &[usize] {
-        &self.0
+        self.dims()
     }
 }
 
@@ -192,6 +247,34 @@ mod tests {
         assert_eq!(Shape::new([2, 3]).to_string(), "[2, 3]");
         assert_eq!(Shape::scalar().to_string(), "[]");
         assert_eq!(Shape::new([7]).to_string(), "[7]");
+    }
+
+    #[test]
+    fn deep_shapes_spill_to_the_heap_transparently() {
+        let deep = Shape::new([2, 3, 4, 5, 6]);
+        assert_eq!(deep.rank(), 5);
+        assert_eq!(deep.volume(), 720);
+        assert_eq!(deep.dims(), &[2, 3, 4, 5, 6]);
+        let inline = Shape::new([2, 3, 4, 5]);
+        assert_eq!(inline.dims(), &[2, 3, 4, 5]);
+        assert_ne!(deep, inline);
+        assert_eq!(deep, deep.clone());
+        assert_eq!(deep.offset(&[1, 2, 3, 4, 5]), Some(719));
+    }
+
+    #[test]
+    fn equality_and_hash_ignore_storage_variant() {
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+        let a = Shape::from(vec![3, 4]);
+        let b = Shape::new([3, 4]);
+        assert_eq!(a, b);
+        let hash = |s: &Shape| {
+            let mut h = DefaultHasher::new();
+            s.hash(&mut h);
+            h.finish()
+        };
+        assert_eq!(hash(&a), hash(&b));
     }
 
     #[test]

@@ -1,4 +1,4 @@
-use crate::{Result, Shape, TensorError};
+use crate::{scratch, Result, Shape, TensorError};
 
 /// A dense, contiguous, row-major tensor of `f32` values.
 ///
@@ -6,6 +6,13 @@ use crate::{Result, Shape, TensorError};
 /// network activations, convolution kernels, images and saliency masks are
 /// all tensors of different ranks. Storage is always contiguous, which keeps
 /// every kernel simple and cache-friendly.
+///
+/// Storage is recycled through [`crate::scratch`]: every constructor takes
+/// its buffer from the current thread's scratch pool and `Drop` files the
+/// buffer back, so tensor-churning loops (scoring a video stream frame by
+/// frame) stop allocating once warmed up. Recycling is invisible in the
+/// API — buffers are always (re)initialised before use and values are
+/// identical with the pool on or off.
 ///
 /// # Example
 ///
@@ -19,10 +26,30 @@ use crate::{Result, Shape, TensorError};
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, PartialEq)]
 pub struct Tensor {
     data: Vec<f32>,
     shape: Shape,
+}
+
+impl Clone for Tensor {
+    fn clone(&self) -> Self {
+        let mut data = scratch::take(self.data.len());
+        data.extend_from_slice(&self.data);
+        Tensor {
+            data,
+            shape: self.shape.clone(),
+        }
+    }
+}
+
+impl Drop for Tensor {
+    fn drop(&mut self) {
+        // Donate the storage back to this thread's scratch pool. A tensor
+        // whose buffer was already moved out (`into_vec`) holds a
+        // capacity-0 vec, which `give` ignores.
+        scratch::give(std::mem::take(&mut self.data));
+    }
 }
 
 impl Tensor {
@@ -30,7 +57,7 @@ impl Tensor {
     pub fn zeros(shape: impl Into<Shape>) -> Self {
         let shape = shape.into();
         Tensor {
-            data: vec![0.0; shape.volume()],
+            data: scratch::take_zeroed(shape.volume()),
             shape,
         }
     }
@@ -43,16 +70,18 @@ impl Tensor {
     /// Creates a tensor of the given shape filled with `value`.
     pub fn full(shape: impl Into<Shape>, value: f32) -> Self {
         let shape = shape.into();
-        Tensor {
-            data: vec![value; shape.volume()],
-            shape,
-        }
+        let volume = shape.volume();
+        let mut data = scratch::take(volume);
+        data.resize(volume, value);
+        Tensor { data, shape }
     }
 
     /// Creates a rank-0 tensor holding a single value.
     pub fn scalar(value: f32) -> Self {
+        let mut data = scratch::take(1);
+        data.push(value);
         Tensor {
-            data: vec![value],
+            data,
             shape: Shape::scalar(),
         }
     }
@@ -74,11 +103,32 @@ impl Tensor {
         Ok(Tensor { data, shape })
     }
 
+    /// Creates a tensor by copying existing data out of a slice. The
+    /// backing buffer comes from the scratch pool, so this is the
+    /// allocation-free way to materialise a sub-slice as a tensor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::LengthMismatch`] when `data.len()` differs
+    /// from the shape volume.
+    pub fn from_slice(shape: impl Into<Shape>, data: &[f32]) -> Result<Self> {
+        let shape = shape.into();
+        if data.len() != shape.volume() {
+            return Err(TensorError::LengthMismatch {
+                expected: shape.volume(),
+                actual: data.len(),
+            });
+        }
+        let mut buf = scratch::take(data.len());
+        buf.extend_from_slice(data);
+        Ok(Tensor { data: buf, shape })
+    }
+
     /// Creates a tensor by evaluating `f` at every multi-dimensional index.
     pub fn from_fn(shape: impl Into<Shape>, mut f: impl FnMut(&[usize]) -> f32) -> Self {
         let shape = shape.into();
         let volume = shape.volume();
-        let mut data = Vec::with_capacity(volume);
+        let mut data = scratch::take(volume);
         for off in 0..volume {
             let idx = shape
                 .unravel(off)
@@ -119,8 +169,11 @@ impl Tensor {
     }
 
     /// Consumes the tensor and returns its storage.
-    pub fn into_vec(self) -> Vec<f32> {
-        self.data
+    ///
+    /// The returned buffer is detached from the scratch pool; dropping it
+    /// frees the memory normally.
+    pub fn into_vec(mut self) -> Vec<f32> {
+        std::mem::take(&mut self.data)
     }
 
     /// Reads the element at a multi-dimensional index.
@@ -171,16 +224,17 @@ impl Tensor {
                 actual: self.len(),
             });
         }
-        Ok(Tensor {
-            data: self.data.clone(),
-            shape,
-        })
+        let mut data = scratch::take(self.data.len());
+        data.extend_from_slice(&self.data);
+        Ok(Tensor { data, shape })
     }
 
     /// Applies `f` to every element, producing a new tensor.
     pub fn map(&self, f: impl Fn(f32) -> f32) -> Tensor {
+        let mut data = scratch::take(self.data.len());
+        data.extend(self.data.iter().map(|&v| f(v)));
         Tensor {
-            data: self.data.iter().map(|&v| f(v)).collect(),
+            data,
             shape: self.shape.clone(),
         }
     }
@@ -205,13 +259,10 @@ impl Tensor {
                 rhs: other.shape.clone(),
             });
         }
+        let mut data = scratch::take(self.data.len());
+        data.extend(self.data.iter().zip(&other.data).map(|(&a, &b)| f(a, b)));
         Ok(Tensor {
-            data: self
-                .data
-                .iter()
-                .zip(&other.data)
-                .map(|(&a, &b)| f(a, b))
-                .collect(),
+            data,
             shape: self.shape.clone(),
         })
     }
@@ -230,10 +281,10 @@ impl Tensor {
             });
         }
         let (r, c) = (self.shape.dims()[0], self.shape.dims()[1]);
-        let mut out = vec![0.0f32; r * c];
-        for i in 0..r {
-            for j in 0..c {
-                out[j * r + i] = self.data[i * c + j];
+        let mut out = scratch::take(r * c);
+        for j in 0..c {
+            for i in 0..r {
+                out.push(self.data[i * c + j]);
             }
         }
         Ok(Tensor {
@@ -331,6 +382,47 @@ mod tests {
         assert_eq!(tt.shape().dims(), &[3, 2]);
         assert_eq!(tt.as_slice(), &[1., 4., 2., 5., 3., 6.]);
         assert!(Tensor::zeros([2, 2, 2]).transpose2d().is_err());
+    }
+
+    #[test]
+    fn dropped_tensor_storage_is_recycled_on_this_thread() {
+        let t = Tensor::zeros([4, 8]);
+        let ptr = t.as_slice().as_ptr();
+        drop(t);
+        // Same thread, same size class: the next tensor of that class
+        // reuses the storage.
+        let t2 = Tensor::zeros([32]);
+        assert_eq!(t2.as_slice().as_ptr(), ptr);
+        assert!(t2.as_slice().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn clone_is_deep_and_reuse_does_not_leak_values() {
+        let a = Tensor::from_vec([3], vec![1., 2., 3.]).unwrap();
+        let b = a.clone();
+        drop(a);
+        assert_eq!(b.as_slice(), &[1., 2., 3.]);
+        let fresh = Tensor::zeros([3]);
+        assert_eq!(fresh.as_slice(), &[0., 0., 0.]);
+    }
+
+    #[test]
+    fn into_vec_detaches_storage() {
+        let t = Tensor::from_vec([2], vec![5., 6.]).unwrap();
+        let v = t.into_vec();
+        assert_eq!(v, vec![5., 6.]);
+        // Dropping the detached vec must not corrupt later tensors.
+        drop(v);
+        let t2 = Tensor::ones([2]);
+        assert_eq!(t2.as_slice(), &[1., 1.]);
+    }
+
+    #[test]
+    fn from_slice_copies() {
+        let src = [1.0f32, 2.0, 3.0, 4.0];
+        let t = Tensor::from_slice([2, 2], &src).unwrap();
+        assert_eq!(t.as_slice(), &src);
+        assert!(Tensor::from_slice([3], &src).is_err());
     }
 
     #[test]

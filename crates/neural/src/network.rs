@@ -85,9 +85,12 @@ impl Network {
     ///
     /// Fails when the network is empty or any layer rejects its input.
     pub fn forward(&self, input: &Tensor) -> Result<Tensor> {
-        self.require_nonempty("Network::forward")?;
-        let mut x = input.clone();
-        for layer in &self.layers {
+        let mut layers = self.layers.iter();
+        let first = layers
+            .next()
+            .ok_or_else(|| NeuralError::invalid("Network::forward", "network has no layers"))?;
+        let mut x = first.forward(input)?;
+        for layer in layers {
             x = layer.forward(&x)?;
         }
         Ok(x)
@@ -132,14 +135,15 @@ impl Network {
             let (start, end) = ranges[i];
             let mut shape = vec![end - start];
             shape.extend_from_slice(&sample_dims);
-            let chunk = Tensor::from_vec(
+            let chunk = Tensor::from_slice(
                 shape,
-                input.as_slice()[start * sample_len..end * sample_len].to_vec(),
+                &input.as_slice()[start * sample_len..end * sample_len],
             )?;
             self.forward(&chunk)
         })?;
         let mut out_sample_dims: Option<Vec<usize>> = None;
-        let mut data = Vec::new();
+        let total: usize = outputs.iter().map(|o| o.len()).sum();
+        let mut data = ndtensor::scratch::take(total);
         for (output, &(start, end)) in outputs.iter().zip(&ranges) {
             let odims = output.shape().dims();
             if odims.first() != Some(&(end - start)) {
@@ -173,14 +177,30 @@ impl Network {
     ///
     /// Fails when the network is empty or any layer rejects its input.
     pub fn forward_collect(&self, input: &Tensor) -> Result<Vec<Tensor>> {
-        self.require_nonempty("Network::forward_collect")?;
         let mut acts = Vec::with_capacity(self.layers.len());
-        let mut x = input.clone();
-        for layer in &self.layers {
-            x = layer.forward(&x)?;
-            acts.push(x.clone());
-        }
+        self.forward_collect_into(input, &mut acts)?;
         Ok(acts)
+    }
+
+    /// Like [`Network::forward_collect`], but reuses `acts` (cleared
+    /// first), so a warmed caller performs no per-call allocation: the
+    /// vector keeps its capacity and every activation tensor draws its
+    /// storage from the [`ndtensor::scratch`] pool.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the network is empty or any layer rejects its input.
+    pub fn forward_collect_into(&self, input: &Tensor, acts: &mut Vec<Tensor>) -> Result<()> {
+        self.require_nonempty("Network::forward_collect")?;
+        acts.clear();
+        for layer in &self.layers {
+            let x = match acts.last() {
+                Some(prev) => layer.forward(prev)?,
+                None => layer.forward(input)?,
+            };
+            acts.push(x);
+        }
+        Ok(())
     }
 
     /// Training forward pass (caches per-layer state for
@@ -190,9 +210,12 @@ impl Network {
     ///
     /// Fails when the network is empty or any layer rejects its input.
     pub fn forward_train(&mut self, input: &Tensor) -> Result<Tensor> {
-        self.require_nonempty("Network::forward_train")?;
-        let mut x = input.clone();
-        for layer in &mut self.layers {
+        let mut layers = self.layers.iter_mut();
+        let first = layers.next().ok_or_else(|| {
+            NeuralError::invalid("Network::forward_train", "network has no layers")
+        })?;
+        let mut x = first.forward_train(input)?;
+        for layer in layers {
             x = layer.forward_train(&x)?;
         }
         Ok(x)
@@ -206,9 +229,12 @@ impl Network {
     /// Fails when a layer is missing its forward cache (i.e.
     /// [`Network::forward_train`] was not called immediately before).
     pub fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor> {
-        self.require_nonempty("Network::backward")?;
-        let mut g = grad_output.clone();
-        for layer in self.layers.iter_mut().rev() {
+        let mut layers = self.layers.iter_mut().rev();
+        let first = layers
+            .next()
+            .ok_or_else(|| NeuralError::invalid("Network::backward", "network has no layers"))?;
+        let mut g = first.backward(grad_output)?;
+        for layer in layers {
             g = layer.backward(&g)?;
         }
         Ok(g)

@@ -288,6 +288,7 @@ impl NoveltyDetector {
             .saturating_mul(self.classifier.height() * self.classifier.width())
             .saturating_mul(64);
         let pool_before = recorder.enabled().then(obs::par_snapshot);
+        let scratch_before = recorder.enabled().then(obs::scratch_snapshot);
         let scores = obs::time(recorder, "scoring", || {
             ndtensor::par::try_parallel_map(images.len(), work, |i| {
                 let timer = obs::Stopwatch::started_if(recorder.enabled());
@@ -301,6 +302,9 @@ impl NoveltyDetector {
         recorder.add("scoring.scores_computed", scores.len() as u64);
         if let Some(before) = pool_before {
             obs::record_par_delta(&Scoped::new(recorder, "scoring"), before);
+        }
+        if let Some(before) = scratch_before {
+            obs::record_scratch_delta(&Scoped::new(recorder, "scoring"), before);
         }
         Ok(scores)
     }

@@ -276,9 +276,16 @@ impl<'d> StreamRuntime<'d> {
                     let span = Span::root(recorder, "stream-score");
                     let timer =
                         Stopwatch::started_if(self.deadline.is_some() || recorder.enabled());
+                    let scratch_before = recorder.enabled().then(obs::scratch_snapshot);
                     let result = self.detector.classify(img);
                     let elapsed = timer.elapsed();
                     span.finish();
+                    if let Some(before) = scratch_before {
+                        obs::record_scratch_delta(
+                            &obs::Scoped::new(recorder, "stream-score"),
+                            before,
+                        );
+                    }
                     if let Some(elapsed) = elapsed {
                         recorder.observe("stream-score.latency_secs", elapsed.as_secs_f64());
                     }

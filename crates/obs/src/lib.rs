@@ -55,6 +55,7 @@ mod error;
 mod par_stats;
 mod recorder;
 mod report;
+mod scratch_stats;
 mod stopwatch;
 
 pub use error::ObsError;
@@ -64,6 +65,7 @@ pub use report::{
     CounterReport, GaugeReport, HistogramReport, RunReport, SeriesReport, StageReport,
     REPORT_SCHEMA_VERSION,
 };
+pub use scratch_stats::{record_scratch_delta, scratch_snapshot};
 pub use stopwatch::Stopwatch;
 
 /// Convenience alias used across the crate.

@@ -15,11 +15,28 @@
 //! *every* level of the feature hierarchy, which is what lets the paper
 //! use it to strip steering-irrelevant detail from images.
 
-use ndtensor::{resize_bilinear, upsample_sum, Conv2dSpec, Tensor};
+use std::cell::RefCell;
+
+use ndtensor::{resize_bilinear, scratch, upsample_sum, Conv2dSpec, Tensor};
 use neural::{LayerKind, Network};
 use vision::Image;
 
 use crate::{Result, SaliencyError};
+
+/// Reusable per-thread buffers for [`visual_backprop`]: the activation
+/// and averaged-map vectors keep their capacity between frames (their
+/// tensors draw storage from [`ndtensor::scratch`]), so a warmed stream
+/// computes masks without heap allocation.
+#[derive(Default)]
+struct VbpWorkspace {
+    blocks: Vec<ConvBlock>,
+    acts: Vec<Tensor>,
+    averages: Vec<Tensor>,
+}
+
+thread_local! {
+    static VBP_WORKSPACE: RefCell<VbpWorkspace> = RefCell::new(VbpWorkspace::default());
+}
 
 /// One convolutional block discovered in a network: the conv layer plus
 /// the activation (post-ReLU when present) that VBP averages.
@@ -32,10 +49,11 @@ pub(crate) struct ConvBlock {
     pub spec: Conv2dSpec,
 }
 
-/// Finds the conv blocks of a network in execution order.
-pub(crate) fn conv_blocks(network: &Network) -> Vec<ConvBlock> {
+/// Finds the conv blocks of a network in execution order, refilling a
+/// reused vector.
+fn conv_blocks_into(network: &Network, blocks: &mut Vec<ConvBlock>) {
     let layers = network.layers();
-    let mut blocks = Vec::new();
+    blocks.clear();
     for (i, layer) in layers.iter().enumerate() {
         if let LayerKind::Conv2d { kernel, spec, .. } = layer.kind() {
             // Use the ReLU right after the conv when present, as VBP
@@ -51,7 +69,6 @@ pub(crate) fn conv_blocks(network: &Network) -> Vec<ConvBlock> {
             });
         }
     }
-    blocks
 }
 
 /// Converts a grayscale image to a `[1, 1, H, W]` batch tensor.
@@ -78,7 +95,8 @@ pub(crate) fn channel_mean(activation: &Tensor) -> Result<Tensor> {
         activation.shape().dims()[3],
     ];
     let data = activation.as_slice();
-    let mut out = vec![0.0f32; h * w];
+    let mut out = scratch::take(h * w);
+    out.resize(h * w, 0.0);
     for ci in 0..c {
         let plane = &data[ci * h * w..(ci + 1) * h * w];
         for (acc, &v) in out.iter_mut().zip(plane) {
@@ -106,7 +124,7 @@ pub(crate) fn deconv_to(
     let (ph, pw) = spec.padding;
     let (uh, uw) = (up.shape().dims()[0], up.shape().dims()[1]);
     let cropped = if (ph > 0 || pw > 0) && uh > 2 * ph && uw > 2 * pw {
-        let mut data = Vec::with_capacity((uh - 2 * ph) * (uw - 2 * pw));
+        let mut data = scratch::take((uh - 2 * ph) * (uw - 2 * pw));
         for y in ph..(uh - ph) {
             for x in pw..(uw - pw) {
                 data.push(up.as_slice()[y * uw + x]);
@@ -149,43 +167,54 @@ pub(crate) fn deconv_to(
 /// # }
 /// ```
 pub fn visual_backprop(network: &Network, image: &Image) -> Result<Image> {
-    let blocks = conv_blocks(network);
-    if blocks.is_empty() {
-        return Err(SaliencyError::invalid(
-            "visual_backprop",
-            "network contains no convolutional layers",
-        ));
-    }
-    let input = image_to_batch(image)?;
-    let acts = network.forward_collect(&input)?;
+    VBP_WORKSPACE.with(|ws| {
+        let mut ws = ws.borrow_mut();
+        let VbpWorkspace {
+            blocks,
+            acts,
+            averages,
+        } = &mut *ws;
+        conv_blocks_into(network, blocks);
+        if blocks.is_empty() {
+            return Err(SaliencyError::invalid(
+                "visual_backprop",
+                "network contains no convolutional layers",
+            ));
+        }
+        let input = image_to_batch(image)?;
+        network.forward_collect_into(&input, acts)?;
 
-    // Channel-averaged feature map per block, shallow → deep.
-    let averages: Vec<Tensor> = blocks
-        .iter()
-        .map(|b| channel_mean(&acts[b.act_index]))
-        .collect::<Result<_>>()?;
+        // Channel-averaged feature map per block, shallow → deep.
+        averages.clear();
+        for b in blocks.iter() {
+            averages.push(channel_mean(&acts[b.act_index])?);
+        }
+        acts.clear();
 
-    let mut mask = averages
-        .last()
-        .cloned()
-        .ok_or_else(|| SaliencyError::invalid("visual_backprop", "network has no conv blocks"))?;
-    // Walk deep → shallow, upscaling through each conv's geometry and
-    // gating with the shallower averaged map.
-    for j in (1..blocks.len()).rev() {
-        let target = &averages[j - 1];
-        let (th, tw) = (target.shape().dims()[0], target.shape().dims()[1]);
-        let up = deconv_to(&mask, blocks[j].kernel, blocks[j].spec, th, tw)?;
-        mask = &up * target;
-    }
-    // Final deconvolution through the first conv layer to input size.
-    let final_mask = deconv_to(
-        &mask,
-        blocks[0].kernel,
-        blocks[0].spec,
-        image.height(),
-        image.width(),
-    )?;
-    Ok(Image::from_tensor(final_mask.normalize_minmax())?)
+        // The deepest averaged map seeds the mask; popping it (instead of
+        // cloning) hands its pooled storage straight to the walk below.
+        let mut mask = averages.pop().ok_or_else(|| {
+            SaliencyError::invalid("visual_backprop", "network has no conv blocks")
+        })?;
+        // Walk deep → shallow, upscaling through each conv's geometry and
+        // gating with the shallower averaged map.
+        for j in (1..blocks.len()).rev() {
+            let target = &averages[j - 1];
+            let (th, tw) = (target.shape().dims()[0], target.shape().dims()[1]);
+            let up = deconv_to(&mask, blocks[j].kernel, blocks[j].spec, th, tw)?;
+            mask = &up * target;
+        }
+        averages.clear();
+        // Final deconvolution through the first conv layer to input size.
+        let final_mask = deconv_to(
+            &mask,
+            blocks[0].kernel,
+            blocks[0].spec,
+            image.height(),
+            image.width(),
+        )?;
+        Ok(Image::from_tensor(final_mask.normalize_minmax())?)
+    })
 }
 
 /// Computes the VisualBackProp masks of a whole image set in parallel.
@@ -225,6 +254,7 @@ pub fn visual_backprop_batch_recorded(
         .saturating_mul(images.first().map_or(0, |img| img.height() * img.width()))
         .saturating_mul(64);
     let pool_before = recorder.enabled().then(obs::par_snapshot);
+    let scratch_before = recorder.enabled().then(obs::scratch_snapshot);
     let masks = obs::time(recorder, "vbp", || {
         ndtensor::par::try_parallel_map(images.len(), work, |i| {
             visual_backprop(network, &images[i])
@@ -234,6 +264,9 @@ pub fn visual_backprop_batch_recorded(
     recorder.observe("vbp.batch_size", images.len() as f64);
     if let Some(before) = pool_before {
         obs::record_par_delta(&obs::Scoped::new(recorder, "vbp"), before);
+    }
+    if let Some(before) = scratch_before {
+        obs::record_scratch_delta(&obs::Scoped::new(recorder, "vbp"), before);
     }
     Ok(masks)
 }

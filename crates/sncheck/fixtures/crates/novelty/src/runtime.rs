@@ -1,0 +1,28 @@
+//! Fixture: ad-hoc heap allocation in a per-frame hot module must fire
+//! (this fixture's relative path shadows `crates/novelty/src/runtime.rs`,
+//! one of the registered hot files).
+
+pub fn bad_vec_macro(n: usize) -> Vec<f32> {
+    vec![0.0f32; n]
+}
+
+pub fn bad_with_capacity(n: usize) -> Vec<f32> {
+    Vec::with_capacity(n)
+}
+
+pub fn bad_to_vec(s: &[f32]) -> Vec<f32> {
+    s.to_vec()
+}
+
+pub fn allowed_setup_path(n: usize) -> Vec<f32> {
+    // sncheck:allow(no-hot-alloc): construction-time buffer, not per-frame
+    vec![0.0f32; n]
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_is_exempt() {
+        let _ = vec![1, 2, 3];
+    }
+}

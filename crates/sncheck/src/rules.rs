@@ -40,6 +40,17 @@ const FLOAT_EQ_CRATES: &[&str] = &[
 /// The one module allowed to spawn threads.
 const SPAWN_ALLOWED_FILE: &str = "crates/ndtensor/src/par.rs";
 
+/// Per-frame hot-path modules where ad-hoc heap allocation is banned:
+/// buffers must come from `ndtensor::scratch` (or a reused workspace) so
+/// a warmed stream performs zero allocations per frame — the guarantee
+/// `tests/zero_alloc_stream.rs` proves dynamically.
+const HOT_ALLOC_FILES: &[&str] = &[
+    "crates/ndtensor/src/matmul.rs",
+    "crates/ndtensor/src/conv.rs",
+    "crates/saliency/src/vbp.rs",
+    "crates/novelty/src/runtime.rs",
+];
+
 /// The one crate allowed to read the ambient clock.
 const CLOCK_ALLOWED_CRATE: &str = "obs";
 
@@ -130,6 +141,10 @@ pub const RULES: &[RuleInfo] = &[
         summary: "every public *_recorded fn needs a plain-named wrapper in the same file",
     },
     RuleInfo {
+        id: "no-hot-alloc",
+        summary: "vec!/Vec::with_capacity/.to_vec() banned in per-frame hot modules; use ndtensor::scratch",
+    },
+    RuleInfo {
         id: "unused-suppression",
         summary: "sncheck:allow(...) that suppresses nothing on its line (hygiene; warn severity)",
     },
@@ -217,6 +232,9 @@ pub fn run_rules(ctx: &FileCtx<'_>) -> Vec<Diagnostic> {
     }
     if krate != "bench" {
         no_stdout_in_lib(ctx, &mut out);
+    }
+    if HOT_ALLOC_FILES.contains(&ctx.rel) {
+        no_hot_alloc(ctx, &mut out);
     }
     recorded_parity(ctx, &mut out);
     out
@@ -383,6 +401,36 @@ fn no_stdout_in_lib(ctx: &FileCtx<'_>, out: &mut Vec<Diagnostic>) {
                     "`{}!` writes to std streams from library code; report through the \
                      obs recorder or move the print to a binary",
                     t.text
+                ),
+            ));
+        }
+    }
+}
+
+fn no_hot_alloc(ctx: &FileCtx<'_>, out: &mut Vec<Diagnostic>) {
+    for i in ctx.lib_indices() {
+        let t = &ctx.tokens[i];
+        if t.kind != TokenKind::Ident {
+            continue;
+        }
+        let found = match t.text.as_str() {
+            "vec" if ctx.text(i + 1) == "!" => Some("vec!"),
+            "Vec" if ctx.text(i + 1) == "::" && ctx.is_ident(i + 2, "with_capacity") => {
+                Some("Vec::with_capacity")
+            }
+            "to_vec" if i > 0 && ctx.text(i - 1) == "." && ctx.text(i + 1) == "(" => {
+                Some(".to_vec()")
+            }
+            _ => None,
+        };
+        if let Some(what) = found {
+            out.push(ctx.diag(
+                i,
+                "no-hot-alloc",
+                format!(
+                    "`{what}` allocates on the per-frame hot path; take a pooled buffer from \
+                     `ndtensor::scratch` or reuse a workspace (or `sncheck:allow` a \
+                     setup-path allocation with a reason)"
                 ),
             ));
         }
@@ -591,6 +639,25 @@ mod tests {
         );
         assert!(check("crates/bench/src/x.rs", src).is_empty());
         assert!(check("src/bin/cli.rs", src).is_empty());
+    }
+
+    #[test]
+    fn hot_alloc_rule_fires_only_in_hot_files() {
+        let src = "fn f() { let a = vec![0.0f32; 8]; let b = Vec::with_capacity(4); \
+                   let c = s.to_vec(); }";
+        let hot = "crates/ndtensor/src/matmul.rs";
+        let diags = check(hot, src);
+        assert_eq!(diags.iter().filter(|d| d.rule == "no-hot-alloc").count(), 3);
+        // Other files in the same crate are not hot.
+        assert!(check("crates/ndtensor/src/tensor.rs", src)
+            .iter()
+            .all(|d| d.rule != "no-hot-alloc"));
+        // Test code inside a hot file is exempt.
+        let test_src = "#[cfg(test)] mod tests { fn t() { let a = vec![1]; } }";
+        assert!(check(hot, test_src).is_empty());
+        // Non-allocating lookalikes do not fire.
+        let ok = "fn f() { let v: Vec<f32> = scratch::take(8); v.to_vec; Vec::new(); }";
+        assert!(check(hot, ok).iter().all(|d| d.rule != "no-hot-alloc"));
     }
 
     #[test]

@@ -91,6 +91,15 @@ fn recorded_parity_fixture_flags_only_the_orphan() {
 }
 
 #[test]
+fn hot_alloc_fixture_fires_for_every_spelling() {
+    let diags = check_fixture("crates/novelty/src/runtime.rs");
+    assert!(diags.iter().all(|d| d.rule == "no-hot-alloc"), "{diags:?}");
+    // vec!, Vec::with_capacity, .to_vec() — the suppressed setup-path
+    // allocation and the #[cfg(test)] module contribute nothing.
+    assert_eq!(diags.len(), 3, "{diags:?}");
+}
+
+#[test]
 fn suppressed_fixture_is_clean() {
     let diags = check_fixture("crates/ndtensor/src/suppressed.rs");
     assert!(diags.is_empty(), "{diags:?}");
@@ -115,6 +124,7 @@ fn every_primary_rule_has_a_firing_fixture() {
         "crates/novelty/src/floateq.rs",
         "crates/ndtensor/src/stdout.rs",
         "crates/novelty/src/recorded.rs",
+        "crates/novelty/src/runtime.rs",
         "crates/ndtensor/src/stale_allow.rs",
     ];
     let mut fired: Vec<String> = fixture_rels

@@ -1,0 +1,253 @@
+//! Bit-parity of the packed, cache-blocked GEMM kernels (and their
+//! workspace `_into` variants) against an embedded naive reference, for
+//! random shapes and thread counts {1, 2, 4}.
+//!
+//! The packed kernels in `ndtensor::matmul` tile output columns and pack
+//! operand panels for locality, but the contract is strict: every output
+//! element is accumulated over `k` ascending, in one chain, exactly like
+//! the three-loop schoolbook product. These tests hold the kernels to
+//! that contract at the bit level — any reassociation, blocking over
+//! `k`, or FMA contraction would fail them.
+//!
+//! The tests mutate the process-wide thread configuration, so they all
+//! serialise on one mutex (same convention as `parallel_parity.rs`).
+
+use std::sync::Mutex;
+
+use ndtensor::{
+    conv2d, conv2d_into, matmul, matmul_a_bt, matmul_a_bt_into, matmul_at_b, matmul_at_b_into,
+    matmul_into, set_thread_config, Conv2dSpec, Tensor, ThreadConfig,
+};
+use proptest::prelude::*;
+
+static LOCK: Mutex<()> = Mutex::new(());
+
+fn lock() -> std::sync::MutexGuard<'static, ()> {
+    LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+const THREAD_COUNTS: [usize; 3] = [1, 2, 4];
+
+fn pseudo(shape: impl Into<ndtensor::Shape>, seed: u64) -> Tensor {
+    let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+    Tensor::from_fn(shape.into(), |_| {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        ((state >> 33) as f32 / (1u64 << 31) as f32) - 1.0
+    })
+}
+
+fn bits(v: &[f32]) -> Vec<u32> {
+    v.iter().map(|x| x.to_bits()).collect()
+}
+
+/// Schoolbook `A[m,k] · B[k,n]`: one accumulation chain per output
+/// element, `k` ascending. This is the reference order every production
+/// kernel must reproduce bit-for-bit.
+fn naive_matmul(a: &[f32], b: &[f32], m: usize, k: usize, n: usize) -> Vec<f32> {
+    let mut out = vec![0.0f32; m * n];
+    for i in 0..m {
+        for j in 0..n {
+            let mut acc = 0.0f32;
+            for l in 0..k {
+                acc += a[i * k + l] * b[l * n + j];
+            }
+            out[i * n + j] = acc;
+        }
+    }
+    out
+}
+
+/// Schoolbook `Aᵀ[m,k] · B[k,n]` with `A` stored `[k, m]`.
+fn naive_matmul_at_b(a: &[f32], b: &[f32], m: usize, k: usize, n: usize) -> Vec<f32> {
+    let mut out = vec![0.0f32; m * n];
+    for i in 0..m {
+        for j in 0..n {
+            let mut acc = 0.0f32;
+            for l in 0..k {
+                acc += a[l * m + i] * b[l * n + j];
+            }
+            out[i * n + j] = acc;
+        }
+    }
+    out
+}
+
+/// Schoolbook `A[m,k] · Bᵀ[k,n]` with `B` stored `[n, k]`.
+fn naive_matmul_a_bt(a: &[f32], b: &[f32], m: usize, k: usize, n: usize) -> Vec<f32> {
+    let mut out = vec![0.0f32; m * n];
+    for i in 0..m {
+        for j in 0..n {
+            let mut acc = 0.0f32;
+            for l in 0..k {
+                acc += a[i * k + l] * b[j * k + l];
+            }
+            out[i * n + j] = acc;
+        }
+    }
+    out
+}
+
+/// Runs `f` under every thread count and asserts its output bits match
+/// `reference` each time. Restores the env config afterwards.
+fn assert_parity_across_threads(
+    reference: &[f32],
+    label: &str,
+    mut f: impl FnMut() -> Vec<f32>,
+) -> Result<(), TestCaseError> {
+    for threads in THREAD_COUNTS {
+        set_thread_config(ThreadConfig::new(threads));
+        let got = f();
+        let ok = bits(&got) == bits(reference);
+        set_thread_config(ThreadConfig::from_env());
+        prop_assert!(ok, "{label}: mismatch vs naive at threads={threads}");
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// `matmul` and `matmul_into` reproduce the naive chain bit-for-bit
+    /// for random shapes spanning the column-tile boundary (n crosses
+    /// 256) and the packing threshold (m crosses 4).
+    #[test]
+    fn matmul_bitwise_matches_naive(
+        m in 1usize..10,
+        k in 1usize..48,
+        n in 1usize..320,
+        seed in 0u64..1000,
+    ) {
+        let _guard = lock();
+        let a = pseudo([m, k], seed);
+        let b = pseudo([k, n], seed + 7);
+        let reference = naive_matmul(a.as_slice(), b.as_slice(), m, k, n);
+        assert_parity_across_threads(&reference, "matmul", || {
+            matmul(&a, &b).unwrap().as_slice().to_vec()
+        })?;
+        assert_parity_across_threads(&reference, "matmul_into", || {
+            let mut out = vec![0.0f32; m * n];
+            matmul_into(&a, &b, &mut out).unwrap();
+            out
+        })?;
+    }
+
+    /// Same contract for the transposed-A kernel, whose production
+    /// implementation packs the strided Aᵀ reads into a contiguous
+    /// scratch panel first.
+    #[test]
+    fn matmul_at_b_bitwise_matches_naive(
+        m in 1usize..10,
+        k in 1usize..48,
+        n in 1usize..320,
+        seed in 0u64..1000,
+    ) {
+        let _guard = lock();
+        let a = pseudo([k, m], seed);
+        let b = pseudo([k, n], seed + 7);
+        let reference = naive_matmul_at_b(a.as_slice(), b.as_slice(), m, k, n);
+        assert_parity_across_threads(&reference, "matmul_at_b", || {
+            matmul_at_b(&a, &b).unwrap().as_slice().to_vec()
+        })?;
+        assert_parity_across_threads(&reference, "matmul_at_b_into", || {
+            let mut out = vec![0.0f32; m * n];
+            matmul_at_b_into(&a, &b, &mut out).unwrap();
+            out
+        })?;
+    }
+
+    /// Same contract for the transposed-B kernel, whose production
+    /// implementation runs 8 independent per-column accumulators.
+    #[test]
+    fn matmul_a_bt_bitwise_matches_naive(
+        m in 1usize..10,
+        k in 1usize..48,
+        n in 1usize..96,
+        seed in 0u64..1000,
+    ) {
+        let _guard = lock();
+        let a = pseudo([m, k], seed);
+        let b = pseudo([n, k], seed + 7);
+        let reference = naive_matmul_a_bt(a.as_slice(), b.as_slice(), m, k, n);
+        assert_parity_across_threads(&reference, "matmul_a_bt", || {
+            matmul_a_bt(&a, &b).unwrap().as_slice().to_vec()
+        })?;
+        assert_parity_across_threads(&reference, "matmul_a_bt_into", || {
+            let mut out = vec![0.0f32; m * n];
+            matmul_a_bt_into(&a, &b, &mut out).unwrap();
+            out
+        })?;
+    }
+
+    /// The convolution (im2col + packed GEMM) is bit-stable across thread
+    /// counts and between the allocating and workspace entry points.
+    #[test]
+    fn conv2d_bitwise_stable_across_threads(
+        n in 1usize..3,
+        c in 1usize..3,
+        f in 1usize..4,
+        hw in 6usize..14,
+        seed in 0u64..1000,
+    ) {
+        let _guard = lock();
+        let spec = Conv2dSpec::new((1, 1), (1, 1));
+        let input = pseudo([n, c, hw, hw], seed);
+        let weight = pseudo([f, c, 3, 3], seed + 3);
+        let bias = pseudo([f], seed + 5);
+        set_thread_config(ThreadConfig::serial());
+        let reference = conv2d(&input, &weight, Some(&bias), spec).unwrap();
+        set_thread_config(ThreadConfig::from_env());
+        assert_parity_across_threads(reference.as_slice(), "conv2d", || {
+            conv2d(&input, &weight, Some(&bias), spec)
+                .unwrap()
+                .as_slice()
+                .to_vec()
+        })?;
+        assert_parity_across_threads(reference.as_slice(), "conv2d_into", || {
+            let mut out = vec![0.0f32; reference.len()];
+            conv2d_into(&input, &weight, Some(&bias), spec, &mut out).unwrap();
+            out
+        })?;
+    }
+}
+
+/// Fixed shapes chosen to land exactly on kernel tile edges: the column
+/// tile (256), the `a_bt` row tile (64), the 8-wide accumulator group,
+/// and the pack threshold (4 rows).
+#[test]
+fn tile_edge_shapes_match_naive_bitwise() {
+    let _guard = lock();
+    set_thread_config(ThreadConfig::serial());
+    let cases = [
+        (4usize, 16usize, 256usize),
+        (3, 16, 257),
+        (5, 16, 255),
+        (1, 9, 512),
+        (8, 1, 64),
+        (2, 33, 65),
+    ];
+    for (idx, &(m, k, n)) in cases.iter().enumerate() {
+        let seed = 40 + idx as u64;
+        let a = pseudo([m, k], seed);
+        let b = pseudo([k, n], seed + 7);
+        let bt = pseudo([n, k], seed + 11);
+        let at = pseudo([k, m], seed + 13);
+        assert_eq!(
+            bits(matmul(&a, &b).unwrap().as_slice()),
+            bits(&naive_matmul(a.as_slice(), b.as_slice(), m, k, n)),
+            "matmul m{m} k{k} n{n}"
+        );
+        assert_eq!(
+            bits(matmul_at_b(&at, &b).unwrap().as_slice()),
+            bits(&naive_matmul_at_b(at.as_slice(), b.as_slice(), m, k, n)),
+            "matmul_at_b m{m} k{k} n{n}"
+        );
+        assert_eq!(
+            bits(matmul_a_bt(&a, &bt).unwrap().as_slice()),
+            bits(&naive_matmul_a_bt(a.as_slice(), bt.as_slice(), m, k, n)),
+            "matmul_a_bt m{m} k{k} n{n}"
+        );
+    }
+    set_thread_config(ThreadConfig::from_env());
+}
