@@ -1,0 +1,122 @@
+//! Cross-domain scenario-matrix benchmark.
+//!
+//! Trains one detector per scenario domain (a `simdrive::ModifierStack`
+//! spec over the outdoor world) and scores every domain's test set with
+//! every detector, emitting the full train-domain × score-domain grid —
+//! per-cell AUROC, threshold-exceedance rate and mean SSIM — as
+//! schema-versioned `BENCH_evalgrid.json` (see `novelty::evalgrid`).
+//!
+//! Usage:
+//!   evalgrid [--out PATH] [--seed N] [--quick]
+//!            [--domains name=spec,name=spec,...] [--check-separation]
+//!
+//! `--check-separation` exits non-zero unless the on-diagonal mean
+//! AUROC is below the off-diagonal mean AUROC — the grid-level form of
+//! the paper's separation claim, used as a CI gate. The run is a pure
+//! function of `--seed`: CI runs it twice and byte-compares the JSON.
+
+use novelty::evalgrid::{run_evalgrid, GridConfig, GridDomain};
+
+fn default_domains() -> Vec<GridDomain> {
+    vec![
+        GridDomain::new("clear", "clear"),
+        GridDomain::new("fog", "fog@0.8"),
+        GridDomain::new("night", "night@0.7"),
+        GridDomain::new("stormdusk", "rain@0.8+fog@0.4+night@0.5"),
+    ]
+}
+
+fn parse_domains(arg: &str) -> Result<Vec<GridDomain>, String> {
+    let mut out = Vec::new();
+    for part in arg.split(',').filter(|p| !p.is_empty()) {
+        let (name, spec) = part
+            .split_once('=')
+            .ok_or_else(|| format!("domain `{part}` is not name=spec"))?;
+        out.push(GridDomain::new(name, spec));
+    }
+    if out.is_empty() {
+        return Err("--domains list is empty".to_string());
+    }
+    Ok(out)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut out_path = "BENCH_evalgrid.json".to_string();
+    let mut seed = 17u64;
+    let mut quick = false;
+    let mut check_separation = false;
+    let mut domains = default_domains();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--out" if i + 1 < args.len() => {
+                out_path = args[i + 1].clone();
+                i += 1;
+            }
+            "--seed" if i + 1 < args.len() => {
+                seed = args[i + 1].parse().unwrap_or_else(|e| {
+                    eprintln!("evalgrid: bad --seed: {e}");
+                    std::process::exit(2);
+                });
+                i += 1;
+            }
+            "--domains" if i + 1 < args.len() => {
+                domains = parse_domains(&args[i + 1]).unwrap_or_else(|e| {
+                    eprintln!("evalgrid: {e}");
+                    std::process::exit(2);
+                });
+                i += 1;
+            }
+            "--quick" => quick = true,
+            "--check-separation" => check_separation = true,
+            other => {
+                eprintln!("evalgrid: unknown argument `{other}`");
+                eprintln!(
+                    "usage: evalgrid [--out PATH] [--seed N] [--quick] \
+                     [--domains name=spec,...] [--check-separation]"
+                );
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+
+    let cfg = if quick {
+        GridConfig::quick(seed)
+    } else {
+        GridConfig::full(seed)
+    };
+    eprintln!(
+        "evalgrid: {} domains, {} train / {} test frames, {}x{}, seed {seed}",
+        domains.len(),
+        cfg.train_len,
+        cfg.test_len,
+        cfg.height,
+        cfg.width
+    );
+
+    let sink = bench::ObsSink::from_env();
+    let report = run_evalgrid(&domains, &cfg, sink.recorder()).unwrap_or_else(|e| {
+        eprintln!("evalgrid: {e}");
+        std::process::exit(1);
+    });
+    sink.flush("evalgrid");
+
+    println!("{}", report.render_table());
+
+    let json = report.to_json().expect("report serializes");
+    std::fs::write(&out_path, format!("{json}\n")).expect("report is written");
+    eprintln!("evalgrid: wrote {out_path}");
+
+    if check_separation {
+        let diag = report.diagonal_mean_auroc();
+        let off = report.off_diagonal_mean_auroc();
+        if diag < off {
+            eprintln!("evalgrid: separation holds (diagonal {diag:.3} < off-diagonal {off:.3})");
+        } else {
+            eprintln!("evalgrid: SEPARATION FAILED (diagonal {diag:.3} >= off-diagonal {off:.3})");
+            std::process::exit(1);
+        }
+    }
+}

@@ -365,6 +365,103 @@ mod tests {
         assert!(roc_points(&[1.0], &[f32::NAN], ScoreOrientation::HigherIsNovel).is_err());
     }
 
+    /// Brute-force O(n·m) AUROC: the probability a random novel score
+    /// outranks a random target score, ties counting half — the textbook
+    /// definition the rank-sum implementation must agree with.
+    fn auroc_brute_force(target: &[f32], novel: &[f32], orientation: ScoreOrientation) -> f32 {
+        let flip = |v: f32| match orientation {
+            ScoreOrientation::HigherIsNovel => v,
+            ScoreOrientation::LowerIsNovel => -v,
+        };
+        let mut wins = 0.0f64;
+        for &n in novel {
+            for &t in target {
+                match flip(n).total_cmp(&flip(t)) {
+                    std::cmp::Ordering::Greater => wins += 1.0,
+                    std::cmp::Ordering::Equal => wins += 0.5,
+                    std::cmp::Ordering::Less => {}
+                }
+            }
+        }
+        (wins / (novel.len() as f64 * target.len() as f64)) as f32
+    }
+
+    #[test]
+    fn auroc_matches_brute_force_on_tie_heavy_samples() {
+        // Quantized scores force many ties — the tie-correction path.
+        let target = vec![0.1, 0.2, 0.2, 0.2, 0.3, 0.3];
+        let novel = vec![0.2, 0.3, 0.3, 0.4, 0.4, 0.1];
+        for orientation in [
+            ScoreOrientation::HigherIsNovel,
+            ScoreOrientation::LowerIsNovel,
+        ] {
+            let fast = auroc(&target, &novel, orientation).unwrap();
+            let slow = auroc_brute_force(&target, &novel, orientation);
+            assert!(
+                (fast - slow).abs() < 1e-6,
+                "{orientation:?}: rank-sum {fast} vs brute force {slow}"
+            );
+        }
+    }
+
+    #[test]
+    fn degenerate_one_class_samples_give_defined_results() {
+        // All scores identical across both classes: exactly chance, not
+        // NaN — the tie correction must keep the denominator honest.
+        let constant = vec![0.5; 7];
+        let a = auroc(&constant, &constant, ScoreOrientation::HigherIsNovel).unwrap();
+        assert!((a - 0.5).abs() < 1e-6, "constant samples: auroc {a}");
+        // Empty classes are a defined error, not a NaN.
+        assert!(auroc(&[], &[], ScoreOrientation::HigherIsNovel).is_err());
+        assert!(detection_rate(&[], 0.5, ScoreOrientation::HigherIsNovel).is_err());
+        assert!(SeparationReport::compute(&[], &[1.0], ScoreOrientation::HigherIsNovel).is_err());
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(64))]
+
+        /// The rank-sum AUROC equals the brute-force pair count for
+        /// arbitrary samples, both orientations.
+        #[test]
+        fn auroc_equals_brute_force(
+            target in proptest::collection::vec(-10.0f32..10.0, 1..40),
+            novel in proptest::collection::vec(-10.0f32..10.0, 1..40),
+        ) {
+            for orientation in [
+                ScoreOrientation::HigherIsNovel,
+                ScoreOrientation::LowerIsNovel,
+            ] {
+                let fast = auroc(&target, &novel, orientation).unwrap();
+                let slow = auroc_brute_force(&target, &novel, orientation);
+                proptest::prop_assert!(
+                    (fast - slow).abs() < 1e-5,
+                    "{:?}: rank-sum {} vs brute force {}", orientation, fast, slow
+                );
+            }
+        }
+
+        /// Quantizing to a coarse grid forces tie-heavy samples; the
+        /// tie-corrected rank sum must still match, and flipping the
+        /// orientation must reflect the value around 0.5.
+        #[test]
+        fn auroc_ties_and_orientation_antisymmetry(
+            target in proptest::collection::vec(0i32..5, 1..30),
+            novel in proptest::collection::vec(0i32..5, 1..30),
+        ) {
+            let target: Vec<f32> = target.iter().map(|&v| v as f32 / 4.0).collect();
+            let novel: Vec<f32> = novel.iter().map(|&v| v as f32 / 4.0).collect();
+            let hi = auroc(&target, &novel, ScoreOrientation::HigherIsNovel).unwrap();
+            let slow = auroc_brute_force(&target, &novel, ScoreOrientation::HigherIsNovel);
+            proptest::prop_assert!((hi - slow).abs() < 1e-5, "rank-sum {} vs brute {}", hi, slow);
+            let lo = auroc(&target, &novel, ScoreOrientation::LowerIsNovel).unwrap();
+            proptest::prop_assert!(
+                (hi + lo - 1.0).abs() < 1e-5,
+                "orientations must mirror around 0.5: {} + {}", hi, lo
+            );
+            proptest::prop_assert!((0.0..=1.0).contains(&hi) && hi.is_finite());
+        }
+    }
+
     #[test]
     fn report_aggregates_and_displays() {
         let target = vec![0.7, 0.72, 0.68];

@@ -1,0 +1,531 @@
+//! Train-domain × score-domain evaluation grid.
+//!
+//! The paper's separation claim (Figs. 5/7) is demonstrated on a single
+//! holdout pair (outdoor vs indoor). This module generalizes the
+//! protocol to a full matrix over *scenario domains*: each domain is a
+//! [`simdrive::ModifierStack`] spec (e.g. `"fog@0.7+night@0.5"`) applied
+//! to a shared base world. One detector is trained per domain; every
+//! detector then scores every domain's test set, yielding a grid whose
+//! diagonal is in-distribution (AUROC ≈ 0.5) and whose off-diagonal
+//! cells measure cross-domain novelty — the stratified generalization
+//! grid of Shekar et al. (arXiv:2201.00531) applied to the VBP pipeline.
+//!
+//! Per cell `(train A, score B)` the grid records:
+//!
+//! * **AUROC** of detector-A scores on domain-B frames against
+//!   detector-A scores on held-out domain-A frames,
+//! * **exceedance**: the fraction of domain-B frames past detector-A's
+//!   calibrated threshold (the paper's "detection rate"),
+//! * **mean SSIM** between domain-A and domain-B renderings of the
+//!   *same* base scenes — a detector-free image-space distance that
+//!   contextualizes the score-space separation (diagonal ≡ 1).
+//!
+//! Everything is a pure function of the config seed: the same
+//! [`GridConfig`] produces a byte-identical [`GridReport`] at any thread
+//! count, which is what lets CI `cmp` two runs of the smoke grid.
+
+use metrics::separation::{auroc, detection_rate};
+use metrics::{ssim, SsimConfig};
+use obs::Recorder;
+use serde::{Deserialize, Serialize};
+use simdrive::{DatasetConfig, DrivingDataset, ModifierStack};
+use vision::Image;
+
+use crate::{NoveltyDetectorBuilder, NoveltyError, PipelineKind, Result};
+
+/// Bump on breaking changes to the [`GridReport`] JSON layout.
+pub const EVALGRID_SCHEMA_VERSION: u32 = 1;
+
+/// One scenario domain: a short label plus the modifier-stack spec that
+/// renders it (see [`ModifierStack::parse`]). `"clear"` is the
+/// unmodified base world.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GridDomain {
+    /// Short label used in stage names, table headers and cell keys.
+    /// Must be non-empty ASCII alphanumeric/`_` (no separators, so
+    /// `evalgrid-cell-<a>-<b>` stage names stay parseable).
+    pub name: String,
+    /// Modifier-stack spec, e.g. `"fog@0.7+night@0.5"` or `"clear"`.
+    pub spec: String,
+}
+
+impl GridDomain {
+    /// Builds a domain from a label and a spec.
+    pub fn new(name: impl Into<String>, spec: impl Into<String>) -> GridDomain {
+        GridDomain {
+            name: name.into(),
+            spec: spec.into(),
+        }
+    }
+}
+
+/// Sizing and seeding for one grid run. All fields are honest knobs —
+/// the report embeds them so a committed JSON is self-describing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GridConfig {
+    /// Frames per training dataset.
+    pub train_len: usize,
+    /// Frames per held-out / score dataset.
+    pub test_len: usize,
+    /// Steering-CNN epochs.
+    pub cnn_epochs: usize,
+    /// Autoencoder epochs.
+    pub ae_epochs: usize,
+    /// Master seed; train/target/score base datasets derive from
+    /// `seed`, `seed+1`, `seed+2`.
+    pub seed: u64,
+    /// Frame height.
+    pub height: usize,
+    /// Frame width.
+    pub width: usize,
+    /// Renderer supersampling factor (1 = fastest).
+    pub supersample: usize,
+    /// Which of the paper's three pipelines to train per domain.
+    pub kind: PipelineKind,
+}
+
+impl GridConfig {
+    /// Smoke-test scale: seconds-long, used by CI and unit tests.
+    pub fn quick(seed: u64) -> GridConfig {
+        GridConfig {
+            train_len: 24,
+            test_len: 8,
+            cnn_epochs: 2,
+            ae_epochs: 10,
+            seed,
+            height: 40,
+            width: 80,
+            supersample: 1,
+            kind: PipelineKind::VbpSsim,
+        }
+    }
+
+    /// Paper-geometry scale (60×160): minutes-long per domain.
+    pub fn full(seed: u64) -> GridConfig {
+        GridConfig {
+            train_len: 300,
+            test_len: 100,
+            cnn_epochs: 6,
+            ae_epochs: 40,
+            seed,
+            height: 60,
+            width: 160,
+            supersample: 2,
+            kind: PipelineKind::VbpSsim,
+        }
+    }
+}
+
+/// One cell of the matrix: detector trained on `train_domain`, scored
+/// on `score_domain`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GridCell {
+    /// Domain the detector was trained (and calibrated) on.
+    pub train_domain: String,
+    /// Domain whose frames were scored.
+    pub score_domain: String,
+    /// AUROC of score-domain scores vs held-out train-domain scores
+    /// under the detector's orientation. ≈ 0.5 on the diagonal.
+    pub auroc: f32,
+    /// Fraction of score-domain frames past the calibrated threshold.
+    pub exceedance: f32,
+    /// Mean SSIM between the two domains' renderings of the same base
+    /// scenes (1.0 on the diagonal).
+    pub mean_ssim: f32,
+}
+
+/// Per-domain training summary embedded in the report.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GridDomainReport {
+    /// Domain label.
+    pub name: String,
+    /// Modifier-stack spec the domain was rendered with.
+    pub spec: String,
+    /// Calibrated novelty threshold of this domain's detector.
+    pub threshold: f32,
+}
+
+/// The full grid: config echo, per-domain summaries, and
+/// `domains² ` cells in row-major (train-domain outer) order.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GridReport {
+    /// [`EVALGRID_SCHEMA_VERSION`] at write time.
+    pub schema_version: u32,
+    /// Pipeline variant trained per domain (`vbp+ssim` etc.).
+    pub pipeline: String,
+    /// Master seed of the run.
+    pub seed: u64,
+    /// Training frames per domain.
+    pub train_len: u64,
+    /// Held-out / score frames per domain.
+    pub test_len: u64,
+    /// Frame height.
+    pub height: u64,
+    /// Frame width.
+    pub width: u64,
+    /// The domains, in grid order.
+    pub domains: Vec<GridDomainReport>,
+    /// Row-major cells: all score domains for the first train domain,
+    /// then the second, …
+    pub cells: Vec<GridCell>,
+}
+
+impl GridReport {
+    /// Looks up the cell for `(train_domain, score_domain)`.
+    pub fn cell(&self, train_domain: &str, score_domain: &str) -> Option<&GridCell> {
+        self.cells
+            .iter()
+            .find(|c| c.train_domain == train_domain && c.score_domain == score_domain)
+    }
+
+    /// Mean AUROC over the diagonal (in-distribution) cells.
+    pub fn diagonal_mean_auroc(&self) -> f32 {
+        mean(
+            self.cells
+                .iter()
+                .filter(|c| c.train_domain == c.score_domain)
+                .map(|c| c.auroc),
+        )
+    }
+
+    /// Mean AUROC over the off-diagonal (cross-domain) cells.
+    pub fn off_diagonal_mean_auroc(&self) -> f32 {
+        mean(
+            self.cells
+                .iter()
+                .filter(|c| c.train_domain != c.score_domain)
+                .map(|c| c.auroc),
+        )
+    }
+
+    /// Renders the matrix as a fixed-width text table; each cell shows
+    /// `AUROC/exceedance/SSIM`.
+    pub fn render_table(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("{:<10}", "train\\score"));
+        for d in &self.domains {
+            out.push_str(&format!("  {:>20}", d.name));
+        }
+        out.push('\n');
+        for a in &self.domains {
+            out.push_str(&format!("{:<10}", a.name));
+            for b in &self.domains {
+                match self.cell(&a.name, &b.name) {
+                    Some(c) => out.push_str(&format!(
+                        "  {:>20}",
+                        format!("{:.3}/{:.2}/{:.2}", c.auroc, c.exceedance, c.mean_ssim)
+                    )),
+                    None => out.push_str(&format!("  {:>20}", "-")),
+                }
+            }
+            out.push('\n');
+        }
+        out.push_str(&format!(
+            "diagonal mean AUROC {:.3} | off-diagonal mean AUROC {:.3}\n",
+            self.diagonal_mean_auroc(),
+            self.off_diagonal_mean_auroc()
+        ));
+        out
+    }
+
+    /// Serializes to JSON (the `BENCH_evalgrid.json` format).
+    ///
+    /// # Errors
+    ///
+    /// Fails when serialization fails (it cannot for this type).
+    pub fn to_json(&self) -> Result<String> {
+        serde_json::to_string(self).map_err(|e| NoveltyError::Serde(e.to_string()))
+    }
+
+    /// Parses a report back from JSON, checking the schema version.
+    ///
+    /// # Errors
+    ///
+    /// Fails on malformed JSON or a schema-version mismatch.
+    pub fn from_json(json: &str) -> Result<GridReport> {
+        let report: GridReport =
+            serde_json::from_str(json).map_err(|e| NoveltyError::Serde(e.to_string()))?;
+        if report.schema_version != EVALGRID_SCHEMA_VERSION {
+            return Err(NoveltyError::invalid(
+                "evalgrid",
+                format!(
+                    "schema version {} != supported {}",
+                    report.schema_version, EVALGRID_SCHEMA_VERSION
+                ),
+            ));
+        }
+        Ok(report)
+    }
+}
+
+fn mean(iter: impl Iterator<Item = f32>) -> f32 {
+    let mut sum = 0.0f32;
+    let mut n = 0usize;
+    for v in iter {
+        sum += v;
+        n += 1;
+    }
+    if n == 0 {
+        0.0
+    } else {
+        sum / n as f32
+    }
+}
+
+fn validate_domains(domains: &[GridDomain]) -> Result<Vec<ModifierStack>> {
+    if domains.len() < 2 {
+        return Err(NoveltyError::invalid(
+            "evalgrid",
+            "need at least two domains to form a grid",
+        ));
+    }
+    let mut stacks = Vec::with_capacity(domains.len());
+    for (i, d) in domains.iter().enumerate() {
+        if d.name.is_empty()
+            || !d
+                .name
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || c == '_')
+        {
+            return Err(NoveltyError::invalid(
+                "evalgrid",
+                format!("domain name {:?} must be ASCII alphanumeric/_", d.name),
+            ));
+        }
+        if domains[..i].iter().any(|prev| prev.name == d.name) {
+            return Err(NoveltyError::invalid(
+                "evalgrid",
+                format!("duplicate domain name {:?}", d.name),
+            ));
+        }
+        let stack = ModifierStack::parse(&d.spec)
+            .map_err(|e| NoveltyError::invalid("evalgrid", format!("domain {:?}: {e}", d.name)))?;
+        stacks.push(stack);
+    }
+    Ok(stacks)
+}
+
+fn base_dataset(cfg: &GridConfig, len: usize, seed: u64) -> DrivingDataset {
+    DatasetConfig::outdoor()
+        .with_len(len)
+        .with_size(cfg.height, cfg.width)
+        .with_supersample(cfg.supersample)
+        .generate(seed)
+}
+
+fn images_of(ds: &DrivingDataset) -> Vec<Image> {
+    ds.frames().iter().map(|f| f.image.clone()).collect()
+}
+
+/// Runs the full grid: trains one detector per domain (stage
+/// `evalgrid-train-<name>`), then scores every (train, score) pair
+/// (stage `evalgrid-cell-<a>-<b>`).
+///
+/// Train, held-out and score base scenes come from three disjoint seeds;
+/// the score-side base scenes are *shared* across domains so the per-cell
+/// mean SSIM compares renderings of identical geometry.
+///
+/// # Errors
+///
+/// Fails on invalid domains (bad name, bad spec, duplicates, fewer than
+/// two), zero-length datasets, or any training/scoring failure.
+pub fn run_evalgrid(
+    domains: &[GridDomain],
+    cfg: &GridConfig,
+    recorder: &dyn Recorder,
+) -> Result<GridReport> {
+    let stacks = validate_domains(domains)?;
+    if cfg.train_len == 0 || cfg.test_len == 0 {
+        return Err(NoveltyError::invalid(
+            "evalgrid",
+            "train_len and test_len must be non-zero",
+        ));
+    }
+
+    let train_base = base_dataset(cfg, cfg.train_len, cfg.seed);
+    let target_base = base_dataset(cfg, cfg.test_len, cfg.seed.wrapping_add(1));
+    let score_base = base_dataset(cfg, cfg.test_len, cfg.seed.wrapping_add(2));
+
+    // Per-domain artifacts.
+    let mut detectors = Vec::with_capacity(domains.len());
+    let mut target_scores = Vec::with_capacity(domains.len());
+    let mut score_images: Vec<Vec<Image>> = Vec::with_capacity(domains.len());
+    let mut domain_reports = Vec::with_capacity(domains.len());
+    for (d, stack) in domains.iter().zip(&stacks) {
+        let train_ds = train_base.modified(stack, cfg.seed);
+        let target_ds = target_base.modified(stack, cfg.seed.wrapping_add(1));
+        let score_ds = score_base.modified(stack, cfg.seed.wrapping_add(2));
+        let detector = obs::time(recorder, &format!("evalgrid-train-{}", d.name), || {
+            NoveltyDetectorBuilder::for_kind(cfg.kind)
+                .cnn_epochs(cfg.cnn_epochs)
+                .ae_epochs(cfg.ae_epochs)
+                .seed(cfg.seed)
+                .train_recorded(&train_ds, recorder)
+        })?;
+        let held_out = images_of(&target_ds);
+        let scores = detector.score_batch_recorded(&held_out, recorder)?;
+        recorder.gauge(
+            &format!("evalgrid.threshold.{}", d.name),
+            detector.threshold().value() as f64,
+        );
+        domain_reports.push(GridDomainReport {
+            name: d.name.clone(),
+            spec: stack.spec(),
+            threshold: detector.threshold().value(),
+        });
+        detectors.push(detector);
+        target_scores.push(scores);
+        score_images.push(images_of(&score_ds));
+    }
+
+    // Detector-free image-space distances between domains, over shared
+    // base scenes (symmetric; computed once per unordered pair).
+    let n = domains.len();
+    let ssim_cfg = SsimConfig::default();
+    let mut pair_ssim = vec![0.0f32; n * n];
+    for a in 0..n {
+        for b in a..n {
+            let mut sum = 0.0f32;
+            for (x, y) in score_images[a].iter().zip(&score_images[b]) {
+                sum += ssim(x, y, &ssim_cfg)?;
+            }
+            let m = sum / score_images[a].len() as f32;
+            pair_ssim[a * n + b] = m;
+            pair_ssim[b * n + a] = m;
+        }
+    }
+
+    let mut cells = Vec::with_capacity(n * n);
+    for (a, det) in detectors.iter().enumerate() {
+        let orientation = det.threshold().direction().orientation();
+        let threshold = det.threshold().value();
+        for b in 0..n {
+            let cell = obs::time(
+                recorder,
+                &format!("evalgrid-cell-{}-{}", domains[a].name, domains[b].name),
+                || -> Result<GridCell> {
+                    let scores = det.score_batch_recorded(&score_images[b], recorder)?;
+                    let cell = GridCell {
+                        train_domain: domains[a].name.clone(),
+                        score_domain: domains[b].name.clone(),
+                        auroc: auroc(&target_scores[a], &scores, orientation)?,
+                        exceedance: detection_rate(&scores, threshold, orientation)?,
+                        mean_ssim: pair_ssim[a * n + b],
+                    };
+                    recorder.gauge(
+                        &format!("evalgrid.auroc.{}.{}", cell.train_domain, cell.score_domain),
+                        cell.auroc as f64,
+                    );
+                    Ok(cell)
+                },
+            )?;
+            cells.push(cell);
+        }
+    }
+
+    Ok(GridReport {
+        schema_version: EVALGRID_SCHEMA_VERSION,
+        pipeline: cfg.kind.name().to_string(),
+        seed: cfg.seed,
+        train_len: cfg.train_len as u64,
+        test_len: cfg.test_len as u64,
+        height: cfg.height as u64,
+        width: cfg.width as u64,
+        domains: domain_reports,
+        cells,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_domains() -> Vec<GridDomain> {
+        vec![
+            GridDomain::new("clear", "clear"),
+            GridDomain::new("fognight", "fog@0.8+night@0.6"),
+        ]
+    }
+
+    #[test]
+    fn grid_shape_and_diagonal_properties() {
+        let report = run_evalgrid(&quick_domains(), &GridConfig::quick(5), obs::noop()).unwrap();
+        assert_eq!(report.schema_version, EVALGRID_SCHEMA_VERSION);
+        assert_eq!(report.domains.len(), 2);
+        assert_eq!(report.cells.len(), 4);
+        for c in &report.cells {
+            assert!((0.0..=1.0).contains(&c.auroc), "auroc {}", c.auroc);
+            assert!((0.0..=1.0).contains(&c.exceedance));
+            assert!(c.mean_ssim.is_finite());
+        }
+        // Diagonal SSIM compares identical renderings.
+        let diag = report.cell("clear", "clear").unwrap();
+        assert!(
+            (diag.mean_ssim - 1.0).abs() < 1e-5,
+            "ssim {}",
+            diag.mean_ssim
+        );
+        // Off-diagonal image distance is strictly smaller.
+        let off = report.cell("clear", "fognight").unwrap();
+        assert!(off.mean_ssim < diag.mean_ssim);
+        // Symmetric detector-free distance.
+        let rev = report.cell("fognight", "clear").unwrap();
+        assert!((off.mean_ssim - rev.mean_ssim).abs() < 1e-6);
+        let table = report.render_table();
+        assert!(table.contains("fognight"));
+        assert!(table.contains("diagonal mean AUROC"));
+    }
+
+    #[test]
+    fn report_round_trips_and_is_deterministic() {
+        let a = run_evalgrid(&quick_domains(), &GridConfig::quick(7), obs::noop()).unwrap();
+        let b = run_evalgrid(&quick_domains(), &GridConfig::quick(7), obs::noop()).unwrap();
+        let ja = a.to_json().unwrap();
+        let jb = b.to_json().unwrap();
+        assert_eq!(ja, jb, "same config must produce byte-identical JSON");
+        let back = GridReport::from_json(&ja).unwrap();
+        assert_eq!(back, a);
+        // Schema guard.
+        let mut tampered = a.clone();
+        tampered.schema_version = 99;
+        assert!(GridReport::from_json(&tampered.to_json().unwrap()).is_err());
+    }
+
+    #[test]
+    fn validation_rejects_bad_grids() {
+        let cfg = GridConfig::quick(1);
+        let rec = obs::noop();
+        // Too few domains.
+        let one = vec![GridDomain::new("clear", "clear")];
+        assert!(run_evalgrid(&one, &cfg, rec).is_err());
+        // Bad name (separator would corrupt stage names).
+        let bad_name = vec![
+            GridDomain::new("cl-ear", "clear"),
+            GridDomain::new("x", "clear"),
+        ];
+        assert!(run_evalgrid(&bad_name, &cfg, rec).is_err());
+        // Duplicate names.
+        let dup = vec![
+            GridDomain::new("a", "clear"),
+            GridDomain::new("a", "fog@0.5"),
+        ];
+        assert!(run_evalgrid(&dup, &cfg, rec).is_err());
+        // Unknown modifier.
+        let bad_spec = vec![
+            GridDomain::new("a", "clear"),
+            GridDomain::new("b", "blizzard@0.5"),
+        ];
+        assert!(run_evalgrid(&bad_spec, &cfg, rec).is_err());
+    }
+
+    #[test]
+    fn recording_does_not_change_the_report() {
+        let rec = obs::RunRecorder::new();
+        let with = run_evalgrid(&quick_domains(), &GridConfig::quick(3), &rec).unwrap();
+        let without = run_evalgrid(&quick_domains(), &GridConfig::quick(3), obs::noop()).unwrap();
+        assert_eq!(with, without);
+        let report = rec.report("evalgrid-test");
+        assert!(report.stage("evalgrid-train-clear").is_some());
+        assert!(report.stage("evalgrid-cell-clear-fognight").is_some());
+    }
+}

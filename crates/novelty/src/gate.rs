@@ -436,4 +436,100 @@ mod tests {
             assert!(!fault.to_string().is_empty());
         }
     }
+
+    fn rendered_frame(seed: u64) -> Image {
+        simdrive::DatasetConfig::outdoor()
+            .with_len(1)
+            .with_size(24, 64)
+            .with_supersample(1)
+            .generate(seed)
+            .frames()[0]
+            .image
+            .clone()
+    }
+
+    fn scene_gate() -> FrameGate {
+        FrameGate::new(GateConfig::new(24, 64)).unwrap()
+    }
+
+    #[test]
+    fn scene_modifiers_at_full_intensity_pass_the_gate() {
+        // The gate exists to catch sensor faults, not weather: even the
+        // heaviest fog/night/glare/rain must be admitted while the
+        // degenerate frames they superficially resemble are rejected.
+        let base = rendered_frame(31);
+        for spec in [
+            "fog@1.0",
+            "night@1.0",
+            "glare@1.0",
+            "rain@1.0",
+            "tunnel@1.0",
+        ] {
+            let stack = simdrive::ModifierStack::parse(spec).unwrap();
+            let mut g = scene_gate();
+            for frame_index in 0..3u64 {
+                let modified = stack.apply(9, frame_index, &base);
+                assert_eq!(
+                    g.admit(Some(&modified)),
+                    None,
+                    "{spec} frame {frame_index} must be admitted"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fog_is_distinguished_from_all_black() {
+        // Full fog pulls every pixel toward a mid luminance; the
+        // all-black detector keys on the frame *mean*, which fog raises.
+        let foggy =
+            simdrive::ModifierStack::parse("fog@1.0")
+                .unwrap()
+                .apply(9, 0, &rendered_frame(32));
+        assert_eq!(scene_gate().admit(Some(&foggy)), None);
+        let dead_sensor = Image::filled(24, 64, 0.001).unwrap();
+        assert_eq!(
+            scene_gate().admit(Some(&dead_sensor)),
+            Some(FrameFault::AllBlack)
+        );
+    }
+
+    #[test]
+    fn glare_is_distinguished_from_saturated_fault() {
+        // Glare is a localized bloom: the frame mean stays far below the
+        // saturated threshold even at intensity 1.
+        let glared =
+            simdrive::ModifierStack::parse("glare@1.0")
+                .unwrap()
+                .apply(9, 0, &rendered_frame(33));
+        assert_eq!(scene_gate().admit(Some(&glared)), None);
+        let stuck_high = Image::filled(24, 64, 0.999).unwrap();
+        assert_eq!(
+            scene_gate().admit(Some(&stuck_high)),
+            Some(FrameFault::Saturated)
+        );
+    }
+
+    #[test]
+    fn faults_on_modified_frames_are_still_caught() {
+        // A real sensor fault on top of bad weather must not hide behind
+        // the weather: inject the brightness-spike and NaN faults into a
+        // fog+night frame and check the gate still fires.
+        let stack = simdrive::ModifierStack::parse("fog@0.8+night@0.7").unwrap();
+        let weathered = stack.apply(9, 0, &rendered_frame(34));
+        assert_eq!(scene_gate().admit(Some(&weathered)), None);
+
+        let spiked = weathered.map(|v| v * 4.0 + 0.5);
+        assert!(matches!(
+            scene_gate().admit(Some(&spiked)),
+            Some(FrameFault::OutOfRangePixels { .. })
+        ));
+
+        let mut burst = weathered.clone();
+        burst.put(3, 3, f32::NAN);
+        assert!(matches!(
+            scene_gate().admit(Some(&burst)),
+            Some(FrameFault::NonFinitePixels { .. })
+        ));
+    }
 }

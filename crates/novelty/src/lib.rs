@@ -42,6 +42,7 @@
 //! ```
 
 pub mod eval;
+pub mod evalgrid;
 pub mod monitor;
 
 mod calibrate;

@@ -39,6 +39,7 @@ mod dataset;
 mod drive;
 mod fault;
 mod hash;
+mod modifier;
 mod render;
 mod scene;
 mod steering;
@@ -48,6 +49,10 @@ pub use dataset::{DrivingDataset, Frame};
 pub use drive::DriveConfig;
 pub use fault::{FaultBurst, FaultConfig, FaultInjector, FaultKind, InjectedFrame};
 pub use hash::frame_digest;
+pub use modifier::{
+    boxed_modifier, modifier_names, FogRamp, GlareBloom, ModifierStack, NightLighting, RainStreaks,
+    SceneModifier, TrafficObjects, TunnelOcclusion,
+};
 pub use render::{region_masks, render_frame, RegionMasks, RenderedFrame};
 pub use scene::SceneParams;
 pub use steering::steering_angle;

@@ -6,27 +6,33 @@
 //! ```
 //!
 //! Trains all three pipeline variants (raw+MSE baseline, VBP+MSE
-//! ablation, VBP+SSIM method) on the outdoor world and scores held-out
-//! outdoor frames against indoor frames, printing score histograms and
-//! separation statistics. The full-scale version lives in
-//! `crates/bench/src/bin/fig5_dataset_comparison.rs`.
+//! ablation, VBP+SSIM method) on the clear outdoor world and scores
+//! held-out clear frames against a *composed scenario shift*: the same
+//! world re-rendered through the seeded fog+night modifier stack (the
+//! scenario-generator analogue of the paper's dataset switch — same
+//! geometry, different visual domain). The full-scale version lives in
+//! `crates/bench/src/bin/fig5_dataset_comparison.rs`; the full scenario
+//! matrix in `crates/bench/src/bin/evalgrid.rs`.
 
 use metrics::histogram::Histogram;
 use novelty::eval::evaluate;
 use novelty::{NoveltyDetectorBuilder, PipelineKind};
 use saliency_novelty::prelude::*;
+use simdrive::ModifierStack;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let outdoor = DatasetConfig::outdoor().with_len(150).generate(10);
-    let indoor = DatasetConfig::indoor().with_len(30).generate(11);
+    let scenario = ModifierStack::parse("fog@0.8+night@0.6")?;
     let (train, held_out) = outdoor.split(0.8);
+    let shifted = held_out.modified(&scenario, 11);
     let target: Vec<Image> = held_out.frames().iter().map(|f| f.image.clone()).collect();
-    let novel: Vec<Image> = indoor.frames().iter().map(|f| f.image.clone()).collect();
+    let novel: Vec<Image> = shifted.frames().iter().map(|f| f.image.clone()).collect();
     println!(
-        "train: {} outdoor | test: {} outdoor (target) vs {} indoor (novel)\n",
+        "train: {} clear outdoor | test: {} clear (target) vs {} {} (novel)\n",
         train.len(),
         target.len(),
-        novel.len()
+        novel.len(),
+        scenario.spec()
     );
 
     for kind in PipelineKind::all() {

@@ -5,15 +5,16 @@
 //! ```
 //!
 //! The paper's motivating scenario end-to-end: a detector trained on
-//! outdoor driving watches a continuous frame stream. Halfway through,
-//! the vehicle enters an environment it was never trained on (the indoor
-//! world — the paper's cross-dataset novelty, streamed); an `m`-of-`k`
-//! [`StreamMonitor`] debounces the per-frame verdicts into a single
-//! alarm. The output is a frame-by-frame trace plus the alarm latency.
+//! clear outdoor driving watches a continuous frame stream. Halfway
+//! through, the weather turns on the vehicle — the same road rendered
+//! through the seeded fog+night modifier stack, a visual domain the
+//! detector was never trained on; an `m`-of-`k` [`StreamMonitor`]
+//! debounces the per-frame verdicts into a single alarm. The output is a
+//! frame-by-frame trace plus the alarm latency.
 
 use novelty::monitor::{AlarmState, StreamMonitor};
 use saliency_novelty::prelude::*;
-use simdrive::DriveConfig;
+use simdrive::{DriveConfig, ModifierStack};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Train on i.i.d. clear outdoor frames (the paper's protocol).
@@ -22,10 +23,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "training detector on {} clear outdoor frames (≈2 min)…",
         train.len()
     );
+    // The paper's 99th-percentile threshold is calibrated for *world*
+    // switches; scenario-level shifts (same road, different weather)
+    // move the score distribution far less (EXPERIMENTS.md E10), so a
+    // deployed monitor trades a tighter threshold for per-frame false
+    // positives and lets the m-of-k debounce absorb them.
     let detector = NoveltyDetectorBuilder::paper()
         .cnn_epochs(8)
         .ae_epochs(60)
         .train_fraction(1.0)
+        .percentile(85.0)
         .seed(9)
         .train(&train)?;
     println!(
@@ -33,15 +40,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         detector.threshold().value()
     );
 
-    // Simulate the stream: 40 in-distribution outdoor frames, then the
-    // vehicle enters the (untrained) indoor world.
+    // Simulate the stream: 40 in-distribution clear frames, then the
+    // drive continues into a composed scenario shift (fog + night) the
+    // detector never saw — same world, different visual domain.
+    let scenario = ModifierStack::parse("fog@1.0+night@0.5")?;
     let familiar_leg = DriveConfig::new(World::Outdoor).with_len(40).simulate(6);
-    let novel_leg = DriveConfig::new(World::Indoor).with_len(40).simulate(6);
+    let novel_leg = DriveConfig::new(World::Outdoor)
+        .with_len(40)
+        .simulate(7)
+        .modified(&scenario, 7);
     let onset = familiar_leg.len();
 
     let mut monitor = StreamMonitor::new(8, 5)?;
     let mut alarm_frame: Option<usize> = None;
-    println!("\nframe  world    score   novel  window  alarm");
+    println!("\nframe  scene           score   novel  window  alarm");
     for (i, frame) in familiar_leg
         .frames()
         .iter()
@@ -54,9 +66,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             alarm_frame = Some(i);
         }
         if i % 5 == 0 || state == AlarmState::Raised && alarm_frame == Some(i) {
+            let scene = if i < onset {
+                "clear".to_string()
+            } else {
+                scenario.spec()
+            };
             println!(
-                "{i:>5}  {:>7}  {:.3}   {:<5}  {:>3}/8   {:?}",
-                frame.scene.world.name(),
+                "{i:>5}  {:<14}  {:.3}   {:<5}  {:>3}/8   {:?}",
+                scene,
                 verdict.score,
                 verdict.is_novel,
                 monitor.novel_in_window(),
@@ -68,18 +85,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!();
     match alarm_frame {
         Some(f) if f >= onset => println!(
-            "alarm raised at frame {f}, {} frames after entering the novel world (frame {onset}); \
+            "alarm raised at frame {f}, {} frames after the scenario shift (frame {onset}); \
              lifetime novelty rate {:.0}%",
             f - onset,
             monitor.lifetime_novel_rate() * 100.0
         ),
         Some(f) => {
-            println!("alarm raised early at frame {f} (before the world change at {onset}) — false alarm")
+            println!("alarm raised early at frame {f} (before the scenario shift at {onset}) — false alarm")
         }
-        None => println!("alarm never raised — the novel world went undetected at this scale"),
+        None => println!("alarm never raised — the scenario shift went undetected at this scale"),
     }
     println!(
-        "(expected: no alarm in the familiar leg, alarm within ~5 frames of the world change)"
+        "(expected: no alarm in the familiar leg, alarm within ~5 frames of the scenario shift)"
     );
     Ok(())
 }

@@ -6,6 +6,7 @@
 //! saliency-novelty classify --detector detector.json --image frames/frame_0003.pgm
 //! saliency-novelty eval     --detector detector.json --novel-world indoor --len 50
 //! saliency-novelty stream   --detector detector.json --faults nan@20+8 --alarm-log alarms.json
+//! saliency-novelty evalgrid --quick --domains clear=clear,fog=fog@0.8,night=night@0.7
 //! saliency-novelty info     --detector detector.json
 //! saliency-novelty report   --file report.json --expect cnn-train,vbp
 //! ```
@@ -23,6 +24,7 @@ use std::time::Duration;
 
 use ndtensor::par::{set_thread_config, ThreadConfig};
 use novelty::eval::evaluate_recorded;
+use novelty::evalgrid::{run_evalgrid, GridConfig, GridDomain};
 use novelty::monitor::AlarmState;
 use novelty::{
     FallbackPolicy, HealthState, NoveltyDetector, NoveltyDetectorBuilder, PipelineKind,
@@ -95,6 +97,27 @@ COMMANDS:
                                       the run AND ended healthy
              --json                   emit the summary as JSON
              --obs-out FILE           write an observability report
+  evalgrid   train one detector per scenario domain and score the full
+             train-domain x score-domain matrix (AUROC, threshold
+             exceedance, mean SSIM per cell)
+             --domains name=spec,...  scenario domains as modifier-stack
+                                      specs, e.g. clear=clear,fog=fog@0.8,
+                                      dusk=night@0.5+rain@0.3
+                                      (default clear,fog,night)
+             --quick                  smoke-test sizing (seconds; default
+                                      is paper geometry, minutes)
+             --train-len N            frames per training set (overrides
+                                      the sizing preset)
+             --test-len N             frames per held-out/score set
+             --cnn-epochs N           steering-CNN epochs
+             --ae-epochs N            autoencoder epochs
+             --seed S                 (default 17)
+             --pipeline vbp+ssim|vbp+mse|raw+mse (default vbp+ssim)
+             --out FILE               write the grid as schema-versioned
+                                      JSON (BENCH_evalgrid.json format)
+             --json                   print the grid JSON to stdout
+                                      instead of the table
+             --obs-out FILE           write an observability report
   info       print a saved detector's configuration
              --detector FILE          (required)
   report     pretty-print an observability report written by --obs-out
@@ -110,7 +133,7 @@ EXIT CODES:
 ";
 
 /// Flags that stand alone instead of consuming a value.
-const BOOL_FLAGS: &[&str] = &["json", "require-recovery"];
+const BOOL_FLAGS: &[&str] = &["json", "require-recovery", "quick"];
 
 /// CLI failure, split so `main` can map the class to an exit code.
 enum CliError {
@@ -733,6 +756,90 @@ fn cmd_stream(args: &Args) -> CliResult {
     Ok(())
 }
 
+/// Parses `--domains clear=clear,fog=fog@0.8,...` into grid domains.
+fn parse_grid_domains(spec: &str) -> Result<Vec<GridDomain>, CliError> {
+    let mut domains = Vec::new();
+    for part in spec.split(',').map(str::trim).filter(|s| !s.is_empty()) {
+        let (name, stack) = part.split_once('=').ok_or_else(|| {
+            usage_err(format!(
+                "domain {part:?} must look like name=spec (e.g. fog=fog@0.8)"
+            ))
+        })?;
+        domains.push(GridDomain::new(name, stack));
+    }
+    if domains.is_empty() {
+        return Err(usage_err("--domains needs at least one name=spec entry"));
+    }
+    Ok(domains)
+}
+
+fn cmd_evalgrid(args: &Args) -> CliResult {
+    args.reject_unknown(&[
+        "domains",
+        "quick",
+        "train-len",
+        "test-len",
+        "cnn-epochs",
+        "ae-epochs",
+        "seed",
+        "pipeline",
+        "out",
+        "json",
+        "obs-out",
+        "threads",
+    ])?;
+    let seed = args.u64("seed", 17)?;
+    let mut cfg = if args.is_set("quick") {
+        GridConfig::quick(seed)
+    } else {
+        GridConfig::full(seed)
+    };
+    cfg.train_len = args.usize("train-len", cfg.train_len)?;
+    cfg.test_len = args.usize("test-len", cfg.test_len)?;
+    cfg.cnn_epochs = args.usize("cnn-epochs", cfg.cnn_epochs)?;
+    cfg.ae_epochs = args.usize("ae-epochs", cfg.ae_epochs)?;
+    cfg.kind = parse_pipeline(&args.get("pipeline", "vbp+ssim"))?;
+    let domains = match args.optional("domains") {
+        Some(spec) => parse_grid_domains(&spec)?,
+        None => vec![
+            GridDomain::new("clear", "clear"),
+            GridDomain::new("fog", "fog@0.8"),
+            GridDomain::new("night", "night@0.7"),
+        ],
+    };
+
+    let (recorder, obs_out) = recorder_for(args);
+    let dyn_recorder: &dyn Recorder = match &recorder {
+        Some(r) => r,
+        None => obs::noop(),
+    };
+    eprintln!(
+        "evalgrid: {} domains, {} train / {} test frames, {}x{}, seed {seed}",
+        domains.len(),
+        cfg.train_len,
+        cfg.test_len,
+        cfg.height,
+        cfg.width
+    );
+    let report = run_evalgrid(&domains, &cfg, dyn_recorder)
+        .map_err(|e| runtime_err(format!("evalgrid failed: {e}")))?;
+
+    let json = report
+        .to_json()
+        .map_err(|e| runtime_err(format!("cannot serialize grid: {e}")))?;
+    if args.is_set("json") {
+        println!("{json}");
+    } else {
+        print!("{}", report.render_table());
+    }
+    if let Some(path) = args.optional("out") {
+        std::fs::write(&path, format!("{json}\n"))
+            .map_err(|e| runtime_err(format!("cannot write {path}: {e}")))?;
+        eprintln!("wrote grid report to {path}");
+    }
+    flush_report(&recorder, &obs_out, "evalgrid")
+}
+
 fn cmd_info(args: &Args) -> CliResult {
     args.reject_unknown(&["detector"])?;
     let detector = load_detector_file(args)?;
@@ -818,6 +925,7 @@ fn run() -> CliResult {
         "classify" => cmd_classify(&args),
         "eval" => cmd_eval(&args),
         "stream" => cmd_stream(&args),
+        "evalgrid" => cmd_evalgrid(&args),
         "info" => cmd_info(&args),
         "report" => cmd_report(&args),
         other => Err(usage_err(format!("unknown command {other:?}\n\n{USAGE}"))),
