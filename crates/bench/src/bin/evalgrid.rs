@@ -7,8 +7,13 @@
 //! schema-versioned `BENCH_evalgrid.json` (see `novelty::evalgrid`).
 //!
 //! Usage:
-//!   evalgrid [--out PATH] [--seed N] [--quick]
+//!   evalgrid [--out PATH] [--seed N] [--quick] [--ensemble]
 //!            [--domains name=spec,name=spec,...] [--check-separation]
+//!
+//! `--ensemble` trains every registered score backend per domain (on a
+//! shared steering CNN) and reports per-backend columns plus the fused
+//! majority-vote verdict; without it the sizing preset decides (quick =
+//! vbp+ssim only, full = all backends fused).
 //!
 //! `--check-separation` exits non-zero unless the on-diagonal mean
 //! AUROC is below the off-diagonal mean AUROC — the grid-level form of
@@ -45,6 +50,7 @@ fn main() {
     let mut out_path = "BENCH_evalgrid.json".to_string();
     let mut seed = 17u64;
     let mut quick = false;
+    let mut ensemble = false;
     let mut check_separation = false;
     let mut domains = default_domains();
     let mut i = 0;
@@ -69,11 +75,12 @@ fn main() {
                 i += 1;
             }
             "--quick" => quick = true,
+            "--ensemble" => ensemble = true,
             "--check-separation" => check_separation = true,
             other => {
                 eprintln!("evalgrid: unknown argument `{other}`");
                 eprintln!(
-                    "usage: evalgrid [--out PATH] [--seed N] [--quick] \
+                    "usage: evalgrid [--out PATH] [--seed N] [--quick] [--ensemble] \
                      [--domains name=spec,...] [--check-separation]"
                 );
                 std::process::exit(2);
@@ -82,14 +89,20 @@ fn main() {
         i += 1;
     }
 
-    let cfg = if quick {
+    let mut cfg = if quick {
         GridConfig::quick(seed)
     } else {
         GridConfig::full(seed)
     };
+    if ensemble {
+        cfg = cfg.with_ensemble();
+    }
     eprintln!(
-        "evalgrid: {} domains, {} train / {} test frames, {}x{}, seed {seed}",
+        "evalgrid: {} domains, {} backends (ensemble {}), {} train / {} test frames, \
+         {}x{}, seed {seed}",
         domains.len(),
+        cfg.backends.len(),
+        cfg.ensemble,
         cfg.train_len,
         cfg.test_len,
         cfg.height,

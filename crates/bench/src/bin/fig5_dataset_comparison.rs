@@ -19,7 +19,7 @@ use bench::{
 };
 use neural::serialize::clone_network;
 use novelty::eval::evaluate_recorded;
-use novelty::{NoveltyDetectorBuilder, PipelineKind, Preprocessing};
+use novelty::{BackendKind, NoveltyDetectorBuilder, Preprocessing};
 use obs::Scoped;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -55,7 +55,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let cnn = base.train_steering_cnn_recorded(&train, sink.recorder())?;
 
     let mut summary = Vec::new();
-    for kind in PipelineKind::all() {
+    for kind in BackendKind::legacy() {
         let builder = NoveltyDetectorBuilder::for_kind(kind)
             .cnn_epochs(scale.cnn_epochs())
             .ae_epochs(scale.ae_epochs())
@@ -63,7 +63,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             .seed(5);
         println!("training {} pipeline…", kind.name());
         let pretrained = match builder.kind() {
-            PipelineKind::RawMse => None,
+            BackendKind::RawMse => None,
             _ => Some(clone_network(&cnn)?),
         };
         // Probes from each pipeline land under its own prefix, so one
@@ -71,8 +71,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let scoped = Scoped::new(sink.recorder(), kind.name());
         let detector = builder.train_with_cnn_recorded(&train, pretrained, &scoped)?;
         debug_assert_eq!(
-            detector.preprocessing() == Preprocessing::Vbp,
-            kind != PipelineKind::RawMse
+            detector.preprocessing() == Some(Preprocessing::Vbp),
+            kind != BackendKind::RawMse
         );
         let report = evaluate_recorded(&detector, &target_images, &novel_images, &scoped)?;
         print_eval_report(&format!("[{}]", kind.name()), &report, 20);

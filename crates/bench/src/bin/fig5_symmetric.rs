@@ -12,7 +12,7 @@
 use bench::{images_of, indoor_dataset, outdoor_dataset, print_eval_report, print_header, Scale};
 use neural::serialize::clone_network;
 use novelty::eval::evaluate;
-use novelty::{NoveltyDetectorBuilder, PipelineKind};
+use novelty::{BackendKind, NoveltyDetectorBuilder};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let scale = Scale::from_env();
@@ -44,7 +44,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let cnn = base.train_steering_cnn(&train)?;
 
     let mut summary = Vec::new();
-    for kind in PipelineKind::all() {
+    for kind in BackendKind::legacy() {
         let builder = NoveltyDetectorBuilder::for_kind(kind)
             .cnn_epochs(scale.cnn_epochs())
             .ae_epochs(scale.ae_epochs())
@@ -52,7 +52,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             .seed(8);
         println!("training {} pipeline…", kind.name());
         let pretrained = match kind {
-            PipelineKind::RawMse => None,
+            BackendKind::RawMse => None,
             _ => Some(clone_network(&cnn)?),
         };
         let detector = builder.train_with_cnn(&train, pretrained)?;

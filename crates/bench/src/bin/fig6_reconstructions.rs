@@ -12,7 +12,7 @@
 
 use bench::{dump_pgm, indoor_dataset, outdoor_dataset, print_header, Scale};
 use metrics::{mse, ssim, SsimConfig};
-use novelty::{NoveltyDetector, NoveltyDetectorBuilder, PipelineKind};
+use novelty::{BackendKind, NoveltyDetector, NoveltyDetectorBuilder};
 use vision::Image;
 
 fn describe(
@@ -41,7 +41,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let in_class = &test.frames()[0].image;
     let novel = &indoor.frames()[0].image;
 
-    for kind in [PipelineKind::RawMse, PipelineKind::VbpSsim] {
+    for kind in [BackendKind::RawMse, BackendKind::VbpSsim] {
         println!("[{}]", kind.name());
         let detector = NoveltyDetectorBuilder::for_kind(kind)
             .cnn_epochs(scale.cnn_epochs())

@@ -12,7 +12,7 @@
 use bench::{images_of, outdoor_dataset, print_eval_report, print_header, Scale};
 use neural::serialize::clone_network;
 use novelty::eval::evaluate;
-use novelty::{NoveltyDetectorBuilder, PipelineKind};
+use novelty::{BackendKind, NoveltyDetectorBuilder};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use vision::perturb;
@@ -58,9 +58,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // raw-image MSE result is similar to the VBP+MSE panel, so we include
     // all three.
     for kind in [
-        PipelineKind::VbpMse,
-        PipelineKind::VbpSsim,
-        PipelineKind::RawMse,
+        BackendKind::VbpMse,
+        BackendKind::VbpSsim,
+        BackendKind::RawMse,
     ] {
         let builder = NoveltyDetectorBuilder::for_kind(kind)
             .cnn_epochs(scale.cnn_epochs())
@@ -69,7 +69,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             .seed(7);
         println!("training {} pipeline…", kind.name());
         let pretrained = match kind {
-            PipelineKind::RawMse => None,
+            BackendKind::RawMse => None,
             _ => Some(clone_network(&cnn)?),
         };
         let detector = builder.train_with_cnn(&train, pretrained)?;

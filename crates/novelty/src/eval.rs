@@ -7,10 +7,11 @@
 //! for any detector and pair of datasets.
 
 use metrics::histogram::Histogram;
-use metrics::separation::{detection_rate, SeparationReport};
+use metrics::separation::SeparationReport;
 use vision::Image;
 
-use crate::{Direction, NoveltyDetector, NoveltyError, Result};
+use crate::backend::Detector;
+use crate::{Direction, NoveltyError, Result, Verdict};
 
 /// Scores and summary statistics for one target-vs-novel comparison.
 #[derive(Debug, Clone)]
@@ -74,34 +75,46 @@ impl std::fmt::Display for EvalReport {
     }
 }
 
-/// Evaluates a trained detector against a target sample (drawn from the
-/// training distribution) and a novel sample.
+/// Fraction of verdicts that flagged their image novel.
+fn flag_rate(verdicts: &[Verdict]) -> f32 {
+    if verdicts.is_empty() {
+        return 0.0;
+    }
+    verdicts.iter().filter(|v| v.is_novel).count() as f32 / verdicts.len() as f32
+}
+
+/// Evaluates a trained detector — a single [`crate::NoveltyDetector`] or
+/// a fused [`crate::EnsembleDetector`] — against a target sample (drawn
+/// from the training distribution) and a novel sample.
 ///
 /// # Errors
 ///
 /// Fails when either sample is empty or any image is incompatible with
 /// the pipeline.
 pub fn evaluate(
-    detector: &NoveltyDetector,
+    detector: &dyn Detector,
     target_images: &[Image],
     novel_images: &[Image],
 ) -> Result<EvalReport> {
     evaluate_recorded(detector, target_images, novel_images, obs::noop())
 }
 
-/// [`evaluate`] with observability: both batches are scored through
-/// [`NoveltyDetector::score_batch_recorded`] (so scoring wall time,
+/// [`evaluate`] with observability: both batches are classified through
+/// [`Detector::classify_batch_recorded`] (so scoring wall time,
 /// per-image latency and pool activity are captured), and the report's
 /// headline numbers (AUROC, detection rate, false-positive rate,
 /// threshold) are recorded as `eval.*` gauges.
 ///
-/// Recording never changes the evaluation result.
+/// The detection rates count each verdict's own `is_novel` flag, which
+/// for a single detector is exactly the strict threshold comparison the
+/// old score-based evaluation used; for an ensemble it is the fused
+/// vote. Recording never changes the evaluation result.
 ///
 /// # Errors
 ///
 /// Same conditions as [`evaluate`].
 pub fn evaluate_recorded(
-    detector: &NoveltyDetector,
+    detector: &dyn Detector,
     target_images: &[Image],
     novel_images: &[Image],
     recorder: &dyn obs::Recorder,
@@ -112,34 +125,41 @@ pub fn evaluate_recorded(
             "target and novel samples must be non-empty",
         ));
     }
-    let target_scores = detector.score_batch_recorded(target_images, recorder)?;
-    let novel_scores = detector.score_batch_recorded(novel_images, recorder)?;
-    let threshold = detector.threshold();
-    let orientation = threshold.direction().orientation();
+    let target_verdicts = detector.classify_batch_recorded(target_images, recorder)?;
+    let novel_verdicts = detector.classify_batch_recorded(novel_images, recorder)?;
+    let first = target_verdicts
+        .first()
+        .ok_or_else(|| NoveltyError::invalid("evaluate", "target sample produced no verdicts"))?;
+    let (threshold, direction) = (first.threshold, first.direction);
+    let orientation = direction.orientation();
+    let target_scores: Vec<f32> = target_verdicts.iter().map(|v| v.score).collect();
+    let novel_scores: Vec<f32> = novel_verdicts.iter().map(|v| v.score).collect();
     let separation = SeparationReport::compute(&target_scores, &novel_scores, orientation)?;
-    let novel_detection_rate = detection_rate(&novel_scores, threshold.value(), orientation)?;
-    let false_positive_rate = detection_rate(&target_scores, threshold.value(), orientation)?;
+    let novel_detection_rate = flag_rate(&novel_verdicts);
+    let false_positive_rate = flag_rate(&target_verdicts);
     recorder.add("eval.target_images", target_scores.len() as u64);
     recorder.add("eval.novel_images", novel_scores.len() as u64);
     recorder.gauge("eval.auroc", separation.auroc as f64);
     recorder.gauge("eval.novel_detection_rate", novel_detection_rate as f64);
     recorder.gauge("eval.false_positive_rate", false_positive_rate as f64);
-    recorder.gauge("eval.threshold", threshold.value() as f64);
+    recorder.gauge("eval.threshold", threshold as f64);
     Ok(EvalReport {
         target_scores,
         novel_scores,
         separation,
         novel_detection_rate,
         false_positive_rate,
-        threshold: threshold.value(),
-        direction: threshold.direction(),
+        threshold,
+        direction,
     })
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{ClassifierConfig, NoveltyDetectorBuilder, ReconstructionObjective};
+    use crate::{
+        ClassifierConfig, NoveltyDetector, NoveltyDetectorBuilder, ReconstructionObjective,
+    };
     use simdrive::DatasetConfig;
 
     fn quick_detector() -> (NoveltyDetector, Vec<Image>, Vec<Image>) {

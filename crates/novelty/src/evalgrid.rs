@@ -4,18 +4,22 @@
 //! holdout pair (outdoor vs indoor). This module generalizes the
 //! protocol to a full matrix over *scenario domains*: each domain is a
 //! [`simdrive::ModifierStack`] spec (e.g. `"fog@0.7+night@0.5"`) applied
-//! to a shared base world. One detector is trained per domain; every
-//! detector then scores every domain's test set, yielding a grid whose
-//! diagonal is in-distribution (AUROC ≈ 0.5) and whose off-diagonal
-//! cells measure cross-domain novelty — the stratified generalization
-//! grid of Shekar et al. (arXiv:2201.00531) applied to the VBP pipeline.
+//! to a shared base world. One detector per configured backend is
+//! trained per domain (sharing one steering CNN); every detector then
+//! scores every domain's test set, yielding a grid whose diagonal is
+//! in-distribution (AUROC ≈ 0.5) and whose off-diagonal cells measure
+//! cross-domain novelty — the stratified generalization grid of Shekar
+//! et al. (arXiv:2201.00531) applied to the VBP pipeline.
 //!
-//! Per cell `(train A, score B)` the grid records:
+//! Per cell `(train A, score B)` the grid records, for each backend and
+//! (optionally) for the calibrated ensemble fusion:
 //!
-//! * **AUROC** of detector-A scores on domain-B frames against
-//!   detector-A scores on held-out domain-A frames,
-//! * **exceedance**: the fraction of domain-B frames past detector-A's
-//!   calibrated threshold (the paper's "detection rate"),
+//! * **AUROC** of domain-B scores against held-out domain-A scores
+//!   under the backend's orientation (ensemble scores are fused
+//!   oriented percentile ranks, see [`crate::fuse_verdict`]),
+//! * **exceedance**: the fraction of domain-B frames past the
+//!   calibrated threshold (the paper's "detection rate"; for the
+//!   ensemble, the fraction of frames whose fused vote flags novel),
 //! * **mean SSIM** between domain-A and domain-B renderings of the
 //!   *same* base scenes — a detector-free image-space distance that
 //!   contextualizes the score-space separation (diagonal ≡ 1).
@@ -31,10 +35,14 @@ use serde::{Deserialize, Serialize};
 use simdrive::{DatasetConfig, DrivingDataset, ModifierStack};
 use vision::Image;
 
-use crate::{NoveltyDetectorBuilder, NoveltyError, PipelineKind, Result};
+use crate::ensemble::{fuse_verdict, EnsembleDetector};
+use crate::{
+    BackendKind, Direction, NoveltyDetector, NoveltyDetectorBuilder, NoveltyError, Result,
+};
 
 /// Bump on breaking changes to the [`GridReport`] JSON layout.
-pub const EVALGRID_SCHEMA_VERSION: u32 = 1;
+/// Version 2 added per-backend columns and ensemble fusion.
+pub const EVALGRID_SCHEMA_VERSION: u32 = 2;
 
 /// One scenario domain: a short label plus the modifier-stack spec that
 /// renders it (see [`ModifierStack::parse`]). `"clear"` is the
@@ -80,8 +88,14 @@ pub struct GridConfig {
     pub width: usize,
     /// Renderer supersampling factor (1 = fastest).
     pub supersample: usize,
-    /// Which of the paper's three pipelines to train per domain.
-    pub kind: PipelineKind,
+    /// Which score backends to train per domain. Stored (and reported)
+    /// sorted by backend id; all non-raw backends share one steering
+    /// CNN per domain.
+    pub backends: Vec<BackendKind>,
+    /// When set, each cell additionally fuses the per-backend verdicts
+    /// with [`crate::fuse_verdict`] (majority quorum) and the top-level
+    /// cell numbers become the ensemble's.
+    pub ensemble: bool,
 }
 
 impl GridConfig {
@@ -96,11 +110,13 @@ impl GridConfig {
             height: 40,
             width: 80,
             supersample: 1,
-            kind: PipelineKind::VbpSsim,
+            backends: vec![BackendKind::VbpSsim],
+            ensemble: false,
         }
     }
 
-    /// Paper-geometry scale (60×160): minutes-long per domain.
+    /// Paper-geometry scale (60×160): minutes-long per domain. Trains
+    /// every registered backend and reports the ensemble fusion.
     pub fn full(seed: u64) -> GridConfig {
         GridConfig {
             train_len: 300,
@@ -111,27 +127,61 @@ impl GridConfig {
             height: 60,
             width: 160,
             supersample: 2,
-            kind: PipelineKind::VbpSsim,
+            backends: BackendKind::all().to_vec(),
+            ensemble: true,
         }
+    }
+
+    /// Switches this config to train every registered backend and fuse
+    /// their verdicts per cell.
+    #[must_use]
+    pub fn with_ensemble(mut self) -> GridConfig {
+        self.backends = BackendKind::all().to_vec();
+        self.ensemble = true;
+        self
     }
 }
 
-/// One cell of the matrix: detector trained on `train_domain`, scored
+/// Per-backend slice of one grid cell.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BackendCellReport {
+    /// Backend id (`vbp+ssim`, `model-char`, …).
+    pub backend: String,
+    /// AUROC of this backend's score-domain scores vs its held-out
+    /// train-domain scores under its orientation.
+    pub auroc: f32,
+    /// Fraction of score-domain frames past this backend's calibrated
+    /// threshold.
+    pub exceedance: f32,
+}
+
+/// One cell of the matrix: detectors trained on `train_domain`, scored
 /// on `score_domain`.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct GridCell {
-    /// Domain the detector was trained (and calibrated) on.
+    /// Domain the detectors were trained (and calibrated) on.
     pub train_domain: String,
     /// Domain whose frames were scored.
     pub score_domain: String,
-    /// AUROC of score-domain scores vs held-out train-domain scores
-    /// under the detector's orientation. ≈ 0.5 on the diagonal.
+    /// Headline AUROC: the ensemble fusion's when the run fused, else
+    /// the first backend's. ≈ 0.5 on the diagonal.
     pub auroc: f32,
-    /// Fraction of score-domain frames past the calibrated threshold.
+    /// Headline exceedance (same selection rule as `auroc`).
     pub exceedance: f32,
     /// Mean SSIM between the two domains' renderings of the same base
     /// scenes (1.0 on the diagonal).
     pub mean_ssim: f32,
+    /// Per-backend columns, sorted by backend id.
+    pub backends: Vec<BackendCellReport>,
+}
+
+/// Calibrated threshold of one backend's detector in one domain.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BackendThreshold {
+    /// Backend id.
+    pub backend: String,
+    /// Calibrated novelty threshold.
+    pub threshold: f32,
 }
 
 /// Per-domain training summary embedded in the report.
@@ -141,8 +191,12 @@ pub struct GridDomainReport {
     pub name: String,
     /// Modifier-stack spec the domain was rendered with.
     pub spec: String,
-    /// Calibrated novelty threshold of this domain's detector.
+    /// Calibrated threshold of the first backend's detector (kept as a
+    /// headline; see `thresholds` for every backend).
     pub threshold: f32,
+    /// Calibrated thresholds of every backend's detector, sorted by
+    /// backend id.
+    pub thresholds: Vec<BackendThreshold>,
 }
 
 /// The full grid: config echo, per-domain summaries, and
@@ -151,8 +205,13 @@ pub struct GridDomainReport {
 pub struct GridReport {
     /// [`EVALGRID_SCHEMA_VERSION`] at write time.
     pub schema_version: u32,
-    /// Pipeline variant trained per domain (`vbp+ssim` etc.).
+    /// Comma-joined backend ids trained per domain (`vbp+ssim` or
+    /// `model-char,raw+mse,vbp+mse,vbp+ssim`).
     pub pipeline: String,
+    /// Backend ids trained per domain, sorted.
+    pub backends: Vec<String>,
+    /// Whether the headline cell numbers are the ensemble fusion's.
+    pub ensemble: bool,
     /// Master seed of the run.
     pub seed: u64,
     /// Training frames per domain.
@@ -198,8 +257,22 @@ impl GridReport {
         )
     }
 
+    /// Mean AUROC over the off-diagonal cells of one backend's column.
+    /// Returns 0.0 for an unknown backend id.
+    pub fn backend_off_diagonal_mean_auroc(&self, backend: &str) -> f32 {
+        mean(
+            self.cells
+                .iter()
+                .filter(|c| c.train_domain != c.score_domain)
+                .flat_map(|c| &c.backends)
+                .filter(|b| b.backend == backend)
+                .map(|b| b.auroc),
+        )
+    }
+
     /// Renders the matrix as a fixed-width text table; each cell shows
-    /// `AUROC/exceedance/SSIM`.
+    /// the headline `AUROC/exceedance/SSIM`, followed by one
+    /// off-diagonal summary line per backend.
     pub fn render_table(&self) -> String {
         let mut out = String::new();
         out.push_str(&format!("{:<10}", "train\\score"));
@@ -221,10 +294,18 @@ impl GridReport {
             out.push('\n');
         }
         out.push_str(&format!(
-            "diagonal mean AUROC {:.3} | off-diagonal mean AUROC {:.3}\n",
+            "diagonal mean AUROC {:.3} | off-diagonal mean AUROC {:.3}{}\n",
             self.diagonal_mean_auroc(),
-            self.off_diagonal_mean_auroc()
+            self.off_diagonal_mean_auroc(),
+            if self.ensemble { " (ensemble)" } else { "" }
         ));
+        for b in &self.backends {
+            out.push_str(&format!(
+                "backend {:<12} off-diagonal mean AUROC {:.3}\n",
+                b,
+                self.backend_off_diagonal_mean_auroc(b)
+            ));
+        }
         out
     }
 
@@ -305,6 +386,26 @@ fn validate_domains(domains: &[GridDomain]) -> Result<Vec<ModifierStack>> {
     Ok(stacks)
 }
 
+fn validate_backends(cfg: &GridConfig) -> Result<Vec<BackendKind>> {
+    if cfg.backends.is_empty() {
+        return Err(NoveltyError::invalid(
+            "evalgrid",
+            "at least one backend is required",
+        ));
+    }
+    let mut kinds = cfg.backends.clone();
+    kinds.sort_by_key(|k| k.id());
+    for pair in kinds.windows(2) {
+        if pair[0] == pair[1] {
+            return Err(NoveltyError::invalid(
+                "evalgrid",
+                format!("duplicate backend {:?}", pair[0].id()),
+            ));
+        }
+    }
+    Ok(kinds)
+}
+
 fn base_dataset(cfg: &GridConfig, len: usize, seed: u64) -> DrivingDataset {
     DatasetConfig::outdoor()
         .with_len(len)
@@ -317,7 +418,37 @@ fn images_of(ds: &DrivingDataset) -> Vec<Image> {
     ds.frames().iter().map(|f| f.image.clone()).collect()
 }
 
-/// Runs the full grid: trains one detector per domain (stage
+/// Fuses member-major per-image scores into per-image ensemble scores
+/// (top-2 oriented percentile rank, see [`fuse_verdict`]) and the
+/// fraction of images whose fused vote flagged novel.
+fn fuse_columns(
+    members: &[NoveltyDetector],
+    per_member: &[Vec<f32>],
+    quorum: u32,
+) -> (Vec<f32>, f32) {
+    let n_images = per_member.first().map_or(0, Vec::len);
+    let mut scores = Vec::with_capacity(members.len());
+    let mut fused = Vec::with_capacity(n_images);
+    let mut flagged = 0usize;
+    for i in 0..n_images {
+        scores.clear();
+        for (det, column) in members.iter().zip(per_member) {
+            scores.push(det.backend_score(column[i]));
+        }
+        let v = fuse_verdict(&scores, quorum);
+        flagged += usize::from(v.is_novel);
+        fused.push(v.score);
+    }
+    let rate = if n_images == 0 {
+        0.0
+    } else {
+        flagged as f32 / n_images as f32
+    };
+    (fused, rate)
+}
+
+/// Runs the full grid: trains one detector per (domain, backend) pair
+/// with a per-domain shared steering CNN (stage
 /// `evalgrid-train-<name>`), then scores every (train, score) pair
 /// (stage `evalgrid-cell-<a>-<b>`).
 ///
@@ -328,13 +459,15 @@ fn images_of(ds: &DrivingDataset) -> Vec<Image> {
 /// # Errors
 ///
 /// Fails on invalid domains (bad name, bad spec, duplicates, fewer than
-/// two), zero-length datasets, or any training/scoring failure.
+/// two), an empty or duplicated backend list, zero-length datasets, or
+/// any training/scoring failure.
 pub fn run_evalgrid(
     domains: &[GridDomain],
     cfg: &GridConfig,
     recorder: &dyn Recorder,
 ) -> Result<GridReport> {
     let stacks = validate_domains(domains)?;
+    let kinds = validate_backends(cfg)?;
     if cfg.train_len == 0 || cfg.test_len == 0 {
         return Err(NoveltyError::invalid(
             "evalgrid",
@@ -346,35 +479,53 @@ pub fn run_evalgrid(
     let target_base = base_dataset(cfg, cfg.test_len, cfg.seed.wrapping_add(1));
     let score_base = base_dataset(cfg, cfg.test_len, cfg.seed.wrapping_add(2));
 
-    // Per-domain artifacts.
-    let mut detectors = Vec::with_capacity(domains.len());
-    let mut target_scores = Vec::with_capacity(domains.len());
+    // Per-domain artifacts. `ensembles[d]` holds the domain's member
+    // detectors sorted by backend id (matching `kinds`);
+    // `target_scores[d][m]` the held-out scores of member `m`.
+    let mut ensembles = Vec::with_capacity(domains.len());
+    let mut target_scores: Vec<Vec<Vec<f32>>> = Vec::with_capacity(domains.len());
+    let mut target_fused: Vec<Vec<f32>> = Vec::with_capacity(domains.len());
     let mut score_images: Vec<Vec<Image>> = Vec::with_capacity(domains.len());
     let mut domain_reports = Vec::with_capacity(domains.len());
     for (d, stack) in domains.iter().zip(&stacks) {
         let train_ds = train_base.modified(stack, cfg.seed);
         let target_ds = target_base.modified(stack, cfg.seed.wrapping_add(1));
         let score_ds = score_base.modified(stack, cfg.seed.wrapping_add(2));
-        let detector = obs::time(recorder, &format!("evalgrid-train-{}", d.name), || {
-            NoveltyDetectorBuilder::for_kind(cfg.kind)
-                .cnn_epochs(cfg.cnn_epochs)
-                .ae_epochs(cfg.ae_epochs)
-                .seed(cfg.seed)
-                .train_recorded(&train_ds, recorder)
+        let base = NoveltyDetectorBuilder::paper()
+            .cnn_epochs(cfg.cnn_epochs)
+            .ae_epochs(cfg.ae_epochs)
+            .seed(cfg.seed);
+        let ensemble = obs::time(recorder, &format!("evalgrid-train-{}", d.name), || {
+            EnsembleDetector::train_recorded(&base, &kinds, &train_ds, recorder)
         })?;
         let held_out = images_of(&target_ds);
-        let scores = detector.score_batch_recorded(&held_out, recorder)?;
+        let mut member_scores = Vec::with_capacity(kinds.len());
+        for member in ensemble.members() {
+            member_scores.push(member.score_batch_recorded(&held_out, recorder)?);
+        }
+        let (fused, _) = fuse_columns(ensemble.members(), &member_scores, ensemble.quorum());
+        let thresholds: Vec<BackendThreshold> = ensemble
+            .members()
+            .iter()
+            .map(|m| BackendThreshold {
+                backend: m.kind().id().to_string(),
+                threshold: m.threshold().value(),
+            })
+            .collect();
+        let first_threshold = thresholds.first().map_or(0.0, |t| t.threshold);
         recorder.gauge(
             &format!("evalgrid.threshold.{}", d.name),
-            detector.threshold().value() as f64,
+            first_threshold as f64,
         );
         domain_reports.push(GridDomainReport {
             name: d.name.clone(),
             spec: stack.spec(),
-            threshold: detector.threshold().value(),
+            threshold: first_threshold,
+            thresholds,
         });
-        detectors.push(detector);
-        target_scores.push(scores);
+        ensembles.push(ensemble);
+        target_scores.push(member_scores);
+        target_fused.push(fused);
         score_images.push(images_of(&score_ds));
     }
 
@@ -395,22 +546,46 @@ pub fn run_evalgrid(
         }
     }
 
+    let fused_orientation = Direction::HigherIsNovel.orientation();
     let mut cells = Vec::with_capacity(n * n);
-    for (a, det) in detectors.iter().enumerate() {
-        let orientation = det.threshold().direction().orientation();
-        let threshold = det.threshold().value();
+    for (a, ens) in ensembles.iter().enumerate() {
         for b in 0..n {
             let cell = obs::time(
                 recorder,
                 &format!("evalgrid-cell-{}-{}", domains[a].name, domains[b].name),
                 || -> Result<GridCell> {
-                    let scores = det.score_batch_recorded(&score_images[b], recorder)?;
+                    let mut member_scores = Vec::with_capacity(kinds.len());
+                    let mut backends = Vec::with_capacity(kinds.len());
+                    for (m, member) in ens.members().iter().enumerate() {
+                        let scores = member.score_batch_recorded(&score_images[b], recorder)?;
+                        let orientation = member.threshold().direction().orientation();
+                        backends.push(BackendCellReport {
+                            backend: member.kind().id().to_string(),
+                            auroc: auroc(&target_scores[a][m], &scores, orientation)?,
+                            exceedance: detection_rate(
+                                &scores,
+                                member.threshold().value(),
+                                orientation,
+                            )?,
+                        });
+                        member_scores.push(scores);
+                    }
+                    let (cell_auroc, cell_exceedance) = if cfg.ensemble {
+                        let (fused, flagged) =
+                            fuse_columns(ens.members(), &member_scores, ens.quorum());
+                        (auroc(&target_fused[a], &fused, fused_orientation)?, flagged)
+                    } else {
+                        backends
+                            .first()
+                            .map_or((0.0, 0.0), |c| (c.auroc, c.exceedance))
+                    };
                     let cell = GridCell {
                         train_domain: domains[a].name.clone(),
                         score_domain: domains[b].name.clone(),
-                        auroc: auroc(&target_scores[a], &scores, orientation)?,
-                        exceedance: detection_rate(&scores, threshold, orientation)?,
+                        auroc: cell_auroc,
+                        exceedance: cell_exceedance,
                         mean_ssim: pair_ssim[a * n + b],
+                        backends,
                     };
                     recorder.gauge(
                         &format!("evalgrid.auroc.{}.{}", cell.train_domain, cell.score_domain),
@@ -423,9 +598,12 @@ pub fn run_evalgrid(
         }
     }
 
+    let backend_ids: Vec<String> = kinds.iter().map(|k| k.id().to_string()).collect();
     Ok(GridReport {
         schema_version: EVALGRID_SCHEMA_VERSION,
-        pipeline: cfg.kind.name().to_string(),
+        pipeline: backend_ids.join(","),
+        backends: backend_ids,
+        ensemble: cfg.ensemble,
         seed: cfg.seed,
         train_len: cfg.train_len as u64,
         test_len: cfg.test_len as u64,
@@ -453,10 +631,22 @@ mod tests {
         assert_eq!(report.schema_version, EVALGRID_SCHEMA_VERSION);
         assert_eq!(report.domains.len(), 2);
         assert_eq!(report.cells.len(), 4);
+        assert_eq!(report.backends, vec!["vbp+ssim".to_string()]);
+        assert_eq!(report.pipeline, "vbp+ssim");
+        assert!(!report.ensemble);
         for c in &report.cells {
             assert!((0.0..=1.0).contains(&c.auroc), "auroc {}", c.auroc);
             assert!((0.0..=1.0).contains(&c.exceedance));
             assert!(c.mean_ssim.is_finite());
+            // Single-backend run: headline numbers are the backend's.
+            assert_eq!(c.backends.len(), 1);
+            assert_eq!(c.backends[0].backend, "vbp+ssim");
+            assert_eq!(c.backends[0].auroc, c.auroc);
+            assert_eq!(c.backends[0].exceedance, c.exceedance);
+        }
+        for d in &report.domains {
+            assert_eq!(d.thresholds.len(), 1);
+            assert_eq!(d.thresholds[0].threshold, d.threshold);
         }
         // Diagonal SSIM compares identical renderings.
         let diag = report.cell("clear", "clear").unwrap();
@@ -474,6 +664,49 @@ mod tests {
         let table = report.render_table();
         assert!(table.contains("fognight"));
         assert!(table.contains("diagonal mean AUROC"));
+        assert!(table.contains("backend vbp+ssim"));
+    }
+
+    #[test]
+    fn ensemble_grid_reports_backends_side_by_side() {
+        let mut cfg = GridConfig::quick(5);
+        cfg.backends = vec![BackendKind::VbpSsim, BackendKind::RawMse];
+        cfg.ensemble = true;
+        let report = run_evalgrid(&quick_domains(), &cfg, obs::noop()).unwrap();
+        // Backend order is sorted by id regardless of config order.
+        assert_eq!(
+            report.backends,
+            vec!["raw+mse".to_string(), "vbp+ssim".to_string()]
+        );
+        assert_eq!(report.pipeline, "raw+mse,vbp+ssim");
+        assert!(report.ensemble);
+        for c in &report.cells {
+            assert_eq!(c.backends.len(), 2);
+            assert_eq!(c.backends[0].backend, "raw+mse");
+            assert_eq!(c.backends[1].backend, "vbp+ssim");
+            assert!((0.0..=1.0).contains(&c.auroc), "auroc {}", c.auroc);
+            assert!((0.0..=1.0).contains(&c.exceedance));
+            for bc in &c.backends {
+                assert!((0.0..=1.0).contains(&bc.auroc));
+                assert!((0.0..=1.0).contains(&bc.exceedance));
+            }
+        }
+        for d in &report.domains {
+            assert_eq!(d.thresholds.len(), 2);
+            assert_eq!(d.thresholds[0].backend, "raw+mse");
+        }
+        let table = report.render_table();
+        assert!(table.contains("(ensemble)"));
+        assert!(table.contains("backend raw+mse"));
+        // The vbp+ssim column must match a single-backend run of the
+        // same seed (shared-CNN training is bit-identical).
+        let single = run_evalgrid(&quick_domains(), &GridConfig::quick(5), obs::noop()).unwrap();
+        for c in &report.cells {
+            let s = single.cell(&c.train_domain, &c.score_domain).unwrap();
+            let vbp = &c.backends[1];
+            assert_eq!(vbp.auroc, s.auroc, "{}→{}", c.train_domain, c.score_domain);
+            assert_eq!(vbp.exceedance, s.exceedance);
+        }
     }
 
     #[test]
@@ -516,6 +749,14 @@ mod tests {
             GridDomain::new("b", "blizzard@0.5"),
         ];
         assert!(run_evalgrid(&bad_spec, &cfg, rec).is_err());
+        // No backends.
+        let mut no_backends = GridConfig::quick(1);
+        no_backends.backends.clear();
+        assert!(run_evalgrid(&quick_domains(), &no_backends, rec).is_err());
+        // Duplicate backends.
+        let mut dup_backends = GridConfig::quick(1);
+        dup_backends.backends = vec![BackendKind::VbpSsim, BackendKind::VbpSsim];
+        assert!(run_evalgrid(&quick_domains(), &dup_backends, rec).is_err());
     }
 
     #[test]

@@ -45,25 +45,34 @@ pub mod eval;
 pub mod evalgrid;
 pub mod monitor;
 
+mod backend;
 mod calibrate;
 mod classifier;
+mod ensemble;
 mod error;
 mod gate;
 mod health;
+mod modelchar;
 mod persist;
 mod pipeline;
 mod runtime;
 
+pub use backend::{
+    AutoencoderBackend, BackendKind, Detector, PipelineKind, Preprocessing, ScoreBackend,
+};
 pub use calibrate::{Calibrator, Direction, Threshold};
 pub use classifier::{AutoencoderClassifier, ClassifierConfig, ReconstructionObjective};
+pub use ensemble::{fuse_verdict, EnsembleDetector};
 pub use error::NoveltyError;
 pub use gate::{FrameFault, FrameGate, GateConfig};
 pub use health::{HealthConfig, HealthEvent, HealthState, HealthTracker, HealthTransition};
+pub use modelchar::{ModelCharBackend, StatProfile};
 pub use persist::{
-    detector_from_spec, detector_to_spec, load_detector, save_detector, DetectorSpec,
-    DETECTOR_SCHEMA_VERSION,
+    detector_from_spec, detector_to_spec, ensemble_from_spec, load_any, load_detector,
+    save_detector, DetectorSpec, EnsembleSpec, LoadedDetector, DETECTOR_SCHEMA_VERSION,
+    ENSEMBLE_SCHEMA_VERSION,
 };
-pub use pipeline::{NoveltyDetector, NoveltyDetectorBuilder, PipelineKind, Preprocessing, Verdict};
+pub use pipeline::{BackendScore, NoveltyDetector, NoveltyDetectorBuilder, Verdict};
 pub use runtime::{DecisionSource, FallbackPolicy, StreamConfig, StreamDecision, StreamRuntime};
 
 /// Convenience alias used across the crate.

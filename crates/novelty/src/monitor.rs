@@ -138,7 +138,7 @@ impl StreamMonitor {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{Direction, PipelineKind};
+    use crate::Direction;
     use proptest::prelude::*;
 
     fn verdict(is_novel: bool) -> Verdict {
@@ -148,7 +148,10 @@ mod tests {
             threshold: 0.5,
             direction: Direction::LowerIsNovel,
             percentile_rank: if is_novel { 0.5 } else { 60.0 },
-            kind: PipelineKind::VbpSsim,
+            backend: "vbp+ssim",
+            novel_votes: u32::from(is_novel),
+            total_votes: 1,
+            backends: Vec::new(),
         }
     }
 

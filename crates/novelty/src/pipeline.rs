@@ -1,15 +1,19 @@
 //! The end-to-end novelty-detection pipeline (paper Fig. 1).
 //!
-//! `training images → steering CNN → VBP masks → autoencoder → threshold`.
+//! `training images → steering CNN → score backend → threshold`.
 //!
-//! [`NoveltyDetectorBuilder`] owns every knob; its presets reproduce the
-//! three pipelines the paper compares in Fig. 5:
+//! A [`NoveltyDetector`] is one calibrated [`ScoreBackend`] (see
+//! [`crate::backend`]): the paper's VBP+SSIM pipeline, either of its two
+//! Fig. 5 ablations, or the model-characterization backend of
+//! [`crate::ModelCharBackend`]. [`NoveltyDetectorBuilder`] owns every
+//! knob; its presets reproduce the pipelines the paper compares:
 //!
-//! | preset | preprocessing | objective | role |
-//! |---|---|---|---|
-//! | [`NoveltyDetectorBuilder::paper`] | VBP | SSIM | the paper's method |
-//! | [`NoveltyDetectorBuilder::vbp_mse_ablation`] | VBP | MSE | middle histogram |
-//! | [`NoveltyDetectorBuilder::richter_roy`] | raw | MSE | prior work (reference 9) |
+//! | preset | backend | role |
+//! |---|---|---|
+//! | [`NoveltyDetectorBuilder::paper`] | `vbp+ssim` | the paper's method |
+//! | [`NoveltyDetectorBuilder::vbp_mse_ablation`] | `vbp+mse` | middle histogram |
+//! | [`NoveltyDetectorBuilder::richter_roy`] | `raw+mse` | prior work (reference 9) |
+//! | [`NoveltyDetectorBuilder::model_characterization`] | `model-char` | Kwon et al. |
 
 use metrics::ecdf::Ecdf;
 use ndtensor::Tensor;
@@ -18,79 +22,70 @@ use neural::models::{pilotnet, PilotNetConfig};
 use neural::optim::Adam;
 use neural::{fit_recorded, Network, TrainConfig};
 use obs::{Recorder, Scoped, Span};
-use saliency::{visual_backprop, visual_backprop_batch_recorded};
-use serde::{Deserialize, Serialize};
+use saliency::visual_backprop_batch_recorded;
+use serde::Serialize;
 use simdrive::DrivingDataset;
 use vision::Image;
 
+use crate::backend::{AutoencoderBackend, BackendKind, Detector, Preprocessing, ScoreBackend};
 use crate::classifier::stack_images;
+use crate::modelchar::ModelCharBackend;
 use crate::{
     AutoencoderClassifier, Calibrator, ClassifierConfig, Direction, NoveltyError,
     ReconstructionObjective, Result, Threshold,
 };
 
-/// The preprocessing layer: feed raw frames to the one-class classifier,
-/// or VisualBackProp masks computed on the trained steering CNN.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
-pub enum Preprocessing {
-    /// Raw grayscale frames (Richter & Roy baseline).
-    Raw,
-    /// VisualBackProp saliency masks (the paper's preprocessing).
-    Vbp,
+/// One backend's contribution to a [`Verdict`]: its raw score, the
+/// calibrated threshold it was compared against, and where the score
+/// sits in that backend's own training distribution.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct BackendScore {
+    /// The backend's registry id (`raw+mse`, `vbp+ssim`, ...).
+    pub backend: &'static str,
+    /// The backend's raw score for this image.
+    pub score: f32,
+    /// The backend's calibrated threshold.
+    pub threshold: f32,
+    /// Which side of the threshold counts as novel for this backend.
+    pub direction: Direction,
+    /// Where the score falls in the backend's calibration distribution,
+    /// in `[0, 100]`.
+    pub percentile_rank: f32,
+    /// The backend's own vote: `true` when it flags the image novel.
+    pub is_novel: bool,
 }
 
-impl Preprocessing {
-    /// Short name for reports.
-    pub fn name(&self) -> &'static str {
-        match self {
-            Preprocessing::Raw => "raw",
-            Preprocessing::Vbp => "vbp",
+impl BackendScore {
+    /// The rank reoriented so that higher always means *more novel*
+    /// (inverts [`Direction::LowerIsNovel`] backends), in `[0, 100]`.
+    /// This is the common scale ensemble fusion averages over.
+    pub fn oriented_rank(&self) -> f32 {
+        match self.direction {
+            Direction::HigherIsNovel => self.percentile_rank,
+            Direction::LowerIsNovel => 100.0 - self.percentile_rank,
         }
-    }
-}
-
-/// The three pipeline variants compared in the paper's Fig. 5.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
-pub enum PipelineKind {
-    /// Raw images + MSE autoencoder (Richter & Roy, reference 9).
-    RawMse,
-    /// VBP masks + MSE autoencoder (ablation).
-    VbpMse,
-    /// VBP masks + SSIM autoencoder (the paper's method).
-    VbpSsim,
-}
-
-impl PipelineKind {
-    /// Short name used in figure outputs (matches the paper's labels).
-    pub fn name(&self) -> &'static str {
-        match self {
-            PipelineKind::RawMse => "raw+mse",
-            PipelineKind::VbpMse => "vbp+mse",
-            PipelineKind::VbpSsim => "vbp+ssim",
-        }
-    }
-
-    /// All three variants in Fig. 5's left-to-right order.
-    pub fn all() -> [PipelineKind; 3] {
-        [
-            PipelineKind::RawMse,
-            PipelineKind::VbpMse,
-            PipelineKind::VbpSsim,
-        ]
     }
 }
 
 /// One classification outcome, carrying the full decision context: not
 /// just the flag but the score, the threshold it was compared against,
-/// where the score sits in the calibration distribution, and which
-/// pipeline produced it — enough to log, audit, or replay the decision
-/// without the detector at hand.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+/// where the score sits in the calibration distribution, which backend
+/// produced it, and — for ensemble verdicts — every member backend's
+/// score and vote. Enough to log, audit, or replay the decision without
+/// the detector at hand.
+///
+/// Single-backend verdicts have `total_votes == 1` and an empty
+/// `backends` list (the top-level fields *are* the backend's entry);
+/// ensemble verdicts carry one [`BackendScore`] per member, sorted by
+/// backend id, and their top-level `score` / `percentile_rank` are the
+/// fused top-2 oriented rank (see [`crate::fuse_verdict`]).
+#[derive(Debug, Clone, PartialEq, Serialize)]
 #[must_use = "a Verdict is the detector's safety decision; dropping it discards the novelty flag"]
 pub struct Verdict {
     /// `true` when the input was flagged novel.
     pub is_novel: bool,
-    /// The reconstruction score (MSE or SSIM depending on the pipeline).
+    /// The score compared against `threshold` (a backend's raw score,
+    /// or the fused top-2 oriented rank for ensembles).
     pub score: f32,
     /// The calibrated threshold the score was compared against.
     pub threshold: f32,
@@ -98,19 +93,28 @@ pub struct Verdict {
     pub direction: Direction,
     /// Where the score falls in the calibration distribution, in
     /// `[0, 100]`: the percentage of training scores `<=` this score
-    /// (0.0 when the detector carries no training scores).
+    /// (0.0 when the detector carries no training scores). For ensemble
+    /// verdicts this equals the fused score (already a rank).
     pub percentile_rank: f32,
-    /// The pipeline variant that produced this verdict.
-    pub kind: PipelineKind,
+    /// The registry id of the backend that produced this verdict, or
+    /// `"ensemble"` for fused verdicts.
+    pub backend: &'static str,
+    /// How many member backends voted novel (1 or 0 for single-backend
+    /// verdicts).
+    pub novel_votes: u32,
+    /// How many member backends voted (1 for single-backend verdicts).
+    pub total_votes: u32,
+    /// Per-member scores for ensemble verdicts, sorted by backend id;
+    /// empty for single-backend verdicts.
+    pub backends: Vec<BackendScore>,
 }
 
-/// A trained two-layer novelty detector.
+/// A trained novelty detector: one calibrated [`ScoreBackend`] plus the
+/// threshold and training-score distribution calibrated on it.
 #[derive(Debug)]
 pub struct NoveltyDetector {
-    steering: Option<Network>,
-    classifier: AutoencoderClassifier,
+    backend: Box<dyn ScoreBackend>,
     threshold: Threshold,
-    preprocessing: Preprocessing,
     training_scores: Vec<f32>,
     /// ECDF over `training_scores`, cached so every [`Verdict`] can
     /// carry a percentile rank without re-sorting. `None` when there are
@@ -119,6 +123,36 @@ pub struct NoveltyDetector {
 }
 
 impl NoveltyDetector {
+    /// Assembles a detector from a calibrated backend.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the threshold's direction disagrees with the
+    /// backend's.
+    pub fn from_backend(
+        backend: Box<dyn ScoreBackend>,
+        threshold: Threshold,
+        training_scores: Vec<f32>,
+    ) -> Result<Self> {
+        if threshold.direction() != backend.direction() {
+            return Err(NoveltyError::invalid(
+                "NoveltyDetector",
+                format!(
+                    "threshold direction {:?} disagrees with the {} backend",
+                    threshold.direction(),
+                    backend.kind().id()
+                ),
+            ));
+        }
+        let score_ecdf = Ecdf::new(training_scores.clone()).ok();
+        Ok(NoveltyDetector {
+            backend,
+            threshold,
+            training_scores,
+            score_ecdf,
+        })
+    }
+
     pub(crate) fn from_parts(
         steering: Option<Network>,
         classifier: AutoencoderClassifier,
@@ -126,26 +160,20 @@ impl NoveltyDetector {
         preprocessing: Preprocessing,
         training_scores: Vec<f32>,
     ) -> Result<Self> {
-        if preprocessing == Preprocessing::Vbp && steering.is_none() {
-            return Err(NoveltyError::invalid(
-                "NoveltyDetector",
-                "VBP preprocessing requires a steering network",
-            ));
-        }
-        let score_ecdf = Ecdf::new(training_scores.clone()).ok();
-        Ok(NoveltyDetector {
-            steering,
-            classifier,
-            threshold,
-            preprocessing,
-            training_scores,
-            score_ecdf,
-        })
+        let backend = AutoencoderBackend::new(steering, classifier, preprocessing)?;
+        Self::from_backend(Box::new(backend), threshold, training_scores)
     }
 
-    /// The preprocessing layer in use.
-    pub fn preprocessing(&self) -> Preprocessing {
-        self.preprocessing
+    /// The score backend this detector calibrates.
+    pub fn backend(&self) -> &dyn ScoreBackend {
+        self.backend.as_ref()
+    }
+
+    /// The preprocessing layer in use, for backends that have one
+    /// (`None` for model characterization, which consumes frames
+    /// directly).
+    pub fn preprocessing(&self) -> Option<Preprocessing> {
+        self.backend.kind().preprocessing()
     }
 
     /// The calibrated threshold.
@@ -153,14 +181,24 @@ impl NoveltyDetector {
         self.threshold
     }
 
-    /// The one-class classifier.
-    pub fn classifier(&self) -> &AutoencoderClassifier {
-        &self.classifier
+    /// The `(height, width)` frame geometry the detector expects.
+    pub fn input_size(&self) -> (usize, usize) {
+        self.backend.input_size()
     }
 
-    /// The trained steering network, when the pipeline uses VBP.
+    /// The one-class classifier, for autoencoder backends.
+    pub fn classifier(&self) -> Option<&AutoencoderClassifier> {
+        self.backend.classifier()
+    }
+
+    /// The trained steering network, when the backend carries one.
     pub fn steering_network(&self) -> Option<&Network> {
-        self.steering.as_ref()
+        self.backend.steering_network()
+    }
+
+    /// Short name of the scoring metric (`mse`, `ssim`, `layer-stats`).
+    pub fn metric_name(&self) -> &'static str {
+        self.backend.metric_name()
     }
 
     /// The classifier scores of the training images (the empirical
@@ -169,13 +207,9 @@ impl NoveltyDetector {
         &self.training_scores
     }
 
-    /// The pipeline variant this detector implements.
-    pub fn kind(&self) -> PipelineKind {
-        match (self.preprocessing, self.classifier.objective()) {
-            (Preprocessing::Raw, _) => PipelineKind::RawMse,
-            (Preprocessing::Vbp, ReconstructionObjective::Mse) => PipelineKind::VbpMse,
-            (Preprocessing::Vbp, ReconstructionObjective::Ssim { .. }) => PipelineKind::VbpSsim,
-        }
+    /// The backend this detector implements.
+    pub fn kind(&self) -> BackendKind {
+        self.backend.kind()
     }
 
     /// Where `score` falls in the calibration distribution, in
@@ -189,37 +223,47 @@ impl NoveltyDetector {
         }
     }
 
-    /// Builds the full-context [`Verdict`] for an already-computed score.
-    fn verdict_for(&self, score: f32) -> Verdict {
-        Verdict {
-            is_novel: self.threshold.is_novel(score),
+    /// This detector's [`BackendScore`] entry for an already-computed
+    /// score — the per-member line an ensemble verdict carries.
+    pub fn backend_score(&self, score: f32) -> BackendScore {
+        BackendScore {
+            backend: self.kind().id(),
             score,
             threshold: self.threshold.value(),
             direction: self.threshold.direction(),
             percentile_rank: self.percentile_rank(score),
-            kind: self.kind(),
+            is_novel: self.threshold.is_novel(score),
         }
     }
 
-    /// Applies the pipeline's preprocessing to an image (identity for
-    /// raw pipelines, VBP mask otherwise).
+    /// Builds the full-context [`Verdict`] for an already-computed score.
+    fn verdict_for(&self, score: f32) -> Verdict {
+        let is_novel = self.threshold.is_novel(score);
+        Verdict {
+            is_novel,
+            score,
+            threshold: self.threshold.value(),
+            direction: self.threshold.direction(),
+            percentile_rank: self.percentile_rank(score),
+            backend: self.kind().id(),
+            novel_votes: u32::from(is_novel),
+            total_votes: 1,
+            backends: Vec::new(),
+        }
+    }
+
+    /// Applies the backend's preprocessing to an image (identity for
+    /// raw pipelines, VBP mask for saliency pipelines, identity for
+    /// model characterization).
     ///
     /// # Errors
     ///
     /// Fails when the image size is incompatible with the CNN.
     pub fn preprocess(&self, image: &Image) -> Result<Image> {
-        match (self.preprocessing, &self.steering) {
-            (Preprocessing::Raw, _) => Ok(image.clone()),
-            (Preprocessing::Vbp, Some(net)) => Ok(visual_backprop(net, image)?),
-            (Preprocessing::Vbp, None) => Err(NoveltyError::invalid(
-                "preprocess",
-                "VBP preprocessing requires a steering network",
-            )),
-        }
+        self.backend.preprocess(image)
     }
 
-    /// Scores an image (after preprocessing) under the classifier's
-    /// objective.
+    /// Scores an image under the backend's metric.
     ///
     /// # Errors
     ///
@@ -231,23 +275,23 @@ impl NoveltyDetector {
                 "image contains NaN or infinite pixels",
             ));
         }
-        // Both pipeline variants ultimately require the classifier's
-        // training geometry (VBP masks are input-sized); checking here
+        // Every backend requires its training geometry (VBP masks are
+        // input-sized, the profile is geometry-specific); checking here
         // gives a direct message instead of a deep conv-layer error.
-        if image.height() != self.classifier.height() || image.width() != self.classifier.width() {
+        let (height, width) = self.backend.input_size();
+        if image.height() != height || image.width() != width {
             return Err(NoveltyError::invalid(
                 "score",
                 format!(
                     "image is {}x{} but the detector was trained on {}x{} frames",
                     image.height(),
                     image.width(),
-                    self.classifier.height(),
-                    self.classifier.width()
+                    height,
+                    width
                 ),
             ));
         }
-        let rep = self.preprocess(image)?;
-        self.classifier.score(&rep)
+        self.backend.score(image)
     }
 
     /// Scores a batch of images, fanning the work out over the pool
@@ -283,9 +327,10 @@ impl NoveltyDetector {
         images: &[Image],
         recorder: &dyn Recorder,
     ) -> Result<Vec<f32>> {
+        let (height, width) = self.backend.input_size();
         let work = images
             .len()
-            .saturating_mul(self.classifier.height() * self.classifier.width())
+            .saturating_mul(height * width)
             .saturating_mul(64);
         let pool_before = recorder.enabled().then(obs::par_snapshot);
         let scratch_before = recorder.enabled().then(obs::scratch_snapshot);
@@ -340,27 +385,52 @@ impl NoveltyDetector {
     ///
     /// # Errors
     ///
-    /// Fails when the image size is incompatible with the pipeline.
+    /// Fails for backends without a reconstruction pair (model
+    /// characterization), or when the image size is incompatible.
     pub fn reconstruct(&self, image: &Image) -> Result<(Image, Image)> {
-        let rep = self.preprocess(image)?;
-        let recon = self.classifier.reconstruct(&rep)?;
-        Ok((rep, recon))
+        self.backend.reconstruct(image)
     }
 
-    /// Predicts the steering angle for a frame (only for VBP pipelines,
-    /// which carry the trained CNN).
+    /// Predicts the steering angle for a frame (only for backends that
+    /// carry the trained CNN).
     ///
     /// # Errors
     ///
     /// Fails for raw pipelines or incompatible image sizes.
     pub fn predict_steering(&self, image: &Image) -> Result<f32> {
-        let net = self.steering.as_ref().ok_or_else(|| {
+        let net = self.backend.steering_network().ok_or_else(|| {
             NoveltyError::invalid("predict_steering", "pipeline has no steering network")
         })?;
         let input = image
             .tensor()
             .reshape([1, 1, image.height(), image.width()])?;
         Ok(net.forward(&input)?.as_slice()[0])
+    }
+}
+
+impl Detector for NoveltyDetector {
+    fn input_size(&self) -> (usize, usize) {
+        self.backend.input_size()
+    }
+
+    fn classify(&self, image: &Image) -> Result<Verdict> {
+        NoveltyDetector::classify(self, image)
+    }
+
+    fn classify_batch_recorded(
+        &self,
+        images: &[Image],
+        recorder: &dyn Recorder,
+    ) -> Result<Vec<Verdict>> {
+        Ok(self
+            .score_batch_recorded(images, recorder)?
+            .into_iter()
+            .map(|score| self.verdict_for(score))
+            .collect())
+    }
+
+    fn label(&self) -> String {
+        self.kind().id().to_string()
     }
 }
 
@@ -371,6 +441,9 @@ impl NoveltyDetector {
 pub struct NoveltyDetectorBuilder {
     preprocessing: Preprocessing,
     classifier: ClassifierConfig,
+    /// When set, train the model-characterization backend instead of an
+    /// autoencoder (the classifier config is then unused).
+    model_char: bool,
     cnn_config: PilotNetConfig,
     cnn_epochs: usize,
     cnn_learning_rate: f32,
@@ -392,6 +465,7 @@ impl NoveltyDetectorBuilder {
         NoveltyDetectorBuilder {
             preprocessing: Preprocessing::Vbp,
             classifier: ClassifierConfig::paper(),
+            model_char: false,
             cnn_config: PilotNetConfig::compact(),
             cnn_epochs: 8,
             cnn_learning_rate: 1e-3,
@@ -425,13 +499,55 @@ impl NoveltyDetectorBuilder {
         }
     }
 
-    /// Builder for one of the three named pipeline variants.
-    pub fn for_kind(kind: PipelineKind) -> Self {
-        match kind {
-            PipelineKind::RawMse => Self::richter_roy(),
-            PipelineKind::VbpMse => Self::vbp_mse_ablation(),
-            PipelineKind::VbpSsim => Self::paper(),
+    /// The model-characterization backend (Kwon et al.,
+    /// arXiv:2008.06094): the steering CNN's own per-layer response
+    /// statistics against a calibrated training profile.
+    pub fn model_characterization() -> Self {
+        NoveltyDetectorBuilder {
+            model_char: true,
+            ..Self::paper()
         }
+    }
+
+    /// Builder for one of the registered backends.
+    pub fn for_kind(kind: BackendKind) -> Self {
+        match kind {
+            BackendKind::RawMse => Self::richter_roy(),
+            BackendKind::VbpMse => Self::vbp_mse_ablation(),
+            BackendKind::VbpSsim => Self::paper(),
+            BackendKind::ModelChar => Self::model_characterization(),
+        }
+    }
+
+    /// Retargets this builder at another backend, keeping every shared
+    /// knob (epochs, seed, split, percentile, classifier capacity). The
+    /// SSIM window is preserved when the builder already scores with
+    /// SSIM; otherwise the paper's window is used.
+    pub fn backend(mut self, kind: BackendKind) -> Self {
+        self.model_char = false;
+        match kind {
+            BackendKind::RawMse => {
+                self.preprocessing = Preprocessing::Raw;
+                self.classifier.objective = ReconstructionObjective::Mse;
+            }
+            BackendKind::VbpMse => {
+                self.preprocessing = Preprocessing::Vbp;
+                self.classifier.objective = ReconstructionObjective::Mse;
+            }
+            BackendKind::VbpSsim => {
+                self.preprocessing = Preprocessing::Vbp;
+                if !matches!(
+                    self.classifier.objective,
+                    ReconstructionObjective::Ssim { .. }
+                ) {
+                    self.classifier.objective = ReconstructionObjective::paper_ssim();
+                }
+            }
+            BackendKind::ModelChar => {
+                self.model_char = true;
+            }
+        }
+        self
     }
 
     /// Sets the master seed (CNN init, AE init, shuffles).
@@ -440,9 +556,10 @@ impl NoveltyDetectorBuilder {
         self
     }
 
-    /// Overrides the preprocessing layer.
+    /// Overrides the preprocessing layer (autoencoder backends only).
     pub fn preprocessing(mut self, preprocessing: Preprocessing) -> Self {
         self.preprocessing = preprocessing;
+        self.model_char = false;
         self
     }
 
@@ -488,13 +605,21 @@ impl NoveltyDetectorBuilder {
         self
     }
 
-    /// The pipeline variant this builder currently describes.
-    pub fn kind(&self) -> PipelineKind {
-        match (self.preprocessing, &self.classifier.objective) {
-            (Preprocessing::Raw, _) => PipelineKind::RawMse,
-            (Preprocessing::Vbp, ReconstructionObjective::Mse) => PipelineKind::VbpMse,
-            (Preprocessing::Vbp, ReconstructionObjective::Ssim { .. }) => PipelineKind::VbpSsim,
+    /// The backend this builder currently describes.
+    pub fn kind(&self) -> BackendKind {
+        if self.model_char {
+            return BackendKind::ModelChar;
         }
+        match (self.preprocessing, &self.classifier.objective) {
+            (Preprocessing::Raw, _) => BackendKind::RawMse,
+            (Preprocessing::Vbp, ReconstructionObjective::Mse) => BackendKind::VbpMse,
+            (Preprocessing::Vbp, ReconstructionObjective::Ssim { .. }) => BackendKind::VbpSsim,
+        }
+    }
+
+    /// The train/calibration split fraction currently configured.
+    pub(crate) fn train_fraction_value(&self) -> f32 {
+        self.train_fraction
     }
 
     /// Trains the steering CNN on a dataset (exposed separately so
@@ -557,7 +682,7 @@ impl NoveltyDetectorBuilder {
 
     /// Trains the full pipeline on a driving dataset, using the paper's
     /// protocol: `train_fraction` of the frames train the CNN and the
-    /// autoencoder and provide the calibration distribution.
+    /// one-class layer and provide the calibration distribution.
     ///
     /// # Errors
     ///
@@ -570,8 +695,10 @@ impl NoveltyDetectorBuilder {
     /// [`NoveltyDetectorBuilder::train`] with observability: each
     /// pipeline stage is timed under its own span (`cnn-train`, `vbp`,
     /// `ae-train`, `scoring`, `calibration` — raw pipelines skip the
-    /// first two), per-epoch training curves land in the corresponding
-    /// series, and the calibrated threshold is recorded as a gauge.
+    /// first two, and the model-characterization backend replaces the
+    /// `vbp`/`ae-train` pair with a `profile` stage), per-epoch training
+    /// curves land in the corresponding series, and the calibrated
+    /// threshold is recorded as a gauge.
     ///
     /// Recording never changes what is trained: the resulting detector
     /// is identical (same weights, scores, threshold) with any recorder,
@@ -590,11 +717,11 @@ impl NoveltyDetectorBuilder {
 
     /// Like [`NoveltyDetectorBuilder::train`], but reuses an
     /// already-trained steering CNN instead of training one — used by the
-    /// figure experiments, which compare several autoencoder variants on
-    /// the *same* VBP representation (and by deployments that retrain the
-    /// one-class layer without touching the steering model).
+    /// figure experiments and the ensemble trainer, which compare several
+    /// backends on the *same* steering model (and by deployments that
+    /// retrain the one-class layer without touching the steering model).
     ///
-    /// For [`Preprocessing::Raw`] pipelines the provided CNN is ignored.
+    /// For the `raw+mse` backend the provided CNN is ignored.
     ///
     /// # Errors
     ///
@@ -636,6 +763,10 @@ impl NoveltyDetectorBuilder {
         }
         recorder.add("train.images", train_split.len() as u64);
         recorder.gauge("train.fraction", self.train_fraction as f64);
+
+        if self.model_char {
+            return self.train_model_char(&train_split, pretrained_cnn, recorder);
+        }
 
         let steering = match self.preprocessing {
             Preprocessing::Raw => None,
@@ -687,13 +818,8 @@ impl NoveltyDetectorBuilder {
         })?;
         recorder.add("scoring.scores_computed", training_scores.len() as u64);
 
-        let cal_span = Span::root(recorder, "calibration");
-        let threshold = Calibrator::new(self.percentile)?
-            .calibrate(&training_scores, classifier.direction())?;
-        cal_span.finish();
-        recorder.add("calibration.samples", training_scores.len() as u64);
-        recorder.gauge("calibration.threshold", threshold.value() as f64);
-        recorder.gauge("calibration.percentile", self.percentile as f64);
+        let threshold =
+            self.calibrate_recorded(&training_scores, classifier.direction(), recorder)?;
 
         NoveltyDetector::from_parts(
             steering,
@@ -703,11 +829,56 @@ impl NoveltyDetectorBuilder {
             training_scores,
         )
     }
+
+    /// The model-characterization training path: train (or reuse) the
+    /// steering CNN, then calibrate the per-layer statistics profile
+    /// under a `profile` stage and the threshold under `calibration`.
+    fn train_model_char(
+        &self,
+        train_split: &DrivingDataset,
+        pretrained_cnn: Option<Network>,
+        recorder: &dyn Recorder,
+    ) -> Result<NoveltyDetector> {
+        let steering = match pretrained_cnn {
+            Some(net) => net,
+            None => self.train_steering_cnn_recorded(train_split, recorder)?,
+        };
+        let images: Vec<Image> = train_split
+            .frames()
+            .iter()
+            .map(|f| f.image.clone())
+            .collect();
+        let (backend, training_scores) = obs::time(recorder, "profile", || {
+            ModelCharBackend::fit(steering, &images)
+        })?;
+        recorder.add("profile.frames", images.len() as u64);
+        recorder.add("scoring.scores_computed", training_scores.len() as u64);
+        let threshold = self.calibrate_recorded(&training_scores, backend.direction(), recorder)?;
+        NoveltyDetector::from_backend(Box::new(backend), threshold, training_scores)
+    }
+
+    /// Calibrates the threshold under a `calibration` span, recording
+    /// the sample count, threshold value, and percentile.
+    fn calibrate_recorded(
+        &self,
+        training_scores: &[f32],
+        direction: Direction,
+        recorder: &dyn Recorder,
+    ) -> Result<Threshold> {
+        let cal_span = Span::root(recorder, "calibration");
+        let threshold = Calibrator::new(self.percentile)?.calibrate(training_scores, direction)?;
+        cal_span.finish();
+        recorder.add("calibration.samples", training_scores.len() as u64);
+        recorder.gauge("calibration.threshold", threshold.value() as f64);
+        recorder.gauge("calibration.percentile", self.percentile as f64);
+        Ok(threshold)
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::backend::PipelineKind;
     use simdrive::DatasetConfig;
 
     /// A small, fast dataset for pipeline tests (images are tiny so VBP
@@ -748,9 +919,31 @@ mod tests {
             NoveltyDetectorBuilder::vbp_mse_ablation().kind(),
             PipelineKind::VbpMse
         );
-        for kind in PipelineKind::all() {
+        assert_eq!(
+            NoveltyDetectorBuilder::model_characterization().kind(),
+            BackendKind::ModelChar
+        );
+        for kind in BackendKind::all() {
             assert_eq!(NoveltyDetectorBuilder::for_kind(kind).kind(), kind);
+            // Retargeting an arbitrary builder reaches the same backend.
+            assert_eq!(fast_builder().backend(kind).kind(), kind);
         }
+        // Retargeting at vbp+ssim preserves a pre-configured SSIM window.
+        let retargeted = fast_builder().backend(BackendKind::VbpMse);
+        assert_eq!(
+            retargeted
+                .backend(BackendKind::VbpSsim)
+                .classifier
+                .objective,
+            ReconstructionObjective::paper_ssim()
+        );
+        assert_eq!(
+            fast_builder()
+                .backend(BackendKind::VbpSsim)
+                .classifier
+                .objective,
+            ReconstructionObjective::Ssim { window: 7 }
+        );
         assert_eq!(PipelineKind::VbpSsim.name(), "vbp+ssim");
         assert_eq!(Preprocessing::Vbp.name(), "vbp");
     }
@@ -770,7 +963,7 @@ mod tests {
             .seed(2)
             .train(&data)
             .unwrap();
-        assert_eq!(detector.preprocessing(), Preprocessing::Raw);
+        assert_eq!(detector.preprocessing(), Some(Preprocessing::Raw));
         assert!(detector.steering_network().is_none());
         // In-distribution frames mostly not flagged.
         let verdicts: Vec<Verdict> = data
@@ -781,6 +974,10 @@ mod tests {
             .collect();
         let flagged = verdicts.iter().filter(|v| v.is_novel).count();
         assert!(flagged <= 2, "{flagged} of 10 in-class frames flagged");
+        // Single-backend verdicts carry their backend id and one vote.
+        assert_eq!(verdicts[0].backend, "raw+mse");
+        assert_eq!(verdicts[0].total_votes, 1);
+        assert!(verdicts[0].backends.is_empty());
         // Preprocess is identity for raw pipelines.
         let img = &data.frames()[0].image;
         assert_eq!(&detector.preprocess(img).unwrap(), img);
@@ -806,6 +1003,39 @@ mod tests {
         assert!(!detector.training_scores().is_empty());
         let t = detector.threshold();
         assert_eq!(t.direction(), Direction::LowerIsNovel);
+        assert_eq!(detector.input_size(), (40, 80));
+        assert_eq!(detector.metric_name(), "ssim");
+    }
+
+    #[test]
+    fn model_char_pipeline_trains_and_classifies() {
+        let data = tiny_dataset(11);
+        let detector = NoveltyDetectorBuilder::model_characterization()
+            .cnn_epochs(1)
+            .seed(3)
+            .train(&data)
+            .unwrap();
+        assert_eq!(detector.kind(), BackendKind::ModelChar);
+        assert_eq!(detector.preprocessing(), None);
+        assert!(detector.steering_network().is_some());
+        assert!(detector.classifier().is_none());
+        assert!(detector.backend().stat_profile().is_some());
+        assert_eq!(detector.metric_name(), "layer-stats");
+        assert_eq!(detector.threshold().direction(), Direction::HigherIsNovel);
+        let img = &data.frames()[0].image;
+        let v = detector.classify(img).unwrap();
+        assert_eq!(v.backend, "model-char");
+        assert!(v.score.is_finite());
+        // No reconstruction pair for this backend.
+        assert!(detector.reconstruct(img).is_err());
+        // Deterministic per seed.
+        let again = NoveltyDetectorBuilder::model_characterization()
+            .cnn_epochs(1)
+            .seed(3)
+            .train(&data)
+            .unwrap();
+        assert_eq!(detector.training_scores(), again.training_scores());
+        assert_eq!(detector.threshold().value(), again.threshold().value());
     }
 
     #[test]
@@ -822,6 +1052,12 @@ mod tests {
         for (img, &s) in images.iter().zip(&batch) {
             assert_eq!(detector.score(img).unwrap(), s);
         }
+        // The Detector trait surface agrees with the inherent methods.
+        let verdicts = Detector::classify_batch(&detector, &images).unwrap();
+        for (img, v) in images.iter().zip(&verdicts) {
+            assert_eq!(&detector.classify(img).unwrap(), v);
+        }
+        assert_eq!(Detector::label(&detector), "vbp+ssim");
     }
 
     #[test]

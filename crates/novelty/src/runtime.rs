@@ -1,6 +1,7 @@
-//! The fault-tolerant streaming runtime around a [`NoveltyDetector`].
+//! The fault-tolerant streaming runtime around a [`Detector`] — a single
+//! [`crate::NoveltyDetector`] or a fused [`crate::EnsembleDetector`].
 //!
-//! [`NoveltyDetector::classify`] is a pure function that errors on bad
+//! [`Detector::classify`] is a pure function that errors on bad
 //! input; [`crate::monitor::StreamMonitor`] debounces flags it is handed.
 //! Neither answers the deployment question: *what does the safety monitor
 //! output when the camera feed itself misbehaves?* [`StreamRuntime`]
@@ -27,10 +28,11 @@ use std::time::Duration;
 use obs::{Recorder, Span, Stopwatch};
 use vision::Image;
 
+use crate::backend::Detector;
 use crate::monitor::{AlarmState, StreamMonitor};
 use crate::{
     FrameFault, FrameGate, GateConfig, HealthConfig, HealthEvent, HealthState, HealthTracker,
-    NoveltyDetector, Result, Verdict,
+    Result, Verdict,
 };
 
 /// What the runtime outputs for a frame that could not be scored.
@@ -149,12 +151,10 @@ pub struct StreamConfig {
 
 impl StreamConfig {
     /// Defaults sized to `detector`'s input geometry.
-    pub fn for_detector(detector: &NoveltyDetector) -> Self {
+    pub fn for_detector(detector: &dyn Detector) -> Self {
+        let (height, width) = detector.input_size();
         StreamConfig {
-            gate: GateConfig::new(
-                detector.classifier().height(),
-                detector.classifier().width(),
-            ),
+            gate: GateConfig::new(height, width),
             health: HealthConfig::default(),
             fallback: FallbackPolicy::TreatAsNovel,
             window: 8,
@@ -205,7 +205,7 @@ impl StreamConfig {
 /// ```
 #[derive(Debug)]
 pub struct StreamRuntime<'d> {
-    detector: &'d NoveltyDetector,
+    detector: &'d dyn Detector,
     gate: FrameGate,
     health: HealthTracker,
     monitor: StreamMonitor,
@@ -222,7 +222,7 @@ impl<'d> StreamRuntime<'d> {
     ///
     /// Fails when the gate, health, or alarm-window configuration is
     /// invalid.
-    pub fn new(detector: &'d NoveltyDetector, config: StreamConfig) -> Result<Self> {
+    pub fn new(detector: &'d dyn Detector, config: StreamConfig) -> Result<Self> {
         Ok(StreamRuntime {
             detector,
             gate: FrameGate::new(config.gate)?,
@@ -320,14 +320,17 @@ impl<'d> StreamRuntime<'d> {
         // Layer 3: fallback resolution — every frame yields a decision.
         let (source, is_novel, verdict) = match scored {
             Some(v) => {
-                self.last_verdict = Some(v);
+                // Cloning a single-backend verdict copies no heap data
+                // (its `backends` list is empty), keeping the warmed
+                // stream path allocation-free.
+                self.last_verdict = Some(v.clone());
                 (DecisionSource::Scored, Some(v.is_novel), Some(v))
             }
-            None => match (self.fallback, self.last_verdict) {
+            None => match (self.fallback, &self.last_verdict) {
                 (FallbackPolicy::HoldLastVerdict, Some(held)) => (
                     DecisionSource::FallbackHeld,
                     Some(held.is_novel),
-                    Some(held),
+                    Some(held.clone()),
                 ),
                 (FallbackPolicy::Abstain, _) => (DecisionSource::Abstained, None, None),
                 // TreatAsNovel, and HoldLastVerdict before any verdict
@@ -379,7 +382,7 @@ impl<'d> StreamRuntime<'d> {
     }
 
     /// The detector being monitored.
-    pub fn detector(&self) -> &NoveltyDetector {
+    pub fn detector(&self) -> &'d dyn Detector {
         self.detector
     }
 
@@ -402,7 +405,9 @@ impl<'d> StreamRuntime<'d> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{ClassifierConfig, NoveltyDetectorBuilder, ReconstructionObjective};
+    use crate::{
+        ClassifierConfig, NoveltyDetector, NoveltyDetectorBuilder, ReconstructionObjective,
+    };
     use simdrive::{DatasetConfig, DriveConfig, World};
     use std::sync::OnceLock;
 
@@ -482,7 +487,7 @@ mod tests {
                 }
                 FallbackPolicy::HoldLastVerdict => {
                     assert_eq!(d.source, DecisionSource::FallbackHeld);
-                    assert_eq!(d.is_novel, Some(primed.verdict.unwrap().is_novel));
+                    assert_eq!(d.is_novel, primed.verdict.as_ref().map(|v| v.is_novel));
                     assert_eq!(d.verdict, primed.verdict);
                 }
                 FallbackPolicy::Abstain => {

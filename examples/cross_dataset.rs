@@ -16,7 +16,7 @@
 
 use metrics::histogram::Histogram;
 use novelty::eval::evaluate;
-use novelty::{NoveltyDetectorBuilder, PipelineKind};
+use novelty::{BackendKind, NoveltyDetectorBuilder};
 use saliency_novelty::prelude::*;
 use simdrive::ModifierStack;
 
@@ -35,7 +35,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         scenario.spec()
     );
 
-    for kind in PipelineKind::all() {
+    for kind in BackendKind::all() {
         println!("=== {} ===", kind.name());
         let detector = NoveltyDetectorBuilder::for_kind(kind)
             .cnn_epochs(3)

@@ -2,9 +2,11 @@
 //!
 //! ```text
 //! saliency-novelty generate --world outdoor --len 20 --out frames/
-//! saliency-novelty train    --world outdoor --len 200 --pipeline vbp+ssim --out detector.json
+//! saliency-novelty backends
+//! saliency-novelty train    --world outdoor --len 200 --backend vbp+ssim --out detector.json
+//! saliency-novelty train    --world outdoor --len 200 --ensemble --out ensemble.json
 //! saliency-novelty classify --detector detector.json --image frames/frame_0003.pgm
-//! saliency-novelty eval     --detector detector.json --novel-world indoor --len 50
+//! saliency-novelty eval     --detector ensemble.json --backend model-char --len 50
 //! saliency-novelty stream   --detector detector.json --faults nan@20+8 --alarm-log alarms.json
 //! saliency-novelty evalgrid --quick --domains clear=clear,fog=fog@0.8,night=night@0.7
 //! saliency-novelty info     --detector detector.json
@@ -27,8 +29,8 @@ use novelty::eval::evaluate_recorded;
 use novelty::evalgrid::{run_evalgrid, GridConfig, GridDomain};
 use novelty::monitor::AlarmState;
 use novelty::{
-    FallbackPolicy, HealthState, NoveltyDetector, NoveltyDetectorBuilder, PipelineKind,
-    StreamConfig, StreamRuntime,
+    load_any, BackendKind, Detector, EnsembleDetector, FallbackPolicy, HealthState, LoadedDetector,
+    NoveltyDetector, NoveltyDetectorBuilder, StreamConfig, StreamRuntime,
 };
 use obs::{Recorder, RunRecorder, RunReport};
 use serde::Serialize;
@@ -50,21 +52,32 @@ COMMANDS:
              --len N                  (default 20)
              --seed S                 (default 0)
              --out DIR                (default frames/)
-  train      train a detector and save it as JSON
+  backends   list the registered score backends
+  train      train a detector (or a fused ensemble) and save it as JSON
              --world outdoor|indoor   (default outdoor)
-             --pipeline vbp+ssim|vbp+mse|raw+mse (default vbp+ssim)
+             --backend ID             score backend: model-char|raw+mse|
+                                      vbp+mse|vbp+ssim (default vbp+ssim;
+                                      --pipeline is a deprecated alias)
+             --ensemble               train every registered backend on a
+                                      shared steering CNN and save the
+                                      calibrated majority-vote ensemble
              --len N                  (default 200)
              --seed S                 (default 0)
              --cnn-epochs N           (default 8)
              --ae-epochs N            (default 60)
              --out FILE               (default detector.json)
              --obs-out FILE           write an observability report
-  classify   score one PGM image with a saved detector
+  classify   score one PGM image with a saved detector or ensemble
              --detector FILE          (required)
              --image FILE.pgm         (required)
+             --backend ID             for an ensemble file, score with
+                                      this member only
+             --ensemble               require the file to hold an ensemble
              --json                   emit the full verdict as JSON
   eval       compare target vs novel synthetic data under a detector
              --detector FILE          (required)
+             --backend ID             see classify
+             --ensemble               see classify
              --target-world outdoor|indoor (default outdoor)
              --novel-world outdoor|indoor  (default indoor)
              --len N                  (default 50)
@@ -74,6 +87,8 @@ COMMANDS:
   stream     run the fault-tolerant streaming monitor over a simulated
              drive, optionally with injected sensor faults
              --detector FILE          (required)
+             --backend ID             see classify
+             --ensemble               see classify
              --world outdoor|indoor   (default outdoor)
              --len N                  (default 120)
              --seed S                 (default 0)
@@ -112,7 +127,12 @@ COMMANDS:
              --cnn-epochs N           steering-CNN epochs
              --ae-epochs N            autoencoder epochs
              --seed S                 (default 17)
-             --pipeline vbp+ssim|vbp+mse|raw+mse (default vbp+ssim)
+             --backends id,id,...     score backends to train per domain
+                                      (default: preset — vbp+ssim for
+                                      --quick, all four otherwise;
+                                      --pipeline ID is a deprecated alias)
+             --ensemble               train all registered backends and
+                                      report the fused verdict per cell
              --out FILE               write the grid as schema-versioned
                                       JSON (BENCH_evalgrid.json format)
              --json                   print the grid JSON to stdout
@@ -133,7 +153,7 @@ EXIT CODES:
 ";
 
 /// Flags that stand alone instead of consuming a value.
-const BOOL_FLAGS: &[&str] = &["json", "require-recovery", "quick"];
+const BOOL_FLAGS: &[&str] = &["json", "require-recovery", "quick", "ensemble"];
 
 /// CLI failure, split so `main` can map the class to an exit code.
 enum CliError {
@@ -273,15 +293,26 @@ fn parse_weather(s: &str) -> Result<Weather, CliError> {
     }
 }
 
-fn parse_pipeline(s: &str) -> Result<PipelineKind, CliError> {
-    match s {
-        "vbp+ssim" => Ok(PipelineKind::VbpSsim),
-        "vbp+mse" => Ok(PipelineKind::VbpMse),
-        "raw+mse" => Ok(PipelineKind::RawMse),
-        other => Err(usage_err(format!(
-            "unknown pipeline {other:?} (vbp+ssim|vbp+mse|raw+mse)"
-        ))),
+fn parse_backend(s: &str) -> Result<BackendKind, CliError> {
+    BackendKind::from_id(s).ok_or_else(|| {
+        let known: Vec<&str> = BackendKind::all().iter().map(|k| k.id()).collect();
+        usage_err(format!(
+            "unknown backend {s:?} (known: {})",
+            known.join("|")
+        ))
+    })
+}
+
+/// Parses a comma-separated backend list (`model-char,vbp+ssim`).
+fn parse_backend_list(spec: &str) -> Result<Vec<BackendKind>, CliError> {
+    let mut kinds = Vec::new();
+    for part in spec.split(',').map(str::trim).filter(|s| !s.is_empty()) {
+        kinds.push(parse_backend(part)?);
     }
+    if kinds.is_empty() {
+        return Err(usage_err("--backends needs at least one backend id"));
+    }
+    Ok(kinds)
 }
 
 /// Picks the recorder for a command: a live [`RunRecorder`] when
@@ -343,7 +374,9 @@ fn cmd_generate(args: &Args) -> CliResult {
 fn cmd_train(args: &Args) -> CliResult {
     args.reject_unknown(&[
         "world",
+        "backend",
         "pipeline",
+        "ensemble",
         "len",
         "seed",
         "cnn-epochs",
@@ -353,7 +386,15 @@ fn cmd_train(args: &Args) -> CliResult {
         "threads",
     ])?;
     let world = parse_world(&args.get("world", "outdoor"))?;
-    let pipeline = parse_pipeline(&args.get("pipeline", "vbp+ssim"))?;
+    let backend_flag = args
+        .optional("backend")
+        .or_else(|| args.optional("pipeline"));
+    if args.is_set("ensemble") && backend_flag.is_some() {
+        return Err(usage_err(
+            "--ensemble trains every registered backend; drop --backend",
+        ));
+    }
+    let backend = parse_backend(&backend_flag.unwrap_or_else(|| "vbp+ssim".to_string()))?;
     let len = args.usize("len", 200)?;
     let seed = args.u64("seed", 0)?;
     let cnn_epochs = args.usize("cnn-epochs", 8)?;
@@ -363,18 +404,41 @@ fn cmd_train(args: &Args) -> CliResult {
 
     println!("generating {len} {world} training frames…");
     let dataset = DatasetConfig::for_world(world).with_len(len).generate(seed);
-    println!(
-        "training {} pipeline (cnn {cnn_epochs} ep, ae {ae_epochs} ep)…",
-        pipeline.name()
-    );
-    let builder = NoveltyDetectorBuilder::for_kind(pipeline)
-        .cnn_epochs(cnn_epochs)
-        .ae_epochs(ae_epochs)
-        .seed(seed);
     let dyn_recorder: &dyn Recorder = match &recorder {
         Some(r) => r,
         None => obs::noop(),
     };
+    if args.is_set("ensemble") {
+        println!(
+            "training ensemble over every registered backend \
+             (cnn {cnn_epochs} ep, ae {ae_epochs} ep)…"
+        );
+        let base = NoveltyDetectorBuilder::paper()
+            .cnn_epochs(cnn_epochs)
+            .ae_epochs(ae_epochs)
+            .seed(seed);
+        let ensemble =
+            EnsembleDetector::train_recorded(&base, &BackendKind::all(), &dataset, dyn_recorder)
+                .map_err(|e| runtime_err(format!("training failed: {e}")))?;
+        ensemble
+            .save(&out)
+            .map_err(|e| runtime_err(format!("cannot save {out}: {e}")))?;
+        println!(
+            "saved {} to {out} (quorum {} of {})",
+            ensemble.label(),
+            ensemble.quorum(),
+            ensemble.members().len()
+        );
+        return flush_report(&recorder, &obs_out, "train");
+    }
+    println!(
+        "training {} backend (cnn {cnn_epochs} ep, ae {ae_epochs} ep)…",
+        backend.id()
+    );
+    let builder = NoveltyDetectorBuilder::for_kind(backend)
+        .cnn_epochs(cnn_epochs)
+        .ae_epochs(ae_epochs)
+        .seed(seed);
     let detector = builder
         .train_recorded(&dataset, dyn_recorder)
         .map_err(|e| runtime_err(format!("training failed: {e}")))?;
@@ -393,14 +457,74 @@ fn load_image(path: &str) -> Result<Image, CliError> {
     vision::io::load_pgm(path).map_err(|e| runtime_err(format!("cannot read {path}: {e}")))
 }
 
-fn load_detector_file(args: &Args) -> Result<NoveltyDetector, CliError> {
-    NoveltyDetector::load(args.required("detector")?)
+fn load_detector_file(args: &Args) -> Result<LoadedDetector, CliError> {
+    load_any(args.required("detector")?)
         .map_err(|e| runtime_err(format!("cannot load detector: {e}")))
 }
 
+/// Resolves `--backend` / `--ensemble` against whatever the detector
+/// file held: `--backend ID` selects one member of an ensemble (or
+/// asserts a single file's backend), `--ensemble` requires a fused
+/// ensemble file, and no flag uses the file as-is.
+fn select_detector<'a>(
+    loaded: &'a LoadedDetector,
+    args: &Args,
+) -> Result<&'a dyn Detector, CliError> {
+    if args.is_set("backend") && args.is_set("ensemble") {
+        return Err(usage_err("--backend and --ensemble are mutually exclusive"));
+    }
+    if let Some(id) = args.optional("backend") {
+        let kind = parse_backend(&id)?;
+        return match loaded {
+            LoadedDetector::Single(d) => {
+                if d.kind() == kind {
+                    Ok(d as &dyn Detector)
+                } else {
+                    Err(runtime_err(format!(
+                        "detector file holds backend {}, not {}",
+                        d.kind().id(),
+                        kind.id()
+                    )))
+                }
+            }
+            LoadedDetector::Ensemble(e) => e
+                .members()
+                .iter()
+                .find(|m| m.kind() == kind)
+                .map(|m| m as &dyn Detector)
+                .ok_or_else(|| runtime_err(format!("{} has no {} member", e.label(), kind.id()))),
+        };
+    }
+    if args.is_set("ensemble") && loaded.as_ensemble().is_none() {
+        return Err(runtime_err(
+            "--ensemble: the detector file holds a single backend, not an ensemble",
+        ));
+    }
+    Ok(loaded.as_detector())
+}
+
+fn cmd_backends(args: &Args) -> CliResult {
+    args.reject_unknown(&[])?;
+    println!("{:<12} {:<12} description", "backend", "metric");
+    for kind in BackendKind::all() {
+        println!(
+            "{:<12} {:<12} {}",
+            kind.id(),
+            kind.metric_name(),
+            kind.describe()
+        );
+    }
+    println!("\nensembles fuse every backend above with a majority vote over");
+    println!("calibrated percentile ranks (train with: train --ensemble).");
+    Ok(())
+}
+
 fn cmd_classify(args: &Args) -> CliResult {
-    args.reject_unknown(&["detector", "image", "json", "threads"])?;
-    let detector = load_detector_file(args)?;
+    args.reject_unknown(&[
+        "detector", "image", "backend", "ensemble", "json", "threads",
+    ])?;
+    let loaded = load_detector_file(args)?;
+    let detector = select_detector(&loaded, args)?;
     let image = load_image(&args.required("image")?)?;
     let verdict = detector
         .classify(&image)
@@ -412,13 +536,14 @@ fn cmd_classify(args: &Args) -> CliResult {
     } else {
         println!(
             "{{\"is_novel\": {}, \"score\": {:.6}, \"threshold\": {:.6}, \
-             \"percentile_rank\": {:.2}, \"pipeline\": \"{}\", \"metric\": \"{}\"}}",
+             \"percentile_rank\": {:.2}, \"backend\": \"{}\", \"votes\": \"{}/{}\"}}",
             verdict.is_novel,
             verdict.score,
             verdict.threshold,
             verdict.percentile_rank,
-            verdict.kind.name(),
-            detector.classifier().objective().name()
+            verdict.backend,
+            verdict.novel_votes,
+            verdict.total_votes
         );
     }
     Ok(())
@@ -427,6 +552,8 @@ fn cmd_classify(args: &Args) -> CliResult {
 fn cmd_eval(args: &Args) -> CliResult {
     args.reject_unknown(&[
         "detector",
+        "backend",
+        "ensemble",
         "target-world",
         "novel-world",
         "len",
@@ -435,7 +562,8 @@ fn cmd_eval(args: &Args) -> CliResult {
         "obs-out",
         "threads",
     ])?;
-    let detector = load_detector_file(args)?;
+    let loaded = load_detector_file(args)?;
+    let detector = select_detector(&loaded, args)?;
     let target_world = parse_world(&args.get("target-world", "outdoor"))?;
     let novel_world = parse_world(&args.get("novel-world", "indoor"))?;
     let len = args.usize("len", 50)?;
@@ -455,7 +583,7 @@ fn cmd_eval(args: &Args) -> CliResult {
         None => obs::noop(),
     };
     let report = evaluate_recorded(
-        &detector,
+        detector,
         &images(target_world, seed),
         &images(novel_world, seed + 1),
         dyn_recorder,
@@ -551,6 +679,8 @@ fn parse_fault_bursts(spec: &str) -> Result<Vec<FaultBurst>, CliError> {
 fn cmd_stream(args: &Args) -> CliResult {
     args.reject_unknown(&[
         "detector",
+        "backend",
+        "ensemble",
         "world",
         "len",
         "seed",
@@ -568,7 +698,8 @@ fn cmd_stream(args: &Args) -> CliResult {
         "obs-out",
         "threads",
     ])?;
-    let detector = load_detector_file(args)?;
+    let loaded = load_detector_file(args)?;
+    let detector = select_detector(&loaded, args)?;
     let world = parse_world(&args.get("world", "outdoor"))?;
     let len = args.usize("len", 120)?;
     let seed = args.u64("seed", 0)?;
@@ -605,14 +736,14 @@ fn cmd_stream(args: &Args) -> CliResult {
         fault_config = fault_config.with_random(rate, burst_len);
     }
 
-    let mut config = StreamConfig::for_detector(&detector)
+    let mut config = StreamConfig::for_detector(detector)
         .with_fallback(fallback)
         .with_alarm_window(window, min_novel);
     let deadline_ms = args.u64("deadline-ms", 0)?;
     if deadline_ms > 0 {
         config = config.with_deadline(Duration::from_millis(deadline_ms));
     }
-    let mut runtime = StreamRuntime::new(&detector, config)
+    let mut runtime = StreamRuntime::new(detector, config)
         .map_err(|e| usage_err(format!("invalid stream configuration: {e}")))?;
 
     let (recorder, obs_out) = recorder_for(args);
@@ -623,12 +754,10 @@ fn cmd_stream(args: &Args) -> CliResult {
 
     // Drive frames are rendered at the detector's input size so the gate
     // checks deployment geometry, whatever the detector was trained on.
+    let (height, width) = detector.input_size();
     let drive = DriveConfig::new(world)
         .with_len(len)
-        .with_size(
-            detector.classifier().height(),
-            detector.classifier().width(),
-        )
+        .with_size(height, width)
         .simulate(seed);
     let mut injector = FaultInjector::new(fault_config);
 
@@ -657,7 +786,7 @@ fn cmd_stream(args: &Args) -> CliResult {
             gate: decision.gate_fault.as_ref().map(|f| f.class().to_string()),
             source: decision.source.name().to_string(),
             is_novel: decision.is_novel,
-            score: decision.verdict.map(|v| v.score),
+            score: decision.verdict.as_ref().map(|v| v.score),
             health: decision.health.name().to_string(),
             alarm: alarm_name(decision.alarm).to_string(),
         });
@@ -782,7 +911,9 @@ fn cmd_evalgrid(args: &Args) -> CliResult {
         "cnn-epochs",
         "ae-epochs",
         "seed",
+        "backends",
         "pipeline",
+        "ensemble",
         "out",
         "json",
         "obs-out",
@@ -798,7 +929,18 @@ fn cmd_evalgrid(args: &Args) -> CliResult {
     cfg.test_len = args.usize("test-len", cfg.test_len)?;
     cfg.cnn_epochs = args.usize("cnn-epochs", cfg.cnn_epochs)?;
     cfg.ae_epochs = args.usize("ae-epochs", cfg.ae_epochs)?;
-    cfg.kind = parse_pipeline(&args.get("pipeline", "vbp+ssim"))?;
+    if args.is_set("ensemble") {
+        cfg = cfg.with_ensemble();
+    }
+    // Explicit backend lists override the preset (and --ensemble's
+    // all-backends default); --pipeline remains as a single-backend
+    // alias for old scripts.
+    let backend_spec = args
+        .optional("backends")
+        .or_else(|| args.optional("pipeline"));
+    if let Some(spec) = backend_spec {
+        cfg.backends = parse_backend_list(&spec)?;
+    }
     let domains = match args.optional("domains") {
         Some(spec) => parse_grid_domains(&spec)?,
         None => vec![
@@ -840,43 +982,65 @@ fn cmd_evalgrid(args: &Args) -> CliResult {
     flush_report(&recorder, &obs_out, "evalgrid")
 }
 
-fn cmd_info(args: &Args) -> CliResult {
-    args.reject_unknown(&["detector"])?;
-    let detector = load_detector_file(args)?;
-    println!("pipeline:      {}", detector.kind().name());
-    println!("preprocessing: {}", detector.preprocessing().name());
+fn print_detector_info(detector: &NoveltyDetector, indent: &str) {
+    println!("{indent}backend:       {}", detector.kind().id());
     println!(
-        "objective:     {}",
-        detector.classifier().objective().name()
+        "{indent}preprocessing: {}",
+        detector
+            .preprocessing()
+            .map_or("model activations/gradients", |p| p.name())
     );
+    println!("{indent}objective:     {}", detector.metric_name());
+    let (height, width) = detector.input_size();
+    println!("{indent}input size:    {height}x{width}");
     println!(
-        "input size:    {}x{}",
-        detector.classifier().height(),
-        detector.classifier().width()
-    );
-    println!(
-        "threshold:     {:.4} ({:?})",
+        "{indent}threshold:     {:.4} ({:?})",
         detector.threshold().value(),
         detector.threshold().direction()
     );
     println!(
-        "training set:  {} calibration scores",
+        "{indent}training set:  {} calibration scores",
         detector.training_scores().len()
     );
     if let Some(cnn) = detector.steering_network() {
         println!(
-            "steering CNN:  {} layers, {} parameters",
+            "{indent}steering CNN:  {} layers, {} parameters",
             cnn.layer_count(),
             cnn.param_count()
         );
     } else {
-        println!("steering CNN:  none (raw pipeline)");
+        println!("{indent}steering CNN:  none (raw pipeline)");
     }
-    println!(
-        "autoencoder:   {} layers, {} parameters",
-        detector.classifier().network().layer_count(),
-        detector.classifier().network().param_count()
-    );
+    match detector.classifier() {
+        Some(classifier) => println!(
+            "{indent}autoencoder:   {} layers, {} parameters",
+            classifier.network().layer_count(),
+            classifier.network().param_count()
+        ),
+        None => println!(
+            "{indent}profile:       {} per-layer statistics",
+            detector.backend().stat_profile().map_or(0, |p| p.len())
+        ),
+    }
+}
+
+fn cmd_info(args: &Args) -> CliResult {
+    args.reject_unknown(&["detector"])?;
+    match load_detector_file(args)? {
+        LoadedDetector::Single(detector) => print_detector_info(&detector, ""),
+        LoadedDetector::Ensemble(ensemble) => {
+            println!("ensemble:      {}", ensemble.label());
+            println!(
+                "quorum:        {} of {} member votes",
+                ensemble.quorum(),
+                ensemble.members().len()
+            );
+            for member in ensemble.members() {
+                println!("member {}:", member.kind().id());
+                print_detector_info(member, "  ");
+            }
+        }
+    }
     Ok(())
 }
 
@@ -921,6 +1085,7 @@ fn run() -> CliResult {
     args.apply_threads()?;
     match command.as_str() {
         "generate" => cmd_generate(&args),
+        "backends" => cmd_backends(&args),
         "train" => cmd_train(&args),
         "classify" => cmd_classify(&args),
         "eval" => cmd_eval(&args),

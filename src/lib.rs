@@ -63,9 +63,9 @@ pub mod prelude {
     pub use neural::{LrSchedule, Network, TrainConfig};
     pub use novelty::monitor::{AlarmState, StreamMonitor};
     pub use novelty::{
-        Calibrator, Direction, FallbackPolicy, FrameFault, FrameGate, GateConfig, HealthState,
-        HealthTracker, NoveltyDetector, NoveltyDetectorBuilder, PipelineKind, StreamConfig,
-        StreamDecision, StreamRuntime, Verdict,
+        BackendKind, Calibrator, Detector, Direction, EnsembleDetector, FallbackPolicy, FrameFault,
+        FrameGate, GateConfig, HealthState, HealthTracker, NoveltyDetector, NoveltyDetectorBuilder,
+        PipelineKind, ScoreBackend, StreamConfig, StreamDecision, StreamRuntime, Verdict,
     };
     pub use obs::{Recorder, RunRecorder, RunReport};
     pub use saliency::{visual_backprop, SaliencyMethod};

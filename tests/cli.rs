@@ -143,6 +143,7 @@ fn train_then_info_and_classify_roundtrip() {
     let out = run(&["info", "--detector", detector.to_str().unwrap()]);
     assert!(out.status.success(), "{}", stderr(&out));
     let text = stdout(&out);
+    assert!(text.contains("backend:       vbp+ssim"));
     assert!(text.contains("preprocessing: vbp"));
     assert!(text.contains("objective:     ssim"));
     assert!(text.contains("steering CNN"));
@@ -171,7 +172,11 @@ fn train_then_info_and_classify_roundtrip() {
     assert!(out.status.success(), "{}", stderr(&out));
     let json = stdout(&out);
     assert!(json.contains("\"is_novel\""), "{json}");
-    assert!(json.contains("\"metric\": \"ssim\""), "{json}");
+    assert!(json.contains("\"backend\": \"vbp+ssim\""), "{json}");
+    assert!(
+        json.contains("\"votes\": \"0/1\"") || json.contains("\"votes\": \"1/1\""),
+        "{json}"
+    );
 }
 
 #[test]
@@ -234,10 +239,181 @@ fn classify_json_emits_full_verdict() {
         "\"score\"",
         "\"threshold\"",
         "\"percentile_rank\"",
-        "\"kind\"",
+        "\"backend\"",
+        "\"novel_votes\"",
+        "\"total_votes\"",
     ] {
         assert!(json.contains(field), "missing {field} in {json}");
     }
+}
+
+#[test]
+fn backends_subcommand_lists_the_registry() {
+    let out = run(&["backends"]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let text = stdout(&out);
+    for id in ["raw+mse", "vbp+mse", "vbp+ssim", "model-char"] {
+        assert!(text.contains(id), "missing {id} in {text}");
+    }
+    assert!(text.contains("layer-stats"), "{text}");
+    // The subcommand takes no flags.
+    let out = run(&["backends", "--json"]);
+    assert_eq!(out.status.code(), Some(2), "{}", stderr(&out));
+}
+
+/// Trains a tiny ensemble once; the ensemble tests reuse the file.
+fn trained_ensemble_path() -> &'static Path {
+    use std::sync::OnceLock;
+    static PATH: OnceLock<PathBuf> = OnceLock::new();
+    PATH.get_or_init(|| {
+        let dir = temp_dir("train_ensemble");
+        let ensemble = dir.join("ensemble.json");
+        let out = run(&[
+            "train",
+            "--ensemble",
+            "--world",
+            "outdoor",
+            "--len",
+            "30",
+            "--seed",
+            "3",
+            "--cnn-epochs",
+            "1",
+            "--ae-epochs",
+            "3",
+            "--out",
+            ensemble.to_str().unwrap(),
+        ]);
+        assert!(
+            out.status.success(),
+            "ensemble train failed: {}\n{}",
+            stdout(&out),
+            stderr(&out)
+        );
+        assert!(stdout(&out).contains("quorum"), "{}", stdout(&out));
+        ensemble
+    })
+}
+
+#[test]
+fn ensemble_train_classify_and_member_selection() {
+    let ensemble = trained_ensemble_path();
+    let ens = ensemble.to_str().unwrap();
+
+    let out = run(&["info", "--detector", ens]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("ensemble"), "{text}");
+    assert!(text.contains("quorum"), "{text}");
+    assert!(text.contains("member model-char:"), "{text}");
+
+    let dir = temp_dir("ensemble_classify");
+    let gen = run(&[
+        "generate",
+        "--world",
+        "outdoor",
+        "--len",
+        "1",
+        "--seed",
+        "79",
+        "--out",
+        dir.to_str().unwrap(),
+    ]);
+    assert!(gen.status.success());
+    let image = dir.join("frame_0000.pgm");
+    let img = image.to_str().unwrap();
+
+    // Fused verdict carries every member's vote.
+    let out = run(&["classify", "--detector", ens, "--image", img, "--json"]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let json = stdout(&out);
+    assert!(json.contains("\"backend\":\"ensemble\""), "{json}");
+    assert!(json.contains("\"total_votes\":4"), "{json}");
+
+    // --backend selects a single member of the ensemble file.
+    let out = run(&[
+        "classify",
+        "--detector",
+        ens,
+        "--image",
+        img,
+        "--backend",
+        "vbp+mse",
+        "--json",
+    ]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    assert!(
+        stdout(&out).contains("\"backend\":\"vbp+mse\""),
+        "{}",
+        stdout(&out)
+    );
+
+    // Unknown backend ids are usage errors (exit 2).
+    let out = run(&[
+        "classify",
+        "--detector",
+        ens,
+        "--image",
+        img,
+        "--backend",
+        "warp-core",
+    ]);
+    assert_eq!(out.status.code(), Some(2), "{}", stderr(&out));
+    assert!(stderr(&out).contains("unknown backend"), "{}", stderr(&out));
+
+    // --backend and --ensemble together make no sense (exit 2).
+    let out = run(&[
+        "classify",
+        "--detector",
+        ens,
+        "--image",
+        img,
+        "--backend",
+        "vbp+ssim",
+        "--ensemble",
+    ]);
+    assert_eq!(out.status.code(), Some(2), "{}", stderr(&out));
+
+    // --ensemble against a single-backend file is a runtime error.
+    let single = trained_detector_path();
+    let out = run(&[
+        "classify",
+        "--detector",
+        single.to_str().unwrap(),
+        "--image",
+        img,
+        "--ensemble",
+    ]);
+    assert_eq!(out.status.code(), Some(1), "{}", stderr(&out));
+
+    // --backend against a single file of a different backend fails too.
+    let out = run(&[
+        "classify",
+        "--detector",
+        single.to_str().unwrap(),
+        "--image",
+        img,
+        "--backend",
+        "raw+mse",
+    ]);
+    assert_eq!(out.status.code(), Some(1), "{}", stderr(&out));
+}
+
+#[test]
+fn ensemble_eval_reports_fused_separation() {
+    let ensemble = trained_ensemble_path();
+    let out = run(&[
+        "eval",
+        "--detector",
+        ensemble.to_str().unwrap(),
+        "--ensemble",
+        "--len",
+        "6",
+        "--json",
+    ]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let json = stdout(&out);
+    assert!(json.contains("\"auroc\""), "{json}");
 }
 
 #[test]
