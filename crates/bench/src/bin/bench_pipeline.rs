@@ -3,8 +3,10 @@
 //! Emits `BENCH_pipeline.json`: kernel-level ns/iter for the GEMM
 //! variants at pipeline-representative shapes, plus end-to-end
 //! single-thread `score_batch` and `StreamRuntime` frames/sec, plus
-//! scratch-pool hit statistics. The schema is versioned so future PRs
-//! can diff trajectories mechanically.
+//! scratch-pool hit statistics, plus multi-tenant `StreamServer`
+//! aggregate throughput at growing fleet sizes (schema v2) with the
+//! per-tenant sequential baseline the coalesced batch must beat. The
+//! schema is versioned so future PRs can diff trajectories mechanically.
 //!
 //! Usage:
 //!   bench_pipeline [--out PATH] [--check PATH] [--quick]
@@ -19,14 +21,15 @@ use std::time::Instant;
 
 use ndtensor::{matmul, matmul_a_bt, matmul_at_b, set_thread_config, Tensor, ThreadConfig};
 use novelty::{
-    ClassifierConfig, NoveltyDetector, NoveltyDetectorBuilder, ReconstructionObjective,
-    StreamConfig, StreamRuntime,
+    ClassifierConfig, DecisionSource, NoveltyDetector, NoveltyDetectorBuilder, QueueConfig,
+    ReconstructionObjective, StreamConfig, StreamRuntime, StreamServer, TenantSpec,
 };
 use serde::{Deserialize, Serialize};
 use simdrive::DatasetConfig;
+use vision::Image;
 
 /// Bump on breaking changes to the JSON layout.
-const BENCH_SCHEMA_VERSION: u32 = 1;
+const BENCH_SCHEMA_VERSION: u32 = 2;
 
 /// One kernel microbenchmark result.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -61,6 +64,29 @@ struct ScratchBench {
     hit_rate: f64,
 }
 
+/// Multi-tenant serve throughput at one fleet size (single thread).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct ServeBench {
+    /// Tenant count.
+    tenants: u64,
+    /// Aggregate decisions per second through the `StreamServer`
+    /// (cross-tenant coalesced scoring batches).
+    frames_per_sec: f64,
+    /// The same frames through one batch-1 `StreamRuntime` per tenant,
+    /// served round-robin — what serving would cost without coalescing.
+    sequential_frames_per_sec: f64,
+    /// `frames_per_sec / sequential_frames_per_sec`; must exceed 1.0 for
+    /// fleets large enough to batch (panel packing amortizes).
+    coalesced_speedup: f64,
+    /// Mean coalesced scoring-batch size across rounds.
+    mean_batch: f64,
+    /// Largest coalesced batch observed.
+    max_batch: u64,
+    /// `[batch_size, rounds]` pairs: how often each coalesced batch size
+    /// occurred.
+    batch_histogram: Vec<(u64, u64)>,
+}
+
 /// The whole report.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 struct BenchReport {
@@ -76,6 +102,8 @@ struct BenchReport {
     pipeline: PipelineBench,
     /// Scratch-pool statistics for the stream segment.
     scratch: ScratchBench,
+    /// Multi-tenant serve throughput at growing fleet sizes.
+    serve: Vec<ServeBench>,
     /// Numbers measured at the pre-PR kernels on the same machine, for
     /// the recorded before/after trajectory. Empty when not applicable.
     reference: Vec<PipelineBench>,
@@ -171,6 +199,108 @@ fn train_detector() -> NoveltyDetector {
         .expect("bench detector trains")
 }
 
+/// Measures aggregate multi-tenant throughput: `total` clean frames spread
+/// round-robin over `tenants` lanes through one `StreamServer` (coalesced
+/// cross-tenant batches), against the same schedule through one batch-1
+/// `StreamRuntime` per tenant.
+fn serve_bench(
+    detector: &NoveltyDetector,
+    batch: &[Image],
+    tenants: usize,
+    total: usize,
+) -> ServeBench {
+    // Lossless queue: the bench measures scoring throughput, not shedding.
+    let queue = QueueConfig {
+        capacity: tenants.max(4),
+        drain: tenants.max(4),
+        max_wait_rounds: u64::MAX,
+    };
+    // At least 6 interleaved round-pairs: large fleets would otherwise
+    // measure so few pairs that drift-cancellation loses its grip.
+    let rounds = (total / tenants).max(6);
+    let specs: Vec<TenantSpec> = (0..tenants)
+        .map(|i| {
+            TenantSpec::new(format!("bench-{i}"), StreamConfig::for_detector(detector))
+                .with_queue(queue)
+        })
+        .collect();
+    let frame_for = |t: usize, round: usize| &batch[(t + round) % batch.len()];
+
+    let mut server = StreamServer::new(detector, specs).expect("bench server");
+    // Warmup round: fills the scratch pool and packs weight panels.
+    for t in 0..tenants {
+        server
+            .offer(t, Some(frame_for(t, 0).clone()))
+            .expect("offer");
+    }
+    let _ = server.step();
+
+    // Sequential baseline lanes: identical schedule, one batch-1 runtime
+    // per tenant.
+    let mut runtimes: Vec<StreamRuntime> = (0..tenants)
+        .map(|_| {
+            StreamRuntime::new(detector, StreamConfig::for_detector(detector))
+                .expect("bench runtime")
+        })
+        .collect();
+    for (t, runtime) in runtimes.iter_mut().enumerate() {
+        let _ = runtime.process(Some(frame_for(t, 0))); // warmup
+    }
+
+    // Interleave the coalesced and sequential measurements round-by-round
+    // so clock-frequency drift and cache-state drift hit both paths
+    // equally: the gap being measured is only a few percent.
+    let mut decisions_total = 0u64;
+    let mut histogram: std::collections::BTreeMap<u64, u64> = std::collections::BTreeMap::new();
+    let mut serve_secs = 0.0f64;
+    let mut sequential_secs = 0.0f64;
+    for round in 0..rounds {
+        let start = Instant::now();
+        for t in 0..tenants {
+            server
+                .offer(t, Some(frame_for(t, round).clone()))
+                .expect("offer");
+        }
+        let decisions = server.step();
+        serve_secs += start.elapsed().as_secs_f64();
+        let coalesced = decisions
+            .iter()
+            .filter(|(_, d)| d.source == DecisionSource::Scored)
+            .count() as u64;
+        *histogram.entry(coalesced).or_insert(0) += 1;
+        decisions_total += decisions.len() as u64;
+
+        let start = Instant::now();
+        for (t, runtime) in runtimes.iter_mut().enumerate() {
+            let _ = black_box(runtime.process(Some(frame_for(t, round))));
+        }
+        sequential_secs += start.elapsed().as_secs_f64();
+    }
+    assert_eq!(
+        server.pending(),
+        0,
+        "lossless bench queue drained each round"
+    );
+    let frames_per_sec = decisions_total as f64 / serve_secs;
+    let sequential_frames_per_sec = (rounds * tenants) as f64 / sequential_secs;
+
+    let observed: u64 = histogram.values().sum();
+    let weighted: u64 = histogram.iter().map(|(size, count)| size * count).sum();
+    ServeBench {
+        tenants: tenants as u64,
+        frames_per_sec,
+        sequential_frames_per_sec,
+        coalesced_speedup: frames_per_sec / sequential_frames_per_sec,
+        mean_batch: if observed == 0 {
+            0.0
+        } else {
+            weighted as f64 / observed as f64
+        },
+        max_batch: histogram.keys().next_back().copied().unwrap_or(0),
+        batch_histogram: histogram.into_iter().collect(),
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut out_path = "BENCH_pipeline.json".to_string();
@@ -237,6 +367,27 @@ fn main() {
     let stream_fps = batch.len() as f64 / stream_secs;
     eprintln!("bench_pipeline: stream {stream_fps:.2} frames/sec");
 
+    // Multi-tenant serve: aggregate fps at growing fleet sizes. Total
+    // scored work stays comparable across fleet sizes (rounds shrink as
+    // tenants grow), except the 64-tenant point which needs one frame per
+    // tenant minimum.
+    let mut serve = Vec::new();
+    // Longer span than the single-stream benches: the coalesced-vs-
+    // sequential gap is a few percent, so the measurement needs more
+    // frames than the fps numbers do to rise above run-to-run noise.
+    let serve_total = if quick { frames } else { frames * 4 };
+    for tenants in [1usize, 8, 64] {
+        let bench = serve_bench(&detector, &batch, tenants, serve_total);
+        eprintln!(
+            "bench_pipeline: serve x{tenants} {:.2} frames/sec (sequential {:.2}, speedup {:.2}x, mean batch {:.1})",
+            bench.frames_per_sec,
+            bench.sequential_frames_per_sec,
+            bench.coalesced_speedup,
+            bench.mean_batch
+        );
+        serve.push(bench);
+    }
+
     let total = scratch_delta.hits + scratch_delta.misses;
     let report = BenchReport {
         schema_version: BENCH_SCHEMA_VERSION,
@@ -257,8 +408,22 @@ fn main() {
                 scratch_delta.hits as f64 / total as f64
             },
         },
+        serve,
         reference: Vec::new(),
     };
+
+    // The coalesced path must beat per-tenant sequential scoring once the
+    // fleet is large enough to batch. Quick runs are too noisy to gate.
+    if !quick {
+        for bench in report.serve.iter().filter(|b| b.tenants >= 8) {
+            assert!(
+                bench.coalesced_speedup > 1.0,
+                "coalesced serve at {} tenants is not faster than sequential ({:.2}x)",
+                bench.tenants,
+                bench.coalesced_speedup
+            );
+        }
+    }
 
     // Load the baseline before writing: with the default --out the check
     // target and the output file are the same path, and writing first
@@ -281,7 +446,7 @@ fn main() {
 
     if let Some(baseline) = baseline {
         let mut failed = false;
-        for (name, now, then) in [
+        let mut gates = vec![
             (
                 "score_batch",
                 score_fps,
@@ -292,7 +457,25 @@ fn main() {
                 stream_fps,
                 baseline.pipeline.stream_frames_per_sec,
             ),
-        ] {
+        ];
+        for now_bench in &report.serve {
+            if let Some(then_bench) = baseline
+                .serve
+                .iter()
+                .find(|b| b.tenants == now_bench.tenants)
+            {
+                gates.push((
+                    match now_bench.tenants {
+                        1 => "serve x1",
+                        8 => "serve x8",
+                        _ => "serve x64",
+                    },
+                    now_bench.frames_per_sec,
+                    then_bench.frames_per_sec,
+                ));
+            }
+        }
+        for (name, now, then) in gates {
             let floor = 0.8 * then;
             if now < floor {
                 eprintln!(

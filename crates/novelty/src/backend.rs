@@ -185,6 +185,16 @@ pub trait ScoreBackend: std::fmt::Debug + Send + Sync {
     /// Fails when the image is incompatible with the backend's networks.
     fn score(&self, image: &Image) -> Result<f32>;
 
+    /// Scores several (finite, correctly-sized) images, one result per
+    /// image, in order. Unlike a fail-fast batch, a bad image fails
+    /// only its own slot — the serving layer's cross-tenant mega-batch
+    /// depends on that isolation. Implementations may batch internally
+    /// but must keep score `i` bit-identical to [`ScoreBackend::score`]
+    /// on image `i`, at any thread count.
+    fn score_each(&self, images: &[&Image]) -> Vec<Result<f32>> {
+        images.iter().map(|img| self.score(img)).collect()
+    }
+
     /// The (representation, reconstruction) pair of Fig. 6, for backends
     /// built around a reconstruction model.
     ///
@@ -295,6 +305,56 @@ impl ScoreBackend for AutoencoderBackend {
         self.classifier.score(&rep)
     }
 
+    fn score_each(&self, images: &[&Image]) -> Vec<Result<f32>> {
+        if images.is_empty() {
+            return Vec::new();
+        }
+        // Per-image preprocessing (identity or VBP), fanned over the
+        // pool; each image's failure stays its own slot.
+        let (h, w) = self.input_size();
+        let work = images.len().saturating_mul(h * w).saturating_mul(64);
+        let reps = match ndtensor::par::try_parallel_map::<Result<Image>, NoveltyError>(
+            images.len(),
+            work,
+            |i| Ok(self.preprocess(images[i])),
+        ) {
+            Ok(reps) => reps,
+            // Unreachable (the closure never errors), but degrade to a
+            // per-slot error rather than panic.
+            Err(e) => {
+                let msg = e.to_string();
+                return images
+                    .iter()
+                    .map(|_| Err(NoveltyError::invalid("score_each", msg.clone())))
+                    .collect();
+            }
+        };
+        let valid: Vec<&Image> = reps.iter().filter_map(|r| r.as_ref().ok()).collect();
+        let scores: Vec<Result<f32>> = if valid.is_empty() {
+            Vec::new()
+        } else {
+            match self.classifier.score_many(&valid) {
+                Ok(scores) => scores.into_iter().map(Ok).collect(),
+                // Structurally unreachable after per-image validation;
+                // fall back to per-image scoring so one frame's failure
+                // cannot poison the rest of the batch.
+                Err(_) => valid.iter().map(|rep| self.classifier.score(rep)).collect(),
+            }
+        };
+        let mut batched = scores.into_iter();
+        reps.into_iter()
+            .map(|rep| match rep {
+                Err(e) => Err(e),
+                Ok(_) => batched.next().unwrap_or_else(|| {
+                    Err(NoveltyError::invalid(
+                        "score_each",
+                        "batched scorer returned too few scores",
+                    ))
+                }),
+            })
+            .collect()
+    }
+
     fn reconstruct(&self, image: &Image) -> Result<(Image, Image)> {
         let rep = self.preprocess(image)?;
         let recon = self.classifier.reconstruct(&rep)?;
@@ -350,6 +410,22 @@ pub trait Detector: std::fmt::Debug {
     /// Same conditions as [`Detector::classify_batch_recorded`].
     fn classify_batch(&self, images: &[Image]) -> Result<Vec<crate::Verdict>> {
         self.classify_batch_recorded(images, obs::noop())
+    }
+
+    /// Classifies each image independently: one result per image, in
+    /// order. Unlike the fail-fast [`Detector::classify_batch_recorded`],
+    /// one incompatible image never poisons its neighbours — the serving
+    /// layer's cross-tenant mega-batch ([`crate::serve::StreamServer`])
+    /// depends on that isolation. Verdict `i` is bit-identical to
+    /// [`Detector::classify`] on image `i`, at any thread count, with
+    /// any recorder.
+    fn classify_each_recorded(
+        &self,
+        images: &[Image],
+        recorder: &dyn Recorder,
+    ) -> Vec<Result<crate::Verdict>> {
+        let _ = recorder;
+        images.iter().map(|img| self.classify(img)).collect()
     }
 
     /// Human-readable label for logs and reports (a backend id, or an

@@ -276,6 +276,53 @@ impl AutoencoderClassifier {
         }
     }
 
+    /// Scores several same-sized images in one batched forward pass:
+    /// the images are stacked into an `[N, H·W]` matrix, reconstructed
+    /// via [`Network::forward_batch`] (amortizing packed-GEMM panel
+    /// packing across the whole batch instead of repaying it per frame),
+    /// and the metric is computed per row on the work pool.
+    ///
+    /// Every network layer treats batch rows independently and the
+    /// packed kernels never reorder the additions inside one output
+    /// element, so score `i` is bit-identical to
+    /// [`AutoencoderClassifier::score`] on image `i` — at any thread
+    /// count. The serving layer's cross-tenant mega-batch and the
+    /// isolation proofs in `tests/serve_isolation.rs` rely on this.
+    ///
+    /// # Errors
+    ///
+    /// Fails when any image's size differs from the training size.
+    pub fn score_many(&self, images: &[&Image]) -> Result<Vec<f32>> {
+        if images.is_empty() {
+            return Ok(Vec::new());
+        }
+        for img in images {
+            self.check_input(img)?;
+        }
+        let dim = self.height * self.width;
+        let mut data = Vec::with_capacity(images.len() * dim);
+        for img in images {
+            data.extend_from_slice(img.as_slice());
+        }
+        let stacked = Tensor::from_vec([images.len(), dim], data)?;
+        let out = self.network.forward_batch(&stacked)?;
+        let out_slice = out.as_slice();
+        // Per-row metric: rows are independent, so fan out over the pool
+        // (windowed SSIM is a real share of the per-frame cost).
+        let work = images.len().saturating_mul(dim).saturating_mul(32);
+        let scores =
+            ndtensor::par::try_parallel_map::<f32, NoveltyError>(images.len(), work, |i| {
+                let row = &out_slice[i * dim..(i + 1) * dim];
+                let recon =
+                    Image::from_tensor(Tensor::from_slice([self.height, self.width], row)?)?;
+                match self.objective.ssim_config() {
+                    None => Ok(metrics::mse(images[i], &recon)?),
+                    Some(cfg) => Ok(metrics::ssim(images[i], &recon, &cfg)?),
+                }
+            })?;
+        Ok(scores)
+    }
+
     /// The direction in which this classifier's scores indicate novelty.
     pub fn direction(&self) -> Direction {
         self.objective.direction()

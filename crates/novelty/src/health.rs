@@ -67,6 +67,10 @@ pub enum HealthEvent {
     ScoreFailed,
     /// Scoring succeeded but blew the per-frame deadline.
     DeadlineOverrun,
+    /// The serving layer shed the frame before scoring (queue overflow
+    /// or expired queueing deadline). The frame was never inspected, so
+    /// the verdict gap counts against health like any other fault.
+    Shed,
 }
 
 impl HealthEvent {

@@ -56,6 +56,7 @@ mod modelchar;
 mod persist;
 mod pipeline;
 mod runtime;
+pub mod serve;
 
 pub use backend::{
     AutoencoderBackend, BackendKind, Detector, PipelineKind, Preprocessing, ScoreBackend,
@@ -73,7 +74,14 @@ pub use persist::{
     ENSEMBLE_SCHEMA_VERSION,
 };
 pub use pipeline::{BackendScore, NoveltyDetector, NoveltyDetectorBuilder, Verdict};
-pub use runtime::{DecisionSource, FallbackPolicy, StreamConfig, StreamDecision, StreamRuntime};
+pub use runtime::{
+    CostModel, DeadlineClock, DecisionSource, FallbackPolicy, FrameAdmission, ScoreOutcome,
+    ShedReason, StreamConfig, StreamDecision, StreamRuntime,
+};
+pub use serve::{
+    AlarmLog, AlarmLogEntry, QueueConfig, StreamServer, TenantSpec, TenantStats,
+    ALARM_LOG_SCHEMA_VERSION,
+};
 
 /// Convenience alias used across the crate.
 pub type Result<T> = std::result::Result<T, NoveltyError>;

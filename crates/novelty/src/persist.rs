@@ -282,7 +282,7 @@ pub fn detector_from_spec(spec: DetectorSpec) -> Result<NoveltyDetector> {
 /// temporary file which is then renamed over `path`, so a crash
 /// mid-save leaves either the previous file or the new one — never a
 /// truncated document.
-fn write_atomic(path: &Path, json: &str) -> Result<()> {
+pub(crate) fn write_atomic(path: &Path, json: &str) -> Result<()> {
     let mut tmp_name = path.file_name().unwrap_or_default().to_os_string();
     tmp_name.push(".tmp");
     let tmp = path.with_file_name(tmp_name);

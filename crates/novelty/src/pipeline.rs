@@ -269,6 +269,13 @@ impl NoveltyDetector {
     ///
     /// Fails when the image size is incompatible with the pipeline.
     pub fn score(&self, image: &Image) -> Result<f32> {
+        self.validate_input(image)?;
+        self.backend.score(image)
+    }
+
+    /// The input checks [`NoveltyDetector::score`] performs before the
+    /// backend is consulted.
+    fn validate_input(&self, image: &Image) -> Result<()> {
         if image.tensor().has_non_finite() {
             return Err(NoveltyError::invalid(
                 "score",
@@ -291,7 +298,67 @@ impl NoveltyDetector {
                 ),
             ));
         }
-        self.backend.score(image)
+        Ok(())
+    }
+
+    /// [`NoveltyDetector::classify_each_recorded`] without observability.
+    pub fn classify_each(&self, images: &[Image]) -> Vec<Result<Verdict>> {
+        self.classify_each_recorded(images, obs::noop())
+    }
+
+    /// Classifies each image independently with batched scoring: valid
+    /// images are scored together through the backend's batched path
+    /// ([`ScoreBackend::score_each`] — one stacked autoencoder forward
+    /// pass instead of per-frame batch-1 GEMMs), while invalid images
+    /// fail only their own slot. Verdict `i` is bit-identical to
+    /// [`NoveltyDetector::classify`] on image `i`, at any thread count,
+    /// with any recorder.
+    pub fn classify_each_recorded(
+        &self,
+        images: &[Image],
+        recorder: &dyn Recorder,
+    ) -> Vec<Result<Verdict>> {
+        let pool_before = recorder.enabled().then(obs::par_snapshot);
+        let scratch_before = recorder.enabled().then(obs::scratch_snapshot);
+        let verdicts = obs::time(recorder, "scoring", || {
+            let mut pre: Vec<Option<NoveltyError>> = Vec::with_capacity(images.len());
+            let mut valid: Vec<&Image> = Vec::with_capacity(images.len());
+            for img in images {
+                match self.validate_input(img) {
+                    Err(e) => pre.push(Some(e)),
+                    Ok(()) => {
+                        pre.push(None);
+                        valid.push(img);
+                    }
+                }
+            }
+            let mut batched = self.backend.score_each(&valid).into_iter();
+            pre.into_iter()
+                .map(|slot| match slot {
+                    Some(e) => Err(e),
+                    None => batched
+                        .next()
+                        .unwrap_or_else(|| {
+                            Err(NoveltyError::invalid(
+                                "classify_each",
+                                "backend returned too few scores",
+                            ))
+                        })
+                        .map(|score| self.verdict_for(score)),
+                })
+                .collect::<Vec<Result<Verdict>>>()
+        });
+        recorder.add(
+            "scoring.scores_computed",
+            verdicts.iter().filter(|v| v.is_ok()).count() as u64,
+        );
+        if let Some(before) = pool_before {
+            obs::record_par_delta(&Scoped::new(recorder, "scoring"), before);
+        }
+        if let Some(before) = scratch_before {
+            obs::record_scratch_delta(&Scoped::new(recorder, "scoring"), before);
+        }
+        verdicts
     }
 
     /// Scores a batch of images, fanning the work out over the pool
@@ -427,6 +494,14 @@ impl Detector for NoveltyDetector {
             .into_iter()
             .map(|score| self.verdict_for(score))
             .collect())
+    }
+
+    fn classify_each_recorded(
+        &self,
+        images: &[Image],
+        recorder: &dyn Recorder,
+    ) -> Vec<Result<Verdict>> {
+        NoveltyDetector::classify_each_recorded(self, images, recorder)
     }
 
     fn label(&self) -> String {

@@ -22,6 +22,23 @@
 //! stage: per-frame scoring spans and latency, gate-rejection counters by
 //! class, fallback counters by policy, health-transition counters and a
 //! severity gauge.
+//!
+//! Two extensions serve the multi-tenant serving layer
+//! ([`crate::serve`]):
+//!
+//! * **Split-phase processing.** [`StreamRuntime::admit_recorded`]
+//!   assigns the frame index and gates the frame;
+//!   [`StreamRuntime::resolve_recorded`] folds a caller-computed
+//!   [`ScoreOutcome`] through the same fallback/monitor/health machinery
+//!   [`StreamRuntime::process`] uses. A server can therefore gate frames
+//!   per tenant, score them in one cross-tenant batch, and demultiplex —
+//!   while each tenant's decision stream stays bit-identical to running
+//!   that tenant alone.
+//! * **Injectable deadline clock.** Under [`DeadlineClock::Ambient`]
+//!   (the default) deadline overruns compare measured wall time against
+//!   [`StreamConfig::deadline`]; under [`DeadlineClock::Virtual`] each
+//!   scored frame is charged a seeded [`CostModel`] cost instead, making
+//!   overrun behavior a pure function of the inputs.
 
 use std::time::Duration;
 
@@ -89,6 +106,10 @@ pub enum DecisionSource {
     FallbackHeld,
     /// Fallback: the runtime explicitly abstained.
     Abstained,
+    /// The serving layer shed the frame before scoring; the flag was
+    /// resolved by the tenant's [`FallbackPolicy`] (see
+    /// [`StreamDecision::shed`] for the reason).
+    Shed,
 }
 
 impl DecisionSource {
@@ -99,8 +120,86 @@ impl DecisionSource {
             DecisionSource::FallbackNovel => "fallback-novel",
             DecisionSource::FallbackHeld => "fallback-held",
             DecisionSource::Abstained => "abstained",
+            DecisionSource::Shed => "shed",
         }
     }
+}
+
+/// Why the serving layer shed a frame without scoring it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ShedReason {
+    /// The tenant's bounded admission queue was full when the frame
+    /// arrived.
+    QueueFull,
+    /// The frame aged past the tenant's maximum queueing delay before a
+    /// scoring slot opened.
+    DeadlineExpired,
+}
+
+impl ShedReason {
+    /// Stable name for logs and counters.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ShedReason::QueueFull => "queue-full",
+            ShedReason::DeadlineExpired => "deadline-expired",
+        }
+    }
+}
+
+/// A deterministic per-frame scoring-cost model: frame `i` is charged
+/// `base + jitter · u(seed, i)`, where `u` is a uniform `[0, 1)` hash.
+/// With [`DeadlineClock::Virtual`] this replaces measured wall time in
+/// deadline accounting, so overrun-path behavior is reproducible on any
+/// machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CostModel {
+    /// Cost floor charged to every scored frame.
+    pub base: Duration,
+    /// Upper bound on the additional per-frame jitter.
+    pub jitter: Duration,
+    /// Seed for the jitter hash.
+    pub seed: u64,
+}
+
+impl CostModel {
+    /// A model that charges every frame exactly `base`.
+    pub fn fixed(base: Duration) -> Self {
+        CostModel {
+            base,
+            jitter: Duration::ZERO,
+            seed: 0,
+        }
+    }
+
+    /// The simulated scoring cost of frame `frame`.
+    pub fn cost(&self, frame: u64) -> Duration {
+        if self.jitter.is_zero() {
+            return self.base;
+        }
+        // splitmix64 over (seed, frame) → uniform [0, 1).
+        let mut z = self
+            .seed
+            .wrapping_add(frame.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        let unit = (z >> 11) as f64 / (1u64 << 53) as f64;
+        self.base + Duration::from_secs_f64(self.jitter.as_secs_f64() * unit)
+    }
+}
+
+/// Where the scoring cost charged against [`StreamConfig::deadline`]
+/// comes from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeadlineClock {
+    /// Measure ambient wall time around scoring (via [`obs::Stopwatch`],
+    /// the workspace's sole sanctioned clock). Deployments want this;
+    /// decision streams then depend on machine speed, so reproducible
+    /// runs should prefer [`DeadlineClock::Virtual`].
+    Ambient,
+    /// Charge each scored frame the model's simulated cost — deadline
+    /// overruns become a pure function of the frame index.
+    Virtual(CostModel),
 }
 
 /// The runtime's complete output for one frame.
@@ -118,6 +217,10 @@ pub struct StreamDecision {
     pub verdict: Option<Verdict>,
     /// Why the gate rejected the frame, when it did.
     pub gate_fault: Option<FrameFault>,
+    /// Why the serving layer shed the frame, when it did (the source is
+    /// then [`DecisionSource::Shed`] and the frame was never gated or
+    /// scored).
+    pub shed: Option<ShedReason>,
     /// The scoring error, when the gate admitted the frame but the
     /// detector failed on it.
     pub score_error: Option<String>,
@@ -143,10 +246,13 @@ pub struct StreamConfig {
     /// Novel frames within the window that raise the alarm (default 5).
     pub min_novel: usize,
     /// Per-frame scoring deadline. `None` (the default) disables
-    /// deadline tracking, which also keeps decision streams independent
-    /// of wall-clock noise — leave it off when byte-reproducible logs
-    /// matter more than latency enforcement.
+    /// deadline tracking. Combined with [`DeadlineClock::Ambient`] it
+    /// makes decision streams depend on wall-clock noise — use
+    /// [`DeadlineClock::Virtual`] when byte-reproducible logs matter.
     pub deadline: Option<Duration>,
+    /// Where the cost charged against `deadline` comes from (default
+    /// [`DeadlineClock::Ambient`]).
+    pub clock: DeadlineClock,
 }
 
 impl StreamConfig {
@@ -160,6 +266,7 @@ impl StreamConfig {
             window: 8,
             min_novel: 5,
             deadline: None,
+            clock: DeadlineClock::Ambient,
         }
     }
 
@@ -181,6 +288,59 @@ impl StreamConfig {
         self.deadline = Some(deadline);
         self
     }
+
+    /// Charges deadline accounting from a simulated [`CostModel`]
+    /// instead of ambient wall time (deterministic overruns).
+    pub fn with_virtual_cost(mut self, model: CostModel) -> Self {
+        self.clock = DeadlineClock::Virtual(model);
+        self
+    }
+}
+
+/// The receipt [`StreamRuntime::admit_recorded`] returns: a frame index
+/// plus the gate's ruling, awaiting resolution. Receipts must be
+/// resolved exactly once, in admission order — the alarm and health
+/// folds are order-sensitive.
+#[derive(Debug)]
+#[must_use = "every admitted frame must be resolved into a StreamDecision"]
+pub struct FrameAdmission {
+    index: u64,
+    gate_fault: Option<FrameFault>,
+}
+
+impl FrameAdmission {
+    /// The frame index this receipt resolves to.
+    pub fn index(&self) -> u64 {
+        self.index
+    }
+
+    /// The gate's rejection, when the frame was inadmissible.
+    pub fn gate_fault(&self) -> Option<&FrameFault> {
+        self.gate_fault.as_ref()
+    }
+}
+
+/// The caller-computed scoring outcome consumed by
+/// [`StreamRuntime::resolve_recorded`].
+#[derive(Debug)]
+pub enum ScoreOutcome {
+    /// The detector produced a verdict. `elapsed` is the measured
+    /// scoring time when the caller timed it; it feeds deadline
+    /// accounting under [`DeadlineClock::Ambient`] (and is ignored under
+    /// [`DeadlineClock::Virtual`]).
+    Scored {
+        /// The fresh verdict.
+        verdict: Verdict,
+        /// Measured scoring time, when available.
+        elapsed: Option<Duration>,
+    },
+    /// The gate admitted the frame but the detector failed on it.
+    Failed(String),
+    /// The frame was never scored (typically because the gate rejected
+    /// it); the fallback policy resolves the flag.
+    Unscored,
+    /// The serving layer shed the frame before gating or scoring.
+    Shed(ShedReason),
 }
 
 /// The fault-tolerant streaming runtime.
@@ -211,6 +371,7 @@ pub struct StreamRuntime<'d> {
     monitor: StreamMonitor,
     fallback: FallbackPolicy,
     deadline: Option<Duration>,
+    clock: DeadlineClock,
     last_verdict: Option<Verdict>,
     frames: u64,
 }
@@ -230,6 +391,7 @@ impl<'d> StreamRuntime<'d> {
             monitor: StreamMonitor::new(config.window, config.min_novel)?,
             fallback: config.fallback,
             deadline: config.deadline,
+            clock: config.clock,
             last_verdict: None,
             frames: 0,
         })
@@ -251,22 +413,12 @@ impl<'d> StreamRuntime<'d> {
         frame: Option<&Image>,
         recorder: &dyn Recorder,
     ) -> StreamDecision {
-        let index = self.frames;
-        self.frames += 1;
-        recorder.add("stream-score.frames", 1);
-
         // Layer 1: admission control.
-        let gate_fault = self.gate.admit(frame);
-        let mut score_error = None;
-        let mut deadline_overrun = false;
+        let admission = self.admit_recorded(frame, recorder);
 
         // Layer 2: scoring (only for admitted frames).
-        let scored = match &gate_fault {
-            Some(fault) => {
-                recorder.add("stream-score.gate_rejected", 1);
-                recorder.add(&format!("stream-score.gate_rejected.{}", fault.class()), 1);
-                None
-            }
+        let outcome = match admission.gate_fault() {
+            Some(_) => ScoreOutcome::Unscored,
             // The gate admits only delivered frames, so `frame` is Some
             // here; degrade to a per-frame score error rather than panic
             // if that invariant ever breaks — every frame must still
@@ -274,8 +426,9 @@ impl<'d> StreamRuntime<'d> {
             None => match frame {
                 Some(img) => {
                     let span = Span::root(recorder, "stream-score");
-                    let timer =
-                        Stopwatch::started_if(self.deadline.is_some() || recorder.enabled());
+                    let ambient_deadline =
+                        self.deadline.is_some() && matches!(self.clock, DeadlineClock::Ambient);
+                    let timer = Stopwatch::started_if(ambient_deadline || recorder.enabled());
                     let scratch_before = recorder.enabled().then(obs::scratch_snapshot);
                     let result = self.detector.classify(img);
                     let elapsed = timer.elapsed();
@@ -290,31 +443,112 @@ impl<'d> StreamRuntime<'d> {
                         recorder.observe("stream-score.latency_secs", elapsed.as_secs_f64());
                     }
                     match result {
-                        Ok(verdict) => {
-                            if let (Some(deadline), Some(elapsed)) = (self.deadline, elapsed) {
-                                if elapsed > deadline {
-                                    deadline_overrun = true;
-                                    recorder.add("stream-score.deadline_overruns", 1);
-                                }
-                            }
-                            Some(verdict)
-                        }
-                        Err(e) => {
-                            // The gate admits what it can cheaply validate;
-                            // a scoring error past the gate is still a
-                            // per-frame fault, not a stream-ending one.
-                            score_error = Some(e.to_string());
-                            recorder.add("stream-score.score_errors", 1);
-                            None
-                        }
+                        Ok(verdict) => ScoreOutcome::Scored { verdict, elapsed },
+                        // The gate admits what it can cheaply validate; a
+                        // scoring error past the gate is still a per-frame
+                        // fault, not a stream-ending one.
+                        Err(e) => ScoreOutcome::Failed(e.to_string()),
                     }
                 }
-                None => {
-                    score_error = Some("gate admitted an undelivered frame".to_string());
-                    recorder.add("stream-score.score_errors", 1);
-                    None
-                }
+                None => ScoreOutcome::Failed("gate admitted an undelivered frame".to_string()),
             },
+        };
+
+        // Layers 3 and 4: fallback resolution, alarm, health.
+        self.resolve_recorded(admission, outcome, recorder)
+    }
+
+    /// [`StreamRuntime::admit_recorded`] without observability.
+    pub fn admit(&mut self, frame: Option<&Image>) -> FrameAdmission {
+        self.admit_recorded(frame, obs::noop())
+    }
+
+    /// Split-phase layer 1: assigns the next frame index and runs
+    /// admission control. The receipt must be passed to
+    /// [`StreamRuntime::resolve_recorded`] exactly once, and receipts
+    /// must be resolved in admission order.
+    pub fn admit_recorded(
+        &mut self,
+        frame: Option<&Image>,
+        recorder: &dyn Recorder,
+    ) -> FrameAdmission {
+        let index = self.frames;
+        self.frames += 1;
+        recorder.add("stream-score.frames", 1);
+        let gate_fault = self.gate.admit(frame);
+        if let Some(fault) = &gate_fault {
+            recorder.add("stream-score.gate_rejected", 1);
+            recorder.add(&format!("stream-score.gate_rejected.{}", fault.class()), 1);
+        }
+        FrameAdmission { index, gate_fault }
+    }
+
+    /// Assigns the next frame index *without* consulting the gate, for
+    /// frames the serving layer sheds unseen. Their pixels are never
+    /// inspected, so they must not perturb the gate's stuck-frame
+    /// history; resolve the receipt with [`ScoreOutcome::Shed`].
+    pub fn admit_unseen(&mut self, recorder: &dyn Recorder) -> FrameAdmission {
+        let index = self.frames;
+        self.frames += 1;
+        recorder.add("stream-score.frames", 1);
+        FrameAdmission {
+            index,
+            gate_fault: None,
+        }
+    }
+
+    /// [`StreamRuntime::resolve_recorded`] without observability.
+    pub fn resolve(&mut self, admission: FrameAdmission, outcome: ScoreOutcome) -> StreamDecision {
+        self.resolve_recorded(admission, outcome, obs::noop())
+    }
+
+    /// Split-phase layers 3 and 4: folds the caller-computed outcome
+    /// through fallback resolution, the alarm monitor and the health
+    /// tracker — exactly the machinery [`StreamRuntime::process`] uses,
+    /// so a batched caller produces bit-identical decision streams.
+    ///
+    /// If the receipt carries a gate fault, any verdict in `outcome` is
+    /// ignored (the gate's refusal wins, keeping fault semantics
+    /// uniform).
+    pub fn resolve_recorded(
+        &mut self,
+        admission: FrameAdmission,
+        outcome: ScoreOutcome,
+        recorder: &dyn Recorder,
+    ) -> StreamDecision {
+        let FrameAdmission { index, gate_fault } = admission;
+        let mut score_error = None;
+        let mut deadline_overrun = false;
+        let mut shed = None;
+
+        let scored = match outcome {
+            ScoreOutcome::Scored { verdict, elapsed } if gate_fault.is_none() => {
+                let charged = match self.clock {
+                    DeadlineClock::Virtual(model) => Some(model.cost(index)),
+                    DeadlineClock::Ambient => elapsed,
+                };
+                if let (Some(deadline), Some(charged)) = (self.deadline, charged) {
+                    if charged > deadline {
+                        deadline_overrun = true;
+                        recorder.add("stream-score.deadline_overruns", 1);
+                    }
+                }
+                Some(verdict)
+            }
+            // A verdict for a gate-rejected frame is a caller bug; drop
+            // it and resolve through the fallback like any rejection.
+            ScoreOutcome::Scored { .. } | ScoreOutcome::Unscored => None,
+            ScoreOutcome::Failed(e) => {
+                score_error = Some(e);
+                recorder.add("stream-score.score_errors", 1);
+                None
+            }
+            ScoreOutcome::Shed(reason) => {
+                shed = Some(reason);
+                recorder.add("stream-score.shed", 1);
+                recorder.add(&format!("stream-score.shed.{}", reason.name()), 1);
+                None
+            }
         };
 
         // Layer 3: fallback resolution — every frame yields a decision.
@@ -326,17 +560,27 @@ impl<'d> StreamRuntime<'d> {
                 self.last_verdict = Some(v.clone());
                 (DecisionSource::Scored, Some(v.is_novel), Some(v))
             }
-            None => match (self.fallback, &self.last_verdict) {
-                (FallbackPolicy::HoldLastVerdict, Some(held)) => (
-                    DecisionSource::FallbackHeld,
-                    Some(held.is_novel),
-                    Some(held.clone()),
-                ),
-                (FallbackPolicy::Abstain, _) => (DecisionSource::Abstained, None, None),
-                // TreatAsNovel, and HoldLastVerdict before any verdict
-                // exists: assume the worst.
-                _ => (DecisionSource::FallbackNovel, Some(true), None),
-            },
+            None => {
+                let (fallback_source, flag, held) = match (self.fallback, &self.last_verdict) {
+                    (FallbackPolicy::HoldLastVerdict, Some(held)) => (
+                        DecisionSource::FallbackHeld,
+                        Some(held.is_novel),
+                        Some(held.clone()),
+                    ),
+                    (FallbackPolicy::Abstain, _) => (DecisionSource::Abstained, None, None),
+                    // TreatAsNovel, and HoldLastVerdict before any verdict
+                    // exists: assume the worst.
+                    _ => (DecisionSource::FallbackNovel, Some(true), None),
+                };
+                // A shed frame resolves its flag through the same policy
+                // but keeps its own source, so logs show overload as
+                // overload rather than as sensor fallback.
+                if shed.is_some() {
+                    (DecisionSource::Shed, flag, held)
+                } else {
+                    (fallback_source, flag, held)
+                }
+            }
         };
         if source != DecisionSource::Scored {
             recorder.add("stream-score.fallbacks", 1);
@@ -351,7 +595,9 @@ impl<'d> StreamRuntime<'d> {
         if alarm == AlarmState::Raised {
             recorder.add("stream-score.alarm.raised_frames", 1);
         }
-        let event = if gate_fault.is_some() {
+        let event = if shed.is_some() {
+            HealthEvent::Shed
+        } else if gate_fault.is_some() {
             HealthEvent::GateRejected
         } else if score_error.is_some() {
             HealthEvent::ScoreFailed
@@ -374,6 +620,7 @@ impl<'d> StreamRuntime<'d> {
             is_novel,
             verdict,
             gate_fault,
+            shed,
             score_error,
             deadline_overrun,
             health,

@@ -43,6 +43,7 @@ mod modifier;
 mod render;
 mod scene;
 mod steering;
+mod traffic;
 
 pub use config::{DatasetConfig, Weather, World, DEFAULT_HEIGHT, DEFAULT_WIDTH};
 pub use dataset::{DrivingDataset, Frame};
@@ -56,3 +57,4 @@ pub use modifier::{
 pub use render::{region_masks, render_frame, RegionMasks, RenderedFrame};
 pub use scene::SceneParams;
 pub use steering::steering_angle;
+pub use traffic::{standard_mix, TenantTraffic, TrafficConfig};

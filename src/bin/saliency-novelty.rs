@@ -8,6 +8,7 @@
 //! saliency-novelty classify --detector detector.json --image frames/frame_0003.pgm
 //! saliency-novelty eval     --detector ensemble.json --backend model-char --len 50
 //! saliency-novelty stream   --detector detector.json --faults nan@20+8 --alarm-log alarms.json
+//! saliency-novelty serve    --detector detector.json --tenants 8 --hostile 3 --log-dir logs/
 //! saliency-novelty evalgrid --quick --domains clear=clear,fog=fog@0.8,night=night@0.7
 //! saliency-novelty info     --detector detector.json
 //! saliency-novelty report   --file report.json --expect cnn-train,vbp
@@ -29,13 +30,15 @@ use novelty::eval::evaluate_recorded;
 use novelty::evalgrid::{run_evalgrid, GridConfig, GridDomain};
 use novelty::monitor::AlarmState;
 use novelty::{
-    load_any, BackendKind, Detector, EnsembleDetector, FallbackPolicy, HealthState, LoadedDetector,
-    NoveltyDetector, NoveltyDetectorBuilder, StreamConfig, StreamRuntime,
+    load_any, AlarmLog, AlarmLogEntry, BackendKind, CostModel, Detector, EnsembleDetector,
+    FallbackPolicy, HealthState, LoadedDetector, NoveltyDetector, NoveltyDetectorBuilder,
+    QueueConfig, StreamConfig, StreamRuntime, StreamServer, TenantSpec,
 };
 use obs::{Recorder, RunRecorder, RunReport};
 use serde::Serialize;
 use simdrive::{
-    DatasetConfig, DriveConfig, FaultBurst, FaultConfig, FaultInjector, FaultKind, Weather, World,
+    standard_mix, DatasetConfig, DriveConfig, FaultBurst, FaultConfig, FaultInjector, FaultKind,
+    InjectedFrame, Weather, World,
 };
 use vision::Image;
 
@@ -110,6 +113,41 @@ COMMANDS:
                                       with the same seeds and schedule)
              --require-recovery       exit 1 unless health degraded during
                                       the run AND ended healthy
+             --json                   emit the summary as JSON
+             --obs-out FILE           write an observability report
+  serve      run the multi-tenant stream server over seeded per-tenant
+             simulated traffic: bounded admission queues, deadline-aware
+             shedding, one coalesced scoring batch per round
+             --detector FILE          (required)
+             --backend ID             see classify
+             --ensemble               see classify
+             --tenants N              tenant count (default 4)
+             --len N                  frames per tenant (default 60)
+             --seed S                 master traffic seed (default 0)
+             --hostile IDX            give tenant IDX a scripted fault
+                                      storm (see --hostile-faults)
+             --hostile-faults k@s+n,. fault bursts for the hostile tenant
+                                      (default: nan + freeze storms
+                                      scaled to --len)
+             --capacity N             per-tenant queue capacity (default 6)
+             --drain N                frames served per tenant per round
+                                      (default 2)
+             --max-wait N             rounds a frame may queue before it
+                                      is shed (default 4)
+             --window N               alarm window size (default 8)
+             --min-novel N            flags that raise the alarm (default 5)
+             --fallback treat-novel|hold-last|abstain (default treat-novel)
+             --cost-ms N              virtual per-frame scoring cost; the
+                                      deadline clock charges this instead
+                                      of wall time (deterministic)
+             --cost-jitter-ms N       seeded jitter on the virtual cost
+             --deadline-ms N          per-frame scoring deadline; needs
+                                      --cost-ms (keeps runs reproducible)
+             --log-dir DIR            write one atomic per-tenant alarm
+                                      log DIR/<tenant>.json (byte-identical
+                                      across runs and thread counts)
+             --require-recovery       exit 1 unless the --hostile tenant
+                                      degraded AND ended healthy
              --json                   emit the summary as JSON
              --obs-out FILE           write an observability report
   evalgrid   train one detector per scenario domain and score the full
@@ -607,36 +645,6 @@ fn cmd_eval(args: &Args) -> CliResult {
     flush_report(&recorder, &obs_out, "eval")
 }
 
-/// One line of the `stream` alarm log. Only deterministic fields are
-/// logged (deadline overruns are deliberately absent), so runs with the
-/// same seeds and fault schedule produce byte-identical logs.
-#[derive(Serialize)]
-struct AlarmLogEntry {
-    /// Frame index in the stream.
-    frame: u64,
-    /// Injected sensor fault, if the injector corrupted this frame.
-    injected: Option<String>,
-    /// Gate rejection class, if the frame was inadmissible.
-    gate: Option<String>,
-    /// How the decision was produced (scored / fallback-* / abstained).
-    source: String,
-    /// The novelty flag; absent under the abstain policy.
-    is_novel: Option<bool>,
-    /// The backing verdict's score, when one exists.
-    score: Option<f32>,
-    /// Health state after this frame.
-    health: String,
-    /// Alarm state after this frame.
-    alarm: String,
-}
-
-fn alarm_name(state: AlarmState) -> &'static str {
-    match state {
-        AlarmState::Nominal => "nominal",
-        AlarmState::Raised => "raised",
-    }
-}
-
 /// Parses `--faults` specs like `nan@20+8,freeze@40` (burst length
 /// defaults to 1).
 fn parse_fault_bursts(spec: &str) -> Result<Vec<FaultBurst>, CliError> {
@@ -780,16 +788,10 @@ fn cmd_stream(args: &Args) -> CliResult {
         if decision.alarm == AlarmState::Raised {
             alarm_raised_frames += 1;
         }
-        log.push(AlarmLogEntry {
-            frame: decision.frame,
-            injected: injected.fault.map(|k| k.name().to_string()),
-            gate: decision.gate_fault.as_ref().map(|f| f.class().to_string()),
-            source: decision.source.name().to_string(),
-            is_novel: decision.is_novel,
-            score: decision.verdict.as_ref().map(|v| v.score),
-            health: decision.health.name().to_string(),
-            alarm: alarm_name(decision.alarm).to_string(),
-        });
+        log.push(AlarmLogEntry::from_decision(
+            &decision,
+            injected.fault.map(|k| k.name()),
+        ));
     }
 
     if let Some(path) = args.optional("alarm-log") {
@@ -881,6 +883,304 @@ fn cmd_stream(args: &Args) -> CliResult {
             "recovery check passed: degraded to {} and returned to healthy",
             worst.name()
         );
+    }
+    Ok(())
+}
+
+/// Per-tenant summary row of the `serve` command.
+#[derive(Serialize)]
+struct ServeTenantSummary {
+    tenant: String,
+    offered: u64,
+    decisions: u64,
+    scored: u64,
+    shed_queue_full: u64,
+    shed_deadline: u64,
+    gate_rejected: u64,
+    score_errors: u64,
+    alarm_raised_frames: u64,
+    worst_health: String,
+    final_health: String,
+}
+
+fn cmd_serve(args: &Args) -> CliResult {
+    args.reject_unknown(&[
+        "detector",
+        "backend",
+        "ensemble",
+        "tenants",
+        "len",
+        "seed",
+        "hostile",
+        "hostile-faults",
+        "capacity",
+        "drain",
+        "max-wait",
+        "window",
+        "min-novel",
+        "fallback",
+        "cost-ms",
+        "cost-jitter-ms",
+        "deadline-ms",
+        "log-dir",
+        "require-recovery",
+        "json",
+        "obs-out",
+        "threads",
+    ])?;
+    let loaded = load_detector_file(args)?;
+    let detector = select_detector(&loaded, args)?;
+    let tenants = args.usize("tenants", 4)?;
+    if tenants == 0 {
+        return Err(usage_err("--tenants must be at least 1"));
+    }
+    let len = args.usize("len", 60)?;
+    if len == 0 {
+        return Err(usage_err("--len must be at least 1"));
+    }
+    let seed = args.u64("seed", 0)?;
+    let hostile = match args.optional("hostile") {
+        Some(s) => {
+            let idx: usize = s
+                .parse()
+                .map_err(|_| usage_err(format!("--hostile must be a tenant index, got {s:?}")))?;
+            if idx >= tenants {
+                return Err(usage_err(format!(
+                    "--hostile {idx} is out of range for {tenants} tenants"
+                )));
+            }
+            Some(idx)
+        }
+        None => None,
+    };
+    let window = args.usize("window", 8)?;
+    let min_novel = args.usize("min-novel", 5)?;
+    let fallback_name = args.get("fallback", "treat-novel");
+    let fallback = FallbackPolicy::from_name(&fallback_name).ok_or_else(|| {
+        usage_err(format!(
+            "unknown fallback policy {fallback_name:?} (treat-novel|hold-last|abstain)"
+        ))
+    })?;
+    let queue = QueueConfig {
+        capacity: args.usize("capacity", 6)?,
+        drain: args.usize("drain", 2)?,
+        max_wait_rounds: args.u64("max-wait", 4)?,
+    };
+    let cost_ms = args.u64("cost-ms", 0)?;
+    let cost_jitter_ms = args.u64("cost-jitter-ms", 0)?;
+    let deadline_ms = args.u64("deadline-ms", 0)?;
+    if deadline_ms > 0 && cost_ms == 0 {
+        return Err(usage_err(
+            "serve deadlines use the virtual cost clock; set --cost-ms as well \
+             (wall-clock deadlines would make runs irreproducible)",
+        ));
+    }
+
+    // Seeded per-tenant traffic: each tenant's drive, scenario stack and
+    // fault schedule derive from (master seed, tenant index) only, so the
+    // arrival streams are independent of each other and of scheduling.
+    let (height, width) = detector.input_size();
+    let mut configs = standard_mix(tenants, len, None);
+    for config in configs.iter_mut() {
+        config.height = height;
+        config.width = width;
+    }
+    if let Some(idx) = hostile {
+        let bursts = match args.optional("hostile-faults") {
+            Some(spec) => parse_fault_bursts(&spec)?,
+            None => {
+                // Default storm: a NaN burst then a freeze burst, scaled
+                // to the stream so the tenant can degrade AND recover.
+                let nan_len = (len / 8).max(3);
+                let freeze_len = (len / 10).max(2);
+                vec![
+                    FaultBurst::new(FaultKind::NanBurst, len / 6, nan_len),
+                    FaultBurst::new(FaultKind::Freeze, len / 3, freeze_len),
+                ]
+            }
+        };
+        for burst in bursts {
+            configs[idx].fault_bursts.push(burst);
+        }
+        // Recovery needs headroom: serve the hostile tenant at a cadence
+        // its drain budget can absorb.
+        configs[idx].arrivals_per_round = 1;
+    } else if args.is_set("hostile-faults") {
+        return Err(usage_err("--hostile-faults needs --hostile IDX"));
+    }
+    let mut traffic = Vec::with_capacity(tenants);
+    for (i, config) in configs.iter().enumerate() {
+        traffic.push(
+            config
+                .generate(seed, i)
+                .map_err(|e| runtime_err(format!("cannot generate traffic: {e}")))?,
+        );
+    }
+
+    // One stream runtime per tenant behind a bounded queue; the virtual
+    // cost clock (when enabled) keeps deadline accounting deterministic.
+    let mut specs = Vec::with_capacity(tenants);
+    for (i, t) in traffic.iter().enumerate() {
+        let mut stream = StreamConfig::for_detector(detector)
+            .with_fallback(fallback)
+            .with_alarm_window(window, min_novel);
+        if deadline_ms > 0 {
+            stream = stream.with_deadline(Duration::from_millis(deadline_ms));
+        }
+        if cost_ms > 0 {
+            stream = stream.with_virtual_cost(CostModel {
+                base: Duration::from_millis(cost_ms),
+                jitter: Duration::from_millis(cost_jitter_ms),
+                seed: seed.wrapping_add(i as u64),
+            });
+        }
+        specs.push(TenantSpec::new(t.name(), stream).with_queue(queue));
+    }
+    let mut server = StreamServer::new(detector, specs)
+        .map_err(|e| usage_err(format!("invalid serve configuration: {e}")))?;
+
+    let (recorder, obs_out) = recorder_for(args);
+    let dyn_recorder: &dyn Recorder = match &recorder {
+        Some(r) => r,
+        None => obs::noop(),
+    };
+
+    // Round loop: offer each tenant's arrivals, then run one scheduling
+    // round; after arrivals are exhausted, keep stepping until every
+    // queued frame has resolved into a decision.
+    let mut logs: Vec<AlarmLog> = traffic.iter().map(|t| AlarmLog::new(t.name())).collect();
+    while traffic.iter().any(|t| t.remaining() > 0) || server.pending() > 0 {
+        for (t, stream) in traffic.iter_mut().enumerate() {
+            let arrivals: Vec<InjectedFrame> = stream.next_round().to_vec();
+            for injected in arrivals {
+                server
+                    .offer(t, injected.image)
+                    .map_err(|e| runtime_err(format!("offer failed: {e}")))?;
+            }
+        }
+        for (t, decision) in server.step_recorded(dyn_recorder) {
+            let fault = traffic
+                .get(t)
+                .and_then(|s| s.fault_at(decision.frame as usize));
+            if let Some(log) = logs.get_mut(t) {
+                log.record(&decision, fault.map(|k| k.name()));
+            }
+        }
+    }
+
+    if let Some(dir) = args.optional("log-dir") {
+        std::fs::create_dir_all(&dir)
+            .map_err(|e| runtime_err(format!("cannot create {dir}: {e}")))?;
+        for log in &logs {
+            let path = PathBuf::from(&dir).join(format!("{}.json", log.tenant));
+            log.save(&path)
+                .map_err(|e| runtime_err(format!("cannot write alarm log: {e}")))?;
+        }
+        eprintln!("wrote {} per-tenant alarm logs to {dir}/", logs.len());
+    }
+
+    let mut summaries = Vec::with_capacity(tenants);
+    for t in 0..tenants {
+        let (stats, runtime) = match (server.stats(t), server.runtime(t)) {
+            (Some(s), Some(r)) => (*s, r),
+            _ => return Err(runtime_err(format!("tenant {t} vanished from the server"))),
+        };
+        summaries.push(ServeTenantSummary {
+            tenant: server.tenant_name(t).unwrap_or("?").to_string(),
+            offered: stats.offered,
+            decisions: stats.decisions,
+            scored: stats.scored,
+            shed_queue_full: stats.shed_queue_full,
+            shed_deadline: stats.shed_deadline,
+            gate_rejected: stats.gate_rejected,
+            score_errors: stats.score_errors,
+            alarm_raised_frames: stats.alarm_raised_frames,
+            worst_health: runtime.health().worst_state().name().to_string(),
+            final_health: runtime.health().state().name().to_string(),
+        });
+    }
+    // Jain's fairness index over per-tenant scored counts: 1.0 is
+    // perfectly even service, 1/n is one tenant monopolizing.
+    let scored_sum: f64 = summaries.iter().map(|s| s.scored as f64).sum();
+    let scored_sq: f64 = summaries.iter().map(|s| (s.scored as f64).powi(2)).sum();
+    let fairness = if scored_sq > 0.0 {
+        (scored_sum * scored_sum) / (tenants as f64 * scored_sq)
+    } else {
+        1.0
+    };
+
+    // Captured before the summaries move into the JSON body.
+    let recovery = hostile.and_then(|idx| {
+        summaries.get(idx).map(|s| {
+            (
+                s.tenant.clone(),
+                s.worst_health.clone(),
+                s.final_health.clone(),
+            )
+        })
+    });
+
+    if args.is_set("json") {
+        #[derive(Serialize)]
+        struct ServeSummary {
+            tenants: usize,
+            rounds: u64,
+            fairness_jain: f64,
+            per_tenant: Vec<ServeTenantSummary>,
+        }
+        let json = serde_json::to_string(&ServeSummary {
+            tenants: summaries.len(),
+            rounds: server.round(),
+            fairness_jain: fairness,
+            per_tenant: summaries,
+        })
+        .map_err(|e| runtime_err(format!("cannot serialize summary: {e}")))?;
+        println!("{json}");
+    } else {
+        println!(
+            "served {} tenants for {} rounds (fairness {:.3})",
+            tenants,
+            server.round(),
+            fairness
+        );
+        println!(
+            "{:<12} {:>7} {:>6} {:>5} {:>5} {:>4} {:>4} {:>5}  {:<8} final",
+            "tenant", "offered", "scored", "shedQ", "shedD", "gate", "err", "alarm", "worst"
+        );
+        for s in &summaries {
+            println!(
+                "{:<12} {:>7} {:>6} {:>5} {:>5} {:>4} {:>4} {:>5}  {:<8} {}",
+                s.tenant,
+                s.offered,
+                s.scored,
+                s.shed_queue_full,
+                s.shed_deadline,
+                s.gate_rejected,
+                s.score_errors,
+                s.alarm_raised_frames,
+                s.worst_health,
+                s.final_health
+            );
+        }
+    }
+    flush_report(&recorder, &obs_out, "serve")?;
+
+    if args.is_set("require-recovery") {
+        let Some((tenant, worst, fin)) = recovery else {
+            return Err(usage_err("--require-recovery needs --hostile IDX"));
+        };
+        if worst == HealthState::Healthy.name() {
+            return Err(runtime_err(format!(
+                "--require-recovery: tenant {tenant} never degraded (no faults took effect)"
+            )));
+        }
+        if fin != HealthState::Healthy.name() {
+            return Err(runtime_err(format!(
+                "--require-recovery: tenant {tenant} ended {fin} (worst {worst}), \
+                 expected healthy"
+            )));
+        }
+        println!("recovery check passed: {tenant} degraded to {worst} and returned to healthy");
     }
     Ok(())
 }
@@ -1090,6 +1390,7 @@ fn run() -> CliResult {
         "classify" => cmd_classify(&args),
         "eval" => cmd_eval(&args),
         "stream" => cmd_stream(&args),
+        "serve" => cmd_serve(&args),
         "evalgrid" => cmd_evalgrid(&args),
         "info" => cmd_info(&args),
         "report" => cmd_report(&args),
