@@ -97,7 +97,7 @@ pub fn overlap_coefficient(a: &[f32], b: &[f32], bins: usize) -> Result<f32> {
         return Ok(1.0);
     }
     let hist = |v: &[f32]| -> Vec<f32> {
-        let mut counts = vec![0u64; bins];
+        let mut counts = vec![0u64; bins]; // sncheck:allow(hot-path-transitive-alloc): histogram scratch sized by bin count; separation metrics run once per evaluation sweep, not per frame
         for &x in v {
             let t = ((x - lo) / (hi - lo) * bins as f32).floor() as i64;
             counts[t.clamp(0, bins as i64 - 1) as usize] += 1;

@@ -268,7 +268,7 @@ pub fn try_for_each_block<E: Send>(
     note_job(items, items.div_ceil(per));
     let mut outcomes: Vec<std::result::Result<(), E>> = Vec::new();
     std::thread::scope(|scope| {
-        let mut handles = Vec::with_capacity(threads);
+        let mut handles = Vec::with_capacity(threads); // sncheck:allow(hot-path-transitive-alloc): one handle vector per parallel job launch, amortized over the whole batch it fans out
         let mut rest = out;
         let mut first = 0usize;
         while !rest.is_empty() {
@@ -285,7 +285,7 @@ pub fn try_for_each_block<E: Send>(
         }
         outcomes = handles
             .into_iter()
-            .map(|h| h.join().expect("parallel worker panicked")) // sncheck:allow(no-panic-in-lib): deliberate panic propagation from a poisoned worker
+            .map(|h| h.join().expect("parallel worker panicked")) // sncheck:allow(no-panic-in-lib, hot-path-transitive-panic): deliberate panic propagation from a poisoned worker
             .collect();
     });
     for outcome in outcomes {
@@ -339,7 +339,7 @@ where
     });
     slots
         .into_iter()
-        .map(|slot| slot.expect("parallel worker panicked")) // sncheck:allow(no-panic-in-lib): an empty slot means a worker died; propagate, don't mask
+        .map(|slot| slot.expect("parallel worker panicked")) // sncheck:allow(no-panic-in-lib, hot-path-transitive-panic): an empty slot means a worker died; propagate, don't mask
         .collect()
 }
 

@@ -129,11 +129,18 @@ impl Tensor {
         let shape = shape.into();
         let volume = shape.volume();
         let mut data = scratch::take(volume);
-        for off in 0..volume {
-            let idx = shape
-                .unravel(off)
-                .expect("offset below volume always unravels"); // sncheck:allow(no-panic-in-lib): unravel is total for offsets < volume by construction
+        // Odometer-style index: one rank-length buffer incremented in
+        // place, instead of unravelling (and allocating) per element.
+        let mut idx = vec![0usize; shape.rank()]; // sncheck:allow(hot-path-transitive-alloc): one rank-length buffer per tensor construction, amortized over all `volume` evaluations
+        for _ in 0..volume {
             data.push(f(&idx));
+            for axis in (0..shape.rank()).rev() {
+                idx[axis] += 1;
+                if idx[axis] < shape.dims()[axis] {
+                    break;
+                }
+                idx[axis] = 0;
+            }
         }
         Tensor { data, shape }
     }

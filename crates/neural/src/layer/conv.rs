@@ -164,7 +164,7 @@ impl Layer for Conv2d {
     }
 
     fn params(&self) -> Vec<&Tensor> {
-        vec![&self.weight, &self.bias]
+        vec![&self.weight, &self.bias] // sncheck:allow(hot-path-transitive-alloc): two-element parameter list, built once per characterization profile, never per frame
     }
 }
 

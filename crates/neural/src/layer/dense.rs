@@ -191,7 +191,7 @@ impl Layer for Dense {
     }
 
     fn params(&self) -> Vec<&Tensor> {
-        vec![&self.weight, &self.bias]
+        vec![&self.weight, &self.bias] // sncheck:allow(hot-path-transitive-alloc): two-element parameter list, built once per characterization profile, never per frame
     }
 }
 

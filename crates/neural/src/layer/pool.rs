@@ -57,8 +57,8 @@ impl MaxPool2d {
         }
         let (oh, ow) = (h / ph, w / pw);
         let data = input.as_slice();
-        let mut out = Vec::with_capacity(n * c * oh * ow);
-        let mut argmax = Vec::with_capacity(n * c * oh * ow);
+        let mut out = Vec::with_capacity(n * c * oh * ow); // sncheck:allow(hot-path-transitive-alloc): the pooled activation is the layer's output; one exact-size buffer per forward call
+        let mut argmax = Vec::with_capacity(n * c * oh * ow); // sncheck:allow(hot-path-transitive-alloc): argmax routing table sized with the output; needed for the backward pass
         for ni in 0..n {
             for ci in 0..c {
                 let plane = (ni * c + ci) * h * w;
@@ -117,7 +117,7 @@ impl Layer for MaxPool2d {
                 ),
             ));
         }
-        let mut grad_in = vec![0.0f32; in_shape.volume()];
+        let mut grad_in = vec![0.0f32; in_shape.volume()]; // sncheck:allow(hot-path-transitive-alloc): the gradient plane is the backward pass's output; zero-filled scatter target, one per call
         for (&idx, &g) in argmax.iter().zip(grad_output.as_slice()) {
             grad_in[idx] += g;
         }

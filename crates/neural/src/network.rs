@@ -121,7 +121,7 @@ impl Network {
         if n <= 1 {
             return self.forward(input);
         }
-        let sample_dims = dims[1..].to_vec();
+        let sample_dims = dims[1..].to_vec(); // sncheck:allow(hot-path-transitive-alloc): rank-length shape header, copied once per batch call
         let sample_len = input.len() / n;
         let chunks = ndtensor::thread_config().threads().clamp(1, n);
         let per = n.div_ceil(chunks);
@@ -133,7 +133,7 @@ impl Network {
         let work = self.param_count().saturating_mul(n);
         let outputs = ndtensor::par::try_parallel_map(ranges.len(), work, |i| {
             let (start, end) = ranges[i];
-            let mut shape = vec![end - start];
+            let mut shape = vec![end - start]; // sncheck:allow(hot-path-transitive-alloc): rank-length chunk shape, one per worker chunk (not per sample)
             shape.extend_from_slice(&sample_dims);
             let chunk = Tensor::from_slice(
                 shape,
@@ -153,7 +153,7 @@ impl Network {
                 ));
             }
             match &out_sample_dims {
-                None => out_sample_dims = Some(odims[1..].to_vec()),
+                None => out_sample_dims = Some(odims[1..].to_vec()), // sncheck:allow(hot-path-transitive-alloc): rank-length shape header, captured once per batch call
                 Some(expect) if expect.as_slice() == &odims[1..] => {}
                 Some(_) => {
                     return Err(NeuralError::invalid(
@@ -164,7 +164,7 @@ impl Network {
             }
             data.extend_from_slice(output.as_slice());
         }
-        let mut out_shape = vec![n];
+        let mut out_shape = vec![n]; // sncheck:allow(hot-path-transitive-alloc): rank-length output shape, one per batch call
         out_shape.extend(out_sample_dims.unwrap_or_default());
         Ok(Tensor::from_vec(out_shape, data)?)
     }
@@ -177,7 +177,7 @@ impl Network {
     ///
     /// Fails when the network is empty or any layer rejects its input.
     pub fn forward_collect(&self, input: &Tensor) -> Result<Vec<Tensor>> {
-        let mut acts = Vec::with_capacity(self.layers.len());
+        let mut acts = Vec::with_capacity(self.layers.len()); // sncheck:allow(hot-path-transitive-alloc): per-layer activation list is this API's return value; callers on the hot path reuse forward_collect_into instead
         self.forward_collect_into(input, &mut acts)?;
         Ok(acts)
     }

@@ -27,8 +27,8 @@ pub struct TensorData {
 impl TensorData {
     fn from_tensor(t: &Tensor) -> Self {
         TensorData {
-            shape: t.shape().dims().to_vec(),
-            data: t.as_slice().to_vec(),
+            shape: t.shape().dims().to_vec(), // sncheck:allow(hot-path-transitive-alloc): snapshot serialization owns its bytes by design; reached from scoring only when a recorder requests a weight snapshot
+            data: t.as_slice().to_vec(), // sncheck:allow(hot-path-transitive-alloc): same — the serialized copy must outlive the tensor it snapshots
         }
     }
 
@@ -92,7 +92,7 @@ pub struct NetworkSpec {
 /// Currently infallible for all built-in layers; returns an error if a
 /// layer reports parameters inconsistent with its kind.
 pub fn to_spec(network: &Network) -> Result<NetworkSpec> {
-    let mut layers = Vec::with_capacity(network.layer_count());
+    let mut layers = Vec::with_capacity(network.layer_count()); // sncheck:allow(hot-path-transitive-alloc): spec construction is a serialization step, run when recording snapshots, not per frame
     for layer in network.layers() {
         let params = layer.params();
         let spec = match layer.kind() {

@@ -300,7 +300,7 @@ impl AutoencoderClassifier {
             self.check_input(img)?;
         }
         let dim = self.height * self.width;
-        let mut data = Vec::with_capacity(images.len() * dim);
+        let mut data = Vec::with_capacity(images.len() * dim); // sncheck:allow(hot-path-transitive-alloc): one packed input buffer per batch call, amortized across all frames in it
         for img in images {
             data.extend_from_slice(img.as_slice());
         }

@@ -46,7 +46,7 @@ use crate::{NoveltyError, Result};
 ///
 /// An empty slice fuses to a non-novel verdict with zero votes.
 pub fn fuse_verdict(scores: &[BackendScore], quorum: u32) -> Verdict {
-    let mut members = scores.to_vec();
+    let mut members = scores.to_vec(); // sncheck:allow(hot-path-transitive-alloc): verdict fusion sorts a copy of the 2-4 member scores; the input slice is caller-owned and must stay unsorted
     members.sort_by(|a, b| a.backend.cmp(b.backend));
     let total_votes = members.len() as u32;
     let novel_votes = members.iter().filter(|s| s.is_novel).count() as u32;
@@ -231,7 +231,7 @@ impl Detector for EnsembleDetector {
     }
 
     fn classify(&self, image: &Image) -> Result<Verdict> {
-        let mut scores = Vec::with_capacity(self.members.len());
+        let mut scores = Vec::with_capacity(self.members.len()); // sncheck:allow(hot-path-transitive-alloc): one score slot per ensemble member (2-4), per verdict
         for member in &self.members {
             let score = member.score(image)?;
             scores.push(member.backend_score(score));

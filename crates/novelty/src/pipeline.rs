@@ -321,8 +321,8 @@ impl NoveltyDetector {
         let pool_before = recorder.enabled().then(obs::par_snapshot);
         let scratch_before = recorder.enabled().then(obs::scratch_snapshot);
         let verdicts = obs::time(recorder, "scoring", || {
-            let mut pre: Vec<Option<NoveltyError>> = Vec::with_capacity(images.len());
-            let mut valid: Vec<&Image> = Vec::with_capacity(images.len());
+            let mut pre: Vec<Option<NoveltyError>> = Vec::with_capacity(images.len()); // sncheck:allow(hot-path-transitive-alloc): per-batch validation ledger, amortized across the batch
+            let mut valid: Vec<&Image> = Vec::with_capacity(images.len()); // sncheck:allow(hot-path-transitive-alloc): borrowed-frame routing table, one per batch call
             for img in images {
                 match self.validate_input(img) {
                     Err(e) => pre.push(Some(e)),
@@ -764,7 +764,7 @@ impl NoveltyDetectorBuilder {
     /// Fails on empty datasets, incompatible image sizes, or divergent
     /// training.
     pub fn train(&self, dataset: &DrivingDataset) -> Result<NoveltyDetector> {
-        self.train_with_cnn(dataset, None)
+        self.train_recorded(dataset, obs::noop())
     }
 
     /// [`NoveltyDetectorBuilder::train`] with observability: each

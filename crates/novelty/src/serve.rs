@@ -352,7 +352,7 @@ impl<'d> StreamServer<'d> {
         // Phase A — drain plans. Everything here is per-tenant state:
         // shedding and admission for one lane never read another lane.
         let mut batch: Vec<Image> = Vec::new();
-        let mut plans: Vec<Vec<(FrameAdmission, Planned)>> = Vec::with_capacity(self.lanes.len());
+        let mut plans: Vec<Vec<(FrameAdmission, Planned)>> = Vec::with_capacity(self.lanes.len()); // sncheck:allow(hot-path-transitive-alloc): one plan slot per tenant lane per serve round, amortized over the coalesced batch
         for lane in self.lanes.iter_mut() {
             let mut plan = Vec::new();
             let mut budget = lane.config.drain;

@@ -78,13 +78,13 @@ fn lrp_conv(
     ];
     let (oh, ow) = (z.shape().dims()[2], z.shape().dims()[3]);
     let w2 = weight.reshape([f, c * kh * kw])?;
-    let mut back = vec![0.0f32; n * c * h * w];
+    let mut back = vec![0.0f32; n * c * h * w]; // sncheck:allow(hot-path-transitive-alloc): the relevance map being computed IS the output buffer; one per LRP layer pass
     let sample_in = c * h * w;
     let sample_out = f * oh * ow;
     for ni in 0..n {
         let srow = Tensor::from_vec(
             [f, oh * ow],
-            s.as_slice()[ni * sample_out..(ni + 1) * sample_out].to_vec(),
+            s.as_slice()[ni * sample_out..(ni + 1) * sample_out].to_vec(), // sncheck:allow(hot-path-transitive-alloc): per-sample relevance row lifted into a Tensor for the matmul; Tensor construction takes ownership
         )?;
         let dcols = matmul_at_b(&w2, &srow)?;
         let sample = col2im(&dcols, c, h, w, kh, kw, spec)?;
@@ -105,7 +105,7 @@ fn lrp_maxpool(relevance: &Tensor, window: (usize, usize), input: &Tensor) -> Re
     let (oh, ow) = (h / ph, w / pw);
     let data = input.as_slice();
     let rel = relevance.as_slice();
-    let mut out = vec![0.0f32; n * c * h * w];
+    let mut out = vec![0.0f32; n * c * h * w]; // sncheck:allow(hot-path-transitive-alloc): winner-routed relevance output buffer, one per pool layer pass
     for ni in 0..n {
         for ci in 0..c {
             let plane = (ni * c + ci) * h * w;

@@ -1,0 +1,28 @@
+// Ambiguous method resolution: `tick()` is defined by two types and the
+// receiver's type is invisible to a token-level linter, so the call from
+// the hot root fans out to both candidates (a sound over-approximation —
+// dyn dispatch could pick either). The panicking candidate must be
+// flagged even though only the clean one is "really" called.
+
+pub struct Wall;
+pub struct Counter;
+
+impl Wall {
+    pub fn tick(&self) -> u64 {
+        0
+    }
+}
+
+impl Counter {
+    pub fn tick(&self) -> u64 {
+        self.read().unwrap() // reached only via the ambiguous edge
+    }
+
+    fn read(&self) -> Option<u64> {
+        Some(1)
+    }
+}
+
+pub fn classify_each(w: &Wall) -> u64 {
+    w.tick()
+}

@@ -1,0 +1,18 @@
+// no-float-promotion: the marked fn is an integer hot loop (the i8×i8
+// GEMM inner kernel contract) — promoting an accumulator to float there
+// silently reintroduces the rounding the quantized path exists to avoid.
+// The same cast in an unmarked fn is fine: dequantization at the edge is
+// exactly where floats belong.
+
+// sncheck:int-hot
+pub fn qdot(a: &[i8], b: &[i8]) -> f32 {
+    let mut acc: i32 = 0;
+    for i in 0..a.len().min(b.len()) {
+        acc += i32::from(a[i]) * i32::from(b[i]);
+    }
+    acc as f32 // no-float-promotion
+}
+
+pub fn dequantize(acc: i32, scale: f32) -> f32 {
+    acc as f32 * scale
+}

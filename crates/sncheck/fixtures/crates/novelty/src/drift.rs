@@ -1,0 +1,31 @@
+// recorded-parity-drift: the plain half of a recorded/plain pair must be
+// a pure forward. `classify_window` satisfies the v1 existence rule
+// (recorded-parity) — the sibling is there — but has grown a branch, so
+// the two entry points can diverge. Only the drift rule catches it.
+
+pub fn classify_window(frames: &[u8]) -> usize {
+    if frames.is_empty() {
+        return 0;
+    }
+    classify_window_recorded(frames, noop())
+}
+
+pub fn classify_window_recorded(frames: &[u8], _rec: Recorder) -> usize {
+    frames.len()
+}
+
+// A compliant pair: the wrapper is a single forwarding expression, so it
+// must stay clean.
+pub fn rank_window(frames: &[u8]) -> usize {
+    rank_window_recorded(frames, noop())
+}
+
+pub fn rank_window_recorded(frames: &[u8], _rec: Recorder) -> usize {
+    frames.len()
+}
+
+pub struct Recorder;
+
+fn noop() -> Recorder {
+    Recorder
+}

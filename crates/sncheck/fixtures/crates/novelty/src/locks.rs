@@ -1,0 +1,24 @@
+// lock-order: the server state holds two mutexes, and the two entry
+// points acquire them in opposite orders — the classic ABBA deadlock.
+// One inversion is direct (same fn), the second is transitive: `drain`
+// holds `queue` across a call into `audit`, which takes `stats`, while
+// `report` takes them the other way around.
+
+pub struct Shared {
+    queue: Mutex<Vec<u8>>,
+    stats: Mutex<u64>,
+}
+
+impl Shared {
+    pub fn push_then_count(&self) {
+        let q = self.queue.lock();
+        let s = self.stats.lock();
+        drop((q, s));
+    }
+
+    pub fn count_then_push(&self) {
+        let s = self.stats.lock();
+        let q = self.queue.lock();
+        drop((s, q));
+    }
+}

@@ -1,0 +1,19 @@
+// Diamond call graph: the root reaches the shared leaf along two paths.
+// The reachability scan visits each fn once, so the unwrap in the leaf
+// must produce exactly one transitive finding — not one per path.
+
+pub fn score_batch(xs: &[f32]) -> f32 {
+    upper(xs) + lower(xs)
+}
+
+fn upper(xs: &[f32]) -> f32 {
+    shared_leaf(xs)
+}
+
+fn lower(xs: &[f32]) -> f32 {
+    shared_leaf(xs) * 2.0
+}
+
+fn shared_leaf(xs: &[f32]) -> f32 {
+    *xs.first().unwrap() // also fires per-line no-panic-in-lib
+}

@@ -43,6 +43,47 @@ pub struct Diagnostic {
     pub severity: Severity,
     /// Human explanation, including the remedy.
     pub message: String,
+    /// The matched construct (`unwrap`, `vec!`, `Instant::now`, …); used
+    /// by the suppression-stable fingerprint. Empty for hygiene findings.
+    pub token: String,
+    /// Qualified path of the enclosing fn (`novelty::StreamServer::step`)
+    /// — filled by the rule when it knows it, or by the engine from the
+    /// symbol table; `crate::<file-scope>` when the finding sits outside
+    /// any fn item.
+    pub fn_path: String,
+    /// Stable identity `rule|fn_path|token|ordinal` — a pure function of
+    /// *what* was found, not *where on the page*: line shifts and file
+    /// renames do not change it. `--diff` keys the baseline off this.
+    pub fingerprint: String,
+    /// True in `--diff` mode when the fingerprint is in the baseline:
+    /// reported, but not counted against the exit code.
+    pub baselined: bool,
+}
+
+impl Diagnostic {
+    /// A finding with only the positional fields set; fingerprint fields
+    /// are filled by the engine's fingerprint pass.
+    pub fn new(
+        path: impl Into<String>,
+        line: u32,
+        col: u32,
+        rule: &'static str,
+        severity: Severity,
+        message: impl Into<String>,
+    ) -> Diagnostic {
+        Diagnostic {
+            path: path.into(),
+            line,
+            col,
+            rule,
+            severity,
+            message: message.into(),
+            token: String::new(),
+            fn_path: String::new(),
+            fingerprint: String::new(),
+            baselined: false,
+        }
+    }
 }
 
 impl fmt::Display for Diagnostic {
@@ -60,6 +101,30 @@ impl fmt::Display for Diagnostic {
     }
 }
 
+/// One scanned file and its content digest — the per-file cache key
+/// embedded in the JSON output so consumers (and the `--diff` gate) can
+/// tell which inputs produced the report.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FileDigest {
+    /// Workspace-relative path.
+    pub path: String,
+    /// FNV-1a 64-bit digest of the file bytes, lowercase hex.
+    pub digest: String,
+    /// Findings anchored in this file (after suppressions).
+    pub diagnostics: usize,
+}
+
+/// FNV-1a 64-bit hash — the per-file digest. Hand-rolled so the linter
+/// stays std-only and the digest is a pure function of the bytes.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
 /// The result of checking a set of files.
 #[derive(Debug, Clone, Default)]
 pub struct Report {
@@ -67,6 +132,8 @@ pub struct Report {
     pub files_checked: usize,
     /// All findings, sorted by `(path, line, col, rule)`.
     pub diagnostics: Vec<Diagnostic>,
+    /// Per-file content digests, sorted by path.
+    pub files: Vec<FileDigest>,
 }
 
 impl Report {
@@ -75,25 +142,36 @@ impl Report {
         self.diagnostics.sort_by(|a, b| {
             (&a.path, a.line, a.col, a.rule).cmp(&(&b.path, b.line, b.col, b.rule))
         });
+        self.files.sort_by(|a, b| a.path.cmp(&b.path));
     }
 
-    /// Findings at [`Severity::Deny`].
+    /// Findings at [`Severity::Deny`] that are not baselined — the count
+    /// the exit code is driven by.
     pub fn deny_count(&self) -> usize {
         self.diagnostics
             .iter()
-            .filter(|d| d.severity == Severity::Deny)
+            .filter(|d| d.severity == Severity::Deny && !d.baselined)
             .count()
+    }
+
+    /// Findings suppressed by the `--diff` baseline.
+    pub fn baselined_count(&self) -> usize {
+        self.diagnostics.iter().filter(|d| d.baselined).count()
     }
 
     /// Renders the canonical JSON document (stable byte-for-byte).
     pub fn to_json(&self) -> String {
-        let mut out = String::with_capacity(256 + self.diagnostics.len() * 128);
+        let mut out = String::with_capacity(256 + self.diagnostics.len() * 192);
         out.push_str("{\n");
-        out.push_str("  \"sncheck_schema_version\": 1,\n");
+        out.push_str("  \"sncheck_schema_version\": 2,\n");
         out.push_str(&format!("  \"files_checked\": {},\n", self.files_checked));
         out.push_str(&format!(
             "  \"diagnostic_count\": {},\n",
             self.diagnostics.len()
+        ));
+        out.push_str(&format!(
+            "  \"baselined_count\": {},\n",
+            self.baselined_count()
         ));
         out.push_str("  \"diagnostics\": [");
         for (i, d) in self.diagnostics.iter().enumerate() {
@@ -109,10 +187,31 @@ impl Report {
                 "\"severity\": {}, ",
                 json_string(d.severity.label())
             ));
+            out.push_str(&format!("\"fn\": {}, ", json_string(&d.fn_path)));
+            out.push_str(&format!(
+                "\"fingerprint\": {}, ",
+                json_string(&d.fingerprint)
+            ));
+            out.push_str(&format!("\"baselined\": {}, ", d.baselined));
             out.push_str(&format!("\"message\": {}", json_string(&d.message)));
             out.push('}');
         }
         if !self.diagnostics.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("],\n  \"files\": [");
+        for (i, f) in self.files.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\n    {{\"path\": {}, \"digest\": {}, \"diagnostics\": {}}}",
+                json_string(&f.path),
+                json_string(&f.digest),
+                f.diagnostics,
+            ));
+        }
+        if !self.files.is_empty() {
             out.push_str("\n  ");
         }
         out.push_str("]\n}\n");
@@ -121,7 +220,7 @@ impl Report {
 }
 
 /// Escapes `s` as a JSON string literal.
-fn json_string(s: &str) -> String {
+pub(crate) fn json_string(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     out.push('"');
     for c in s.chars() {
@@ -144,14 +243,7 @@ mod tests {
     use super::*;
 
     fn diag(path: &str, line: u32, col: u32, rule: &'static str) -> Diagnostic {
-        Diagnostic {
-            path: path.to_string(),
-            line,
-            col,
-            rule,
-            severity: Severity::Deny,
-            message: "m".to_string(),
-        }
+        Diagnostic::new(path, line, col, rule, Severity::Deny, "m")
     }
 
     #[test]
@@ -159,22 +251,50 @@ mod tests {
         let mut r = Report {
             files_checked: 2,
             diagnostics: vec![diag("b.rs", 1, 1, "x"), diag("a.rs", 9, 1, "x")],
+            files: Vec::new(),
         };
         r.sort();
         assert_eq!(r.diagnostics[0].path, "a.rs");
     }
 
     #[test]
+    fn baselined_findings_do_not_count_as_denied() {
+        let mut clean = diag("a.rs", 1, 1, "x");
+        clean.baselined = true;
+        let r = Report {
+            files_checked: 1,
+            diagnostics: vec![clean, diag("a.rs", 2, 1, "x")],
+            files: Vec::new(),
+        };
+        assert_eq!(r.deny_count(), 1);
+        assert_eq!(r.baselined_count(), 1);
+    }
+
+    #[test]
+    fn fnv_digest_is_stable() {
+        // Reference vector for FNV-1a 64: hash of empty input is the
+        // offset basis.
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), fnv1a64(b"a"));
+        assert_ne!(fnv1a64(b"a"), fnv1a64(b"b"));
+    }
+
+    #[test]
     fn json_is_deterministic_and_escaped() {
         let mut r = Report {
             files_checked: 1,
-            diagnostics: vec![Diagnostic {
+            diagnostics: vec![Diagnostic::new(
+                "a\"b.rs",
+                3,
+                7,
+                "no-float-eq",
+                Severity::Warn,
+                "tab\there\nand \\slash",
+            )],
+            files: vec![FileDigest {
                 path: "a\"b.rs".to_string(),
-                line: 3,
-                col: 7,
-                rule: "no-float-eq",
-                severity: Severity::Warn,
-                message: "tab\there\nand \\slash".to_string(),
+                digest: format!("{:016x}", fnv1a64(b"fn f() {}")),
+                diagnostics: 1,
             }],
         };
         r.sort();

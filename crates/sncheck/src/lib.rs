@@ -14,14 +14,19 @@
 //! novelty test depends on. This crate turns the invariants into
 //! machine-checked rules that run on every commit, on every line.
 //!
-//! The tool is offline and std-only: a hand-rolled [`lexer`] (comments,
-//! string/raw-string/char literals), a [`scope`] tracker that exempts
-//! `#[cfg(test)]`/`#[test]` code, a [`rules`] engine, per-line
-//! `sncheck:allow` comment suppressions with hygiene checking, and
-//! human + JSON [`diag`]nostics with `file:line` anchors. Output is
-//! byte-identical across runs by construction — the linter itself obeys
-//! the determinism rules it enforces (no clock, no environment, ordered
-//! maps only).
+//! The tool is offline and std-only, and analyses in two passes. Pass 1
+//! is per-line: a hand-rolled [`lexer`] (comments, string/raw-string/char
+//! literals), a [`scope`] tracker that exempts `#[cfg(test)]`/`#[test]`
+//! code, and the [`rules`] engine. Pass 2 is whole-workspace: a
+//! [`symbols`] table over every fn item, a [`callgraph`] with documented
+//! ambiguity handling, and [`reach`]ability rules that flag panics,
+//! allocations, clock reads and lock inversions anywhere in the cone of
+//! the hot-path roots. `sncheck:allow` comment suppressions (with
+//! hygiene checking) cover both passes, findings carry stable
+//! `rule|fn_path|token|ordinal` fingerprints, and [`baseline`]s let CI
+//! gate on *new* findings only (`--diff`). Output is byte-identical
+//! across runs by construction — the linter itself obeys the determinism
+//! rules it enforces (no clock, no environment, ordered maps only).
 //!
 //! ```
 //! let diags = sncheck::check_source(
@@ -32,12 +37,19 @@
 //! assert_eq!(diags[0].rule, "no-panic-in-lib");
 //! ```
 
+pub mod baseline;
+pub mod callgraph;
 pub mod diag;
 pub mod engine;
 pub mod lexer;
+pub mod reach;
 pub mod rules;
 pub mod scope;
+pub mod symbols;
 
+pub use baseline::Baseline;
 pub use diag::{Diagnostic, Report, Severity};
-pub use engine::{check_files, check_source, discover_workspace, expand_path};
-pub use rules::{classify, FileKind, RuleInfo, RULES};
+pub use engine::{
+    check_files, check_source, check_sources, discover_workspace, expand_path, Analysis,
+};
+pub use rules::{classify, classify_crate, FileKind, RuleInfo, RULES};

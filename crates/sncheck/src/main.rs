@@ -6,7 +6,7 @@
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use sncheck::{check_files, discover_workspace, expand_path, Severity, RULES};
+use sncheck::{check_files, discover_workspace, expand_path, Baseline, Severity, RULES};
 
 const USAGE: &str = "\
 sncheck — workspace invariant linter for the saliency-novelty reproduction
@@ -19,6 +19,18 @@ OPTIONS:
                        target/, vendor/ and fixtures/)
     --root <DIR>       Directory paths are classified against (default .)
     --json <FILE>      Also write diagnostics as deterministic JSON
+    --graph <FILE>     Also write the workspace call graph as
+                       deterministic JSON
+    --baseline <FILE>  Baseline of accepted finding fingerprints
+                       (requires --diff or --write-baseline)
+    --diff             With --baseline: report baselined findings but
+                       fail only on NEW ones (keyed by fingerprint, so
+                       line shifts and file renames never resurrect an
+                       accepted finding)
+    --write-baseline <FILE>
+                       Write the current findings as a baseline and exit
+                       successfully (the paved-road way to adopt a rule
+                       on a codebase with existing debt)
     --deny-all         Treat hygiene warnings (unused/unknown
                        suppressions) as errors too
     --quiet            Suppress per-diagnostic lines; print the summary only
@@ -38,6 +50,10 @@ struct Options {
     workspace: bool,
     root: PathBuf,
     json: Option<PathBuf>,
+    graph: Option<PathBuf>,
+    baseline: Option<PathBuf>,
+    diff: bool,
+    write_baseline: Option<PathBuf>,
     deny_all: bool,
     quiet: bool,
     paths: Vec<PathBuf>,
@@ -48,6 +64,10 @@ fn parse_args(args: &[String]) -> Result<Option<Options>, String> {
         workspace: false,
         root: PathBuf::from("."),
         json: None,
+        graph: None,
+        baseline: None,
+        diff: false,
+        write_baseline: None,
         deny_all: false,
         quiet: false,
         paths: Vec::new(),
@@ -58,6 +78,7 @@ fn parse_args(args: &[String]) -> Result<Option<Options>, String> {
             "--workspace" => opts.workspace = true,
             "--deny-all" => opts.deny_all = true,
             "--quiet" => opts.quiet = true,
+            "--diff" => opts.diff = true,
             "--root" => {
                 let v = it.next().ok_or("--root needs a directory argument")?;
                 opts.root = PathBuf::from(v);
@@ -65,6 +86,18 @@ fn parse_args(args: &[String]) -> Result<Option<Options>, String> {
             "--json" => {
                 let v = it.next().ok_or("--json needs a file argument")?;
                 opts.json = Some(PathBuf::from(v));
+            }
+            "--graph" => {
+                let v = it.next().ok_or("--graph needs a file argument")?;
+                opts.graph = Some(PathBuf::from(v));
+            }
+            "--baseline" => {
+                let v = it.next().ok_or("--baseline needs a file argument")?;
+                opts.baseline = Some(PathBuf::from(v));
+            }
+            "--write-baseline" => {
+                let v = it.next().ok_or("--write-baseline needs a file argument")?;
+                opts.write_baseline = Some(PathBuf::from(v));
             }
             "--list-rules" => {
                 for r in RULES {
@@ -85,6 +118,12 @@ fn parse_args(args: &[String]) -> Result<Option<Options>, String> {
     if !opts.workspace && opts.paths.is_empty() {
         return Err("nothing to check: pass --workspace or explicit paths".to_string());
     }
+    if opts.diff && opts.baseline.is_none() {
+        return Err("--diff needs --baseline <FILE>".to_string());
+    }
+    if opts.baseline.is_some() && !opts.diff && opts.write_baseline.is_none() {
+        return Err("--baseline does nothing without --diff".to_string());
+    }
     Ok(Some(opts))
 }
 
@@ -103,24 +142,58 @@ fn run(opts: &Options) -> Result<bool, String> {
         files.extend(expand_path(p).map_err(|e| format!("scanning {}: {e}", p.display()))?);
     }
 
-    let report = check_files(&opts.root, &files).map_err(|e| e.to_string())?;
+    let analysis = check_files(&opts.root, &files).map_err(|e| e.to_string())?;
+    let mut report = analysis.report;
+
+    if opts.diff {
+        let path = opts.baseline.as_ref().expect("checked in parse_args");
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| format!("reading {}: {e}", path.display()))?;
+        let baseline = Baseline::parse(&text).map_err(|e| format!("{}: {e}", path.display()))?;
+        baseline.apply(&mut report);
+    }
+
+    if let Some(out) = &opts.write_baseline {
+        let baseline = Baseline::from_report(&report);
+        std::fs::write(out, baseline.to_json())
+            .map_err(|e| format!("writing {}: {e}", out.display()))?;
+        println!(
+            "sncheck: wrote baseline with {} fingerprint{} to {}",
+            baseline.fingerprints.len(),
+            if baseline.fingerprints.len() == 1 {
+                ""
+            } else {
+                "s"
+            },
+            out.display(),
+        );
+        return Ok(true);
+    }
 
     if let Some(json_path) = &opts.json {
         std::fs::write(json_path, report.to_json())
             .map_err(|e| format!("writing {}: {e}", json_path.display()))?;
     }
+    if let Some(graph_path) = &opts.graph {
+        std::fs::write(graph_path, &analysis.graph_json)
+            .map_err(|e| format!("writing {}: {e}", graph_path.display()))?;
+    }
 
     let denied = report
         .diagnostics
         .iter()
-        .filter(|d| d.severity == Severity::Deny || opts.deny_all)
+        .filter(|d| (d.severity == Severity::Deny || opts.deny_all) && !d.baselined)
         .count();
     if !opts.quiet {
         for d in &report.diagnostics {
-            println!("{d}");
+            if d.baselined {
+                println!("{d} (baselined)");
+            } else {
+                println!("{d}");
+            }
         }
     }
-    println!(
+    let mut summary = format!(
         "sncheck: {} file{} checked, {} diagnostic{} ({} denied)",
         report.files_checked,
         if report.files_checked == 1 { "" } else { "s" },
@@ -132,6 +205,10 @@ fn run(opts: &Options) -> Result<bool, String> {
         },
         denied,
     );
+    if opts.diff {
+        summary.push_str(&format!(", {} baselined", report.baselined_count()));
+    }
+    println!("{summary}");
     Ok(denied == 0)
 }
 

@@ -68,7 +68,9 @@ pub enum FileKind {
     Bin,
     /// Integration tests (`tests/**`) — exempt.
     Tests,
-    /// Benchmarks (`benches/**`) — exempt.
+    /// Benchmarks (`benches/**` and the `crates/bench` binaries, which
+    /// time the hot path and join it via `sncheck:hot-root`) — exempt
+    /// from per-line rules, visible to the call-graph pass.
     Benches,
     /// Examples (`examples/**`) — exempt.
     Examples,
@@ -84,7 +86,12 @@ pub fn classify(rel: &str) -> FileKind {
     };
     match rest.first() {
         Some(&"src") => {
-            if rest.get(1) == Some(&"bin") || rest.last() == Some(&"main.rs") {
+            if krate == Some("bench") && rest.get(1) == Some(&"bin") {
+                // Bench binaries are bench scope, not plain binaries: they
+                // time the scoring hot path, so their marked loops carry
+                // the same transitive obligations the library does.
+                FileKind::Benches
+            } else if rest.get(1) == Some(&"bin") || rest.last() == Some(&"main.rs") {
                 FileKind::Bin
             } else {
                 FileKind::Lib {
@@ -98,6 +105,21 @@ pub fn classify(rel: &str) -> FileKind {
         _ => FileKind::Lib {
             krate: krate.unwrap_or("").to_string(),
         },
+    }
+}
+
+/// The crate a workspace-relative path belongs to, regardless of target
+/// kind — bench binaries are `bench`, the root `src/` is [`ROOT_CRATE`],
+/// paths outside any crate layout are `""`. The symbol table uses this so
+/// fingerprints carry a crate for every file kind.
+pub fn classify_crate(rel: &str) -> String {
+    let parts: Vec<&str> = rel.split('/').collect();
+    if parts.len() >= 3 && parts[0] == "crates" {
+        parts[1].to_string()
+    } else if parts.first() == Some(&"src") {
+        ROOT_CRATE.to_string()
+    } else {
+        String::new()
     }
 }
 
@@ -143,6 +165,30 @@ pub const RULES: &[RuleInfo] = &[
     RuleInfo {
         id: "no-hot-alloc",
         summary: "vec!/Vec::with_capacity/.to_vec() banned in per-frame hot modules; use ndtensor::scratch",
+    },
+    RuleInfo {
+        id: "hot-path-transitive-alloc",
+        summary: "allocation (vec!/Vec::with_capacity/.to_vec()) in any fn reachable from a hot root",
+    },
+    RuleInfo {
+        id: "hot-path-transitive-panic",
+        summary: "panic!/unwrap/expect and friends in any fn reachable from a hot root",
+    },
+    RuleInfo {
+        id: "hot-path-transitive-clock",
+        summary: "raw Instant::now/SystemTime in any fn reachable from a hot root (obs exempt)",
+    },
+    RuleInfo {
+        id: "recorded-parity-drift",
+        summary: "the plain wrapper of a public *_recorded fn must be a pure forward to it",
+    },
+    RuleInfo {
+        id: "lock-order",
+        summary: "two mutexes acquired in both orders somewhere in the reachable call graph",
+    },
+    RuleInfo {
+        id: "no-float-promotion",
+        summary: "`as f32`/`as f64` casts inside fns marked `// sncheck:int-hot`",
     },
     RuleInfo {
         id: "unused-suppression",
@@ -192,14 +238,11 @@ impl FileCtx<'_> {
 
     fn diag(&self, i: usize, rule: &'static str, message: String) -> Diagnostic {
         let t = &self.tokens[i];
-        Diagnostic {
-            path: self.rel.to_string(),
-            line: t.line,
-            col: t.col,
-            rule,
-            severity: Severity::Deny,
-            message,
-        }
+        let mut d = Diagnostic::new(self.rel, t.line, t.col, rule, Severity::Deny, message);
+        // The anchor token doubles as the fingerprint token; the engine
+        // fills the enclosing fn path from the symbol table.
+        d.token = t.text.clone();
+        d
     }
 
     /// Indices of tokens that belong to library (non-test) code.
@@ -527,8 +570,11 @@ mod tests {
                 krate: "neural".into()
             }
         );
-        assert_eq!(classify("crates/bench/src/bin/fig3.rs"), FileKind::Bin);
+        // Bench binaries are bench scope: exempt from per-line rules but
+        // first-class in the call graph (their marked loops are hot roots).
+        assert_eq!(classify("crates/bench/src/bin/fig3.rs"), FileKind::Benches);
         assert_eq!(classify("src/bin/saliency-novelty.rs"), FileKind::Bin);
+        assert_eq!(classify("crates/novelty/src/bin/tool.rs"), FileKind::Bin);
         assert_eq!(classify("crates/sncheck/src/main.rs"), FileKind::Bin);
         assert_eq!(
             classify("src/lib.rs"),

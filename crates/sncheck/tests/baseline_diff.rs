@@ -1,0 +1,85 @@
+//! The `--diff` contract: a baselined finding stays accepted through
+//! file renames and line shifts (fingerprints carry no positions), while
+//! genuinely new findings still fail the gate.
+
+use sncheck::{check_sources, Baseline};
+
+const V1: &str = "\
+pub fn score_batch(xs: &[f32]) -> f32 {
+    helper(xs)
+}
+
+fn helper(xs: &[f32]) -> f32 {
+    let staging = vec![0.0f32; xs.len()];
+    *staging.first().unwrap()
+}
+";
+
+fn analyze(path: &str, text: &str) -> sncheck::Report {
+    check_sources(&[(path.to_string(), text.to_string())]).report
+}
+
+fn baseline_of(path: &str, text: &str) -> Baseline {
+    Baseline::from_report(&analyze(path, text))
+}
+
+#[test]
+fn baseline_zeroes_the_current_findings() {
+    let mut report = analyze("crates/novelty/src/scoring.rs", V1);
+    assert!(report.deny_count() > 0, "seed findings expected");
+    let baseline = baseline_of("crates/novelty/src/scoring.rs", V1);
+    baseline.apply(&mut report);
+    assert_eq!(report.deny_count(), 0, "{:?}", report.diagnostics);
+    assert_eq!(report.baselined_count(), report.diagnostics.len());
+}
+
+#[test]
+fn line_shifts_do_not_resurrect_baselined_findings() {
+    let baseline = baseline_of("crates/novelty/src/scoring.rs", V1);
+    let shifted = format!("// new module docs\n// more docs\n\n\n{V1}");
+    let mut report = analyze("crates/novelty/src/scoring.rs", &shifted);
+    baseline.apply(&mut report);
+    assert_eq!(report.deny_count(), 0, "{:?}", report.diagnostics);
+}
+
+#[test]
+fn file_renames_do_not_resurrect_baselined_findings() {
+    let baseline = baseline_of("crates/novelty/src/scoring.rs", V1);
+    // Same crate, new file name: the fingerprint keys on the crate and
+    // fn path, not the file, so moving code within a crate is free.
+    let mut report = analyze("crates/novelty/src/batch_scoring.rs", V1);
+    baseline.apply(&mut report);
+    assert_eq!(report.deny_count(), 0, "{:?}", report.diagnostics);
+}
+
+#[test]
+fn new_findings_still_fail_through_the_baseline() {
+    let baseline = baseline_of("crates/novelty/src/scoring.rs", V1);
+    // A second unwrap appears in the same fn: its ordinal is new, so the
+    // gate must catch it while the original stays accepted.
+    let grown = V1.replace(
+        "*staging.first().unwrap()",
+        "let a = *staging.first().unwrap();\n    a + *staging.last().unwrap()",
+    );
+    let mut report = analyze("crates/novelty/src/scoring.rs", &grown);
+    baseline.apply(&mut report);
+    assert!(report.deny_count() > 0, "{:?}", report.diagnostics);
+    assert!(report.baselined_count() > 0, "{:?}", report.diagnostics);
+}
+
+#[test]
+fn baseline_round_trips_through_its_file_form() {
+    let baseline = baseline_of("crates/novelty/src/scoring.rs", V1);
+    let reparsed = Baseline::parse(&baseline.to_json()).expect("own output parses");
+    assert_eq!(reparsed, baseline);
+}
+
+#[test]
+fn moving_a_fn_across_crates_is_a_new_finding() {
+    // Crossing a crate boundary changes the fn path, and that is
+    // deliberate: the invariant budget is owned per crate.
+    let baseline = baseline_of("crates/novelty/src/scoring.rs", V1);
+    let mut report = analyze("crates/saliency/src/scoring.rs", V1);
+    baseline.apply(&mut report);
+    assert!(report.deny_count() > 0, "{:?}", report.diagnostics);
+}

@@ -115,6 +115,83 @@ fn stale_allow_fixture_warns_on_hygiene() {
 }
 
 #[test]
+fn hot_loop_fixture_fires_only_the_transitive_rules() {
+    // The acceptance fixture: a bench binary is exempt from every
+    // per-line rule, so v1 passed this file clean. The panic, alloc and
+    // clock read sit below the `sncheck:hot-root` fn and only the
+    // call-graph pass reaches them.
+    let diags = check_fixture("crates/bench/src/bin/hot_loop.rs");
+    let mut rules: Vec<&str> = diags.iter().map(|d| d.rule).collect();
+    rules.sort();
+    assert_eq!(
+        rules,
+        [
+            "hot-path-transitive-alloc",
+            "hot-path-transitive-clock",
+            "hot-path-transitive-panic",
+        ],
+        "{diags:?}"
+    );
+    // The unreachable cold_setup fn allocates and unwraps; none of that
+    // may appear.
+    assert!(diags.iter().all(|d| d.line < 35), "{diags:?}");
+}
+
+#[test]
+fn drift_fixture_flags_only_the_impure_wrapper() {
+    let diags = check_fixture("crates/novelty/src/drift.rs");
+    assert_eq!(diags.len(), 1, "{diags:?}");
+    assert_eq!(diags[0].rule, "recorded-parity-drift");
+    assert!(diags[0].message.contains("classify_window"));
+    assert_eq!(diags[0].fn_path, "novelty::classify_window");
+}
+
+#[test]
+fn locks_fixture_flags_the_inversion_once() {
+    let diags = check_fixture("crates/novelty/src/locks.rs");
+    assert_eq!(diags.len(), 1, "{diags:?}");
+    assert_eq!(diags[0].rule, "lock-order");
+    assert_eq!(diags[0].token, "queue<stats");
+}
+
+#[test]
+fn float_promotion_fixture_fires_only_in_the_marked_fn() {
+    let diags = check_fixture("crates/ndtensor/src/floatpromo.rs");
+    assert_eq!(diags.len(), 1, "{diags:?}");
+    assert_eq!(diags[0].rule, "no-float-promotion");
+    assert_eq!(diags[0].fn_path, "ndtensor::qdot");
+}
+
+#[test]
+fn diamond_fixture_reports_the_shared_leaf_once() {
+    let diags = check_fixture("crates/saliency/src/diamond.rs");
+    // The per-line rule and the transitive rule both fire on the one
+    // unwrap — and the transitive one exactly once despite two paths.
+    let mut rules: Vec<&str> = diags.iter().map(|d| d.rule).collect();
+    rules.sort();
+    assert_eq!(
+        rules,
+        ["hot-path-transitive-panic", "no-panic-in-lib"],
+        "{diags:?}"
+    );
+    assert_eq!(diags[0].line, diags[1].line);
+}
+
+#[test]
+fn ambiguous_method_fixture_reaches_both_candidates() {
+    let diags = check_fixture("crates/metrics/src/ambig.rs");
+    // `w.tick()` fans out to Wall::tick and Counter::tick; the unwrap in
+    // the latter is reached via the ambiguous edge.
+    assert!(
+        diags
+            .iter()
+            .any(|d| d.rule == "hot-path-transitive-panic"
+                && d.fn_path == "metrics::Counter::tick"),
+        "{diags:?}"
+    );
+}
+
+#[test]
 fn every_primary_rule_has_a_firing_fixture() {
     let fixture_rels = [
         "crates/ndtensor/src/panics.rs",
@@ -126,6 +203,10 @@ fn every_primary_rule_has_a_firing_fixture() {
         "crates/novelty/src/recorded.rs",
         "crates/novelty/src/runtime.rs",
         "crates/ndtensor/src/stale_allow.rs",
+        "crates/bench/src/bin/hot_loop.rs",
+        "crates/novelty/src/drift.rs",
+        "crates/novelty/src/locks.rs",
+        "crates/ndtensor/src/floatpromo.rs",
     ];
     let mut fired: Vec<String> = fixture_rels
         .iter()
@@ -149,6 +230,10 @@ fn fixture_report_is_byte_identical_across_runs() {
     assert!(!files.is_empty());
     let a = check_files(&root, &files).expect("first run");
     let b = check_files(&root, &files).expect("second run");
-    assert!(a.deny_count() > 0, "fixtures must produce denied findings");
-    assert_eq!(a.to_json(), b.to_json());
+    assert!(
+        a.report.deny_count() > 0,
+        "fixtures must produce denied findings"
+    );
+    assert_eq!(a.report.to_json(), b.report.to_json());
+    assert_eq!(a.graph_json, b.graph_json);
 }

@@ -1,0 +1,151 @@
+//! Property tests for the v2 call-graph pass: building the graph is
+//! total (no panic on arbitrary fragment soup) and deterministic (the
+//! report and the graph dump are byte-identical across repeated runs and
+//! across any file-walk order).
+//!
+//! The vendored proptest only generates integers, so files are assembled
+//! from integer-indexed fragment tables and orderings from index vectors.
+
+use proptest::prelude::*;
+use sncheck::check_sources;
+
+/// Function-name pool. Includes hot-root names, `*_recorded` pairs,
+/// std-shadowed method names and plain helpers so every resolution class
+/// (unique, ambiguous, std-shadowed, unresolved) is exercised.
+const NAMES: &[&str] = &[
+    "score_batch",
+    "classify_each",
+    "helper",
+    "helper_recorded",
+    "shared_leaf",
+    "len",
+    "push",
+    "tick",
+    "prepare",
+];
+
+/// Statement fragments, several of which trip rules.
+const STMTS: &[&str] = &[
+    "let a = 1;",
+    "x.unwrap();",
+    "let v = vec![0u8; 4];",
+    "let t = Instant::now();",
+    "self.alpha.lock();",
+    "self.beta.lock();",
+    "y.expect(\"m\");",
+    "other.tick();",
+    "helper();",
+    "shared_leaf();",
+    "if a > 0 { b(); }",
+];
+
+/// Crate directories the generated files are spread across.
+const CRATES: &[&str] = &["novelty", "saliency", "ndtensor", "bench"];
+
+/// Renders one generated file: a handful of fns (some free, some inside
+/// an impl block) whose names and bodies come from the tables.
+fn render_file(fns: &[(usize, usize, usize)], in_impl: bool) -> String {
+    let mut src = String::new();
+    if in_impl {
+        src.push_str("impl Widget {\n");
+    }
+    for &(name, s1, s2) in fns {
+        src.push_str(&format!(
+            "pub fn {}(&self) {{ {} {} }}\n",
+            NAMES[name % NAMES.len()],
+            STMTS[s1 % STMTS.len()],
+            STMTS[s2 % STMTS.len()],
+        ));
+    }
+    if in_impl {
+        src.push_str("}\n");
+    }
+    src
+}
+
+/// One generated file: `(crate index, fns as (name, stmt, stmt), impl flag)`.
+/// The impl flag is 0/1 because the vendored proptest only yields integers.
+type GenFile = (usize, Vec<(usize, usize, usize)>, usize);
+
+/// Builds the `(path, text)` set from the generated description.
+fn render_sources(files: &[GenFile]) -> Vec<(String, String)> {
+    files
+        .iter()
+        .enumerate()
+        .map(|(i, (krate, fns, in_impl))| {
+            (
+                format!("crates/{}/src/gen{}.rs", CRATES[krate % CRATES.len()], i),
+                render_file(fns, *in_impl == 1),
+            )
+        })
+        .collect()
+}
+
+proptest! {
+    /// The whole pipeline is total over fragment soup and its two byte
+    /// streams are a pure function of the input set: running twice and
+    /// running over a rotated (shuffled) file order give identical
+    /// bytes.
+    #[test]
+    fn analysis_is_total_and_order_independent(
+        files in proptest::collection::vec(
+            (
+                0usize..4,
+                proptest::collection::vec((0usize..16, 0usize..16, 0usize..16), 1..4),
+                0usize..2,
+            ),
+            1..6,
+        ),
+        rotate in 0usize..6,
+    ) {
+        let sources = render_sources(&files);
+        let a = check_sources(&sources);
+        let b = check_sources(&sources);
+        prop_assert_eq!(a.report.to_json(), b.report.to_json());
+        prop_assert_eq!(&a.graph_json, &b.graph_json);
+
+        // Any walk order: rotate the list (with reversal for odd
+        // rotations) and re-run.
+        let mut shuffled = sources.clone();
+        let r = rotate % shuffled.len().max(1);
+        shuffled.rotate_left(r);
+        if rotate % 2 == 1 {
+            shuffled.reverse();
+        }
+        let c = check_sources(&shuffled);
+        prop_assert_eq!(a.report.to_json(), c.report.to_json());
+        prop_assert_eq!(&a.graph_json, &c.graph_json);
+    }
+
+    /// Fingerprints never embed line numbers: prepending blank lines and
+    /// comments to every file changes no fingerprint.
+    #[test]
+    fn fingerprints_are_line_shift_invariant(
+        files in proptest::collection::vec(
+            (
+                0usize..4,
+                proptest::collection::vec((0usize..16, 0usize..16, 0usize..16), 1..4),
+                0usize..2,
+            ),
+            1..4,
+        ),
+        pad in 1usize..5,
+    ) {
+        let sources = render_sources(&files);
+        let shifted: Vec<(String, String)> = sources
+            .iter()
+            .map(|(p, t)| (p.clone(), format!("{}{}", "// pad\n\n".repeat(pad), t)))
+            .collect();
+        let fp = |srcs: &[(String, String)]| {
+            let mut v: Vec<String> = check_sources(srcs)
+                .report
+                .diagnostics
+                .iter()
+                .map(|d| d.fingerprint.clone())
+                .collect();
+            v.sort();
+            v
+        };
+        prop_assert_eq!(fp(&sources), fp(&shifted));
+    }
+}
