@@ -16,8 +16,8 @@
 //! [`im2col_into`] / [`col2im_into`] let callers recycle output storage,
 //! so a warmed pipeline performs no per-frame heap allocation.
 
-use crate::matmul::{mm_a_bt, mm_accum, mm_at_b_accum};
 use crate::par::{try_for_each_block, try_parallel_map};
+use crate::routines::{self, GemmOp};
 use crate::{scratch, Result, Tensor, TensorError};
 
 /// Stride and zero-padding configuration for a 2-D convolution.
@@ -436,6 +436,10 @@ fn conv2d_impl(
     let kdim = c * kh * kw;
     let ncols = oh * ow;
     let work = n * out_len * kdim;
+    // Every sample runs the same `W · cols` GEMM shape; select the
+    // routine once before fanning out so workers never touch the
+    // selector.
+    let mm_kernel = routines::select(GemmOp::MatMul, f, kdim, ncols).kernel;
     try_for_each_block(out, out_len, work, |n0, chunk| {
         // One column buffer per worker chunk, reused across its samples.
         let mut cols = scratch::take(kdim * ncols);
@@ -454,7 +458,7 @@ fn conv2d_impl(
                 ow,
                 &mut cols,
             );
-            mm_accum(wd, f, kdim, &cols, ncols, dst);
+            mm_kernel(wd, f, kdim, &cols, ncols, dst);
             if let Some(b) = bias {
                 for (fi, &bv) in b.as_slice().iter().enumerate() {
                     for v in &mut dst[fi * ncols..(fi + 1) * ncols] {
@@ -569,6 +573,13 @@ fn conv2d_backward_impl(
     // exact forward-pass shape, so a training step reuses one buffer for
     // both directions instead of allocating twice.
     let work = 2 * n * out_len * kdim;
+    // Both backward GEMM shapes repeat per sample; select each routine
+    // once on the caller thread and hand workers plain kernel fns. The
+    // dCols GEMM is `Wᵀ · gOut` with the full Aᵀ column range, so its
+    // packed rows are the whole `kdim × f` transpose.
+    let dw_kernel = routines::select(GemmOp::MatMulABt, f, ncols, kdim).kernel;
+    let dcols_kernel = routines::select(GemmOp::MatMulAtB, kdim, f, ncols).kernel;
+    let wt = routines::pack_at(wd, f, kdim, 0, kdim);
     let per_sample = try_parallel_map(n, work, |ni| -> Result<(Vec<f32>, Vec<f32>, Vec<f32>)> {
         let mut cols = scratch::take(kdim * ncols);
         cols.resize(kdim * ncols, 0.0);
@@ -588,11 +599,11 @@ fn conv2d_backward_impl(
         // dW contribution: gOut · colsᵀ.
         let mut dw = scratch::take(f * kdim);
         dw.resize(f * kdim, 0.0);
-        mm_a_bt(gout, f, ncols, &cols, kdim, &mut dw);
+        dw_kernel(gout, f, ncols, &cols, kdim, &mut dw);
         // dCols = Wᵀ · gOut, then scatter back to the input.
         let mut dcols = scratch::take(kdim * ncols);
         dcols.resize(kdim * ncols, 0.0);
-        mm_at_b_accum(wd, f, kdim, 0, kdim, gout, ncols, &mut dcols);
+        dcols_kernel(&wt, kdim, f, gout, ncols, &mut dcols);
         let mut dsample = scratch::take(sample_len);
         dsample.resize(sample_len, 0.0);
         col2im_core(&dcols, c, h, w, kh, kw, spec, oh, ow, &mut dsample);
@@ -604,8 +615,9 @@ fn conv2d_backward_impl(
             db.push(gout[fi * ncols..(fi + 1) * ncols].iter().sum());
         }
         Ok((dw, dsample, db))
-    })?;
-    for (ni, (dw, dsample, db)) in per_sample.into_iter().enumerate() {
+    });
+    scratch::give(wt);
+    for (ni, (dw, dsample, db)) in per_sample?.into_iter().enumerate() {
         for (gw, &d) in grad_weight.iter_mut().zip(&dw) {
             *gw += d;
         }

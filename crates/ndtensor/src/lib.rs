@@ -38,6 +38,7 @@ mod matmul;
 mod ops;
 pub mod par;
 mod resample;
+pub mod routines;
 pub mod scratch;
 mod shape;
 mod tensor;

@@ -12,18 +12,15 @@
 //! loops can recycle storage; the allocating forms are thin wrappers that
 //! draw their output from [`crate::scratch`].
 //!
-//! The inner kernels are packed and cache-blocked: accumulating kernels
-//! tile the output columns ([`COL_TILE`]) and pack the corresponding B
-//! panel into contiguous scratch so it stays resident while every output
-//! row in the worker's chunk streams over it; `matmul_at_b` first packs
-//! the strided Aᵀ rows of its chunk into scratch (one pass, instead of
-//! one stride-`m` walk per output element); `matmul_a_bt` tiles B rows
-//! and runs [`JB`] independent dot-product accumulators for
-//! instruction-level parallelism. Blocking only ever reorders *which
-//! output element is worked on next* — the per-element accumulation
-//! remains a single chain in ascending-`k` order, with the historical
-//! exact-zero skips preserved verbatim, so results are bit-identical to
-//! the naive kernels and to any thread count.
+//! The inner microkernels live in [`crate::routines`]: each entry point
+//! asks the routine selector for the candidate registered for its full
+//! `(op, m, k, n)` shape — once per call, on the caller thread — and
+//! hands the chosen kernel fn to the row-parallel workers. Every
+//! registered candidate of a family is bitwise-equal to the naive kernel
+//! (blocking only reorders *which* output element is worked on next; the
+//! per-element accumulation remains a single chain in ascending-`k`
+//! order, with the historical exact-zero skips preserved verbatim), so
+//! routine selection can never change a result bit.
 //!
 //! All kernels parallelise over output rows through [`crate::par`] once the
 //! arithmetic volume crosses [`crate::par::PARALLEL_THRESHOLD`], so small
@@ -32,25 +29,8 @@
 //! bit-identical for any thread count.
 
 use crate::par::for_each_block;
+use crate::routines::{self, GemmOp};
 use crate::{scratch, Result, Tensor, TensorError};
-
-/// Output-column tile width for the accumulating kernels: a packed
-/// `k × COL_TILE` B panel of the pipeline's conv GEMMs fits in L1/L2.
-const COL_TILE: usize = 256;
-
-/// B-row tile for [`matmul_a_bt`]: `BT_ROW_TILE × k` B rows stay hot
-/// while every A row of the chunk is processed.
-const BT_ROW_TILE: usize = 64;
-
-/// Independent accumulators in the `A·Bᵀ` micro-kernel. Each output
-/// element still owns exactly one sequential chain; the `JB` chains
-/// belong to different elements and only overlap in time.
-const JB: usize = 8;
-
-/// Minimum rows in a chunk before packing the B panel pays for itself
-/// (the packing pass is amortised over the chunk's rows). The decision
-/// never affects values — packed and unpacked paths are bit-identical.
-const PACK_MIN_ROWS: usize = 4;
 
 fn dims2(t: &Tensor, op: &'static str) -> Result<(usize, usize)> {
     if t.rank() != 2 {
@@ -70,141 +50,6 @@ fn check_out_len(actual: usize, expected: usize) -> Result<()> {
     Ok(())
 }
 
-/// Accumulates `out[i][j] += Σ_l arows[i][l] · b[l][j]` for a packed row
-/// block `arows: [rows, k]` against `b: [k, n]`, with column tiling and
-/// optional B-panel packing. `out` must hold the `rows × n` output block
-/// already initialised (normally to zero).
-///
-/// Per output element the summation is a single chain in ascending `l`,
-/// skipping exact-zero `arows` entries — identical to the naive kernel.
-pub(crate) fn mm_accum(
-    arows: &[f32],
-    rows: usize,
-    k: usize,
-    bd: &[f32],
-    n: usize,
-    out: &mut [f32],
-) {
-    debug_assert_eq!(arows.len(), rows * k);
-    debug_assert_eq!(out.len(), rows * n);
-    if rows == 0 || n == 0 || k == 0 {
-        return;
-    }
-    let pack = rows >= PACK_MIN_ROWS;
-    let mut panel = if pack {
-        scratch::take(k * COL_TILE.min(n))
-    } else {
-        Vec::new()
-    };
-    let mut jc = 0;
-    while jc < n {
-        let tw = COL_TILE.min(n - jc);
-        if pack {
-            // Pack the k×tw B panel contiguously: one streaming copy,
-            // then every row of the chunk reuses it from cache.
-            panel.clear();
-            for l in 0..k {
-                panel.extend_from_slice(&bd[l * n + jc..l * n + jc + tw]);
-            }
-        }
-        for i in 0..rows {
-            let arow = &arows[i * k..(i + 1) * k];
-            let orow = &mut out[i * n + jc..i * n + jc + tw];
-            for (l, &av) in arow.iter().enumerate() {
-                // sncheck:allow(no-float-eq): exact-zero sparsity skip,
-                // not a tolerance check.
-                if av == 0.0 {
-                    continue;
-                }
-                let brow = if pack {
-                    &panel[l * tw..(l + 1) * tw]
-                } else {
-                    &bd[l * n + jc..l * n + jc + tw]
-                };
-                for (o, &bv) in orow.iter_mut().zip(brow) {
-                    *o += av * bv;
-                }
-            }
-        }
-        jc += tw;
-    }
-    scratch::give(panel);
-}
-
-/// Accumulates the `Aᵀ·B` output rows `i0..i0 + rows` into `out` by first
-/// transposing that column block of `A: [k, m]` into contiguous scratch
-/// (single pass over `A`, fixing the historical stride-`m` inner loop),
-/// then running [`mm_accum`].
-#[allow(clippy::too_many_arguments)]
-pub(crate) fn mm_at_b_accum(
-    ad: &[f32],
-    k: usize,
-    m: usize,
-    i0: usize,
-    rows: usize,
-    bd: &[f32],
-    n: usize,
-    out: &mut [f32],
-) {
-    if rows == 0 || k == 0 {
-        return;
-    }
-    let mut pa = scratch::take(rows * k);
-    pa.resize(rows * k, 0.0);
-    for l in 0..k {
-        let acol = &ad[l * m + i0..l * m + i0 + rows];
-        for (i, &av) in acol.iter().enumerate() {
-            pa[i * k + l] = av;
-        }
-    }
-    mm_accum(&pa, rows, k, bd, n, out);
-    scratch::give(pa);
-}
-
-/// Writes `out[i][j] = Σ_l arows[i][l] · b[j][l]` for a packed row block
-/// `arows: [rows, k]` against `b: [n, k]`, tiling B rows and running
-/// [`JB`] independent accumulators. Every element of `out` is assigned.
-pub(crate) fn mm_a_bt(arows: &[f32], rows: usize, k: usize, bd: &[f32], n: usize, out: &mut [f32]) {
-    debug_assert_eq!(arows.len(), rows * k);
-    debug_assert_eq!(out.len(), rows * n);
-    if rows == 0 || n == 0 {
-        return;
-    }
-    let mut j0 = 0;
-    loop {
-        let tile_end = (j0 + BT_ROW_TILE).min(n);
-        for i in 0..rows {
-            let arow = &arows[i * k..(i + 1) * k];
-            let orow = &mut out[i * n..(i + 1) * n];
-            let mut j = j0;
-            while j + JB <= tile_end {
-                let mut acc = [0.0f32; JB];
-                let base: [&[f32]; JB] = std::array::from_fn(|t| &bd[(j + t) * k..(j + t + 1) * k]);
-                for (l, &av) in arow.iter().enumerate() {
-                    for t in 0..JB {
-                        acc[t] += av * base[t][l];
-                    }
-                }
-                orow[j..j + JB].copy_from_slice(&acc);
-                j += JB;
-            }
-            while j < tile_end {
-                let brow = &bd[j * k..(j + 1) * k];
-                let mut acc = 0.0f32;
-                for (&av, &bv) in arow.iter().zip(brow) {
-                    acc += av * bv;
-                }
-                orow[j] = acc;
-                j += 1;
-            }
-        }
-        if tile_end == n {
-            break;
-        }
-        j0 = tile_end;
-    }
-}
-
 fn check_mm(a: &Tensor, b: &Tensor, op: &'static str) -> Result<(usize, usize, usize)> {
     let (m, k) = dims2(a, op)?;
     let (kb, n) = dims2(b, op)?;
@@ -219,9 +64,13 @@ fn check_mm(a: &Tensor, b: &Tensor, op: &'static str) -> Result<(usize, usize, u
 }
 
 fn matmul_slices(ad: &[f32], m: usize, k: usize, bd: &[f32], n: usize, out: &mut [f32]) {
+    // One selection per call, on the caller thread: workers only see the
+    // chosen kernel fn, so selection never contends or depends on the
+    // thread count.
+    let kernel = routines::select(GemmOp::MatMul, m, k, n).kernel;
     for_each_block(out, n, m * n * k, |row0, chunk| {
         let rows = chunk.len().checked_div(n).unwrap_or(0);
-        mm_accum(&ad[row0 * k..(row0 + rows) * k], rows, k, bd, n, chunk);
+        kernel(&ad[row0 * k..(row0 + rows) * k], rows, k, bd, n, chunk);
     });
 }
 
@@ -265,9 +114,18 @@ pub fn matmul_into(a: &Tensor, b: &Tensor, out: &mut [f32]) -> Result<()> {
 }
 
 fn matmul_at_b_slices(ad: &[f32], k: usize, m: usize, bd: &[f32], n: usize, out: &mut [f32]) {
+    let kernel = routines::select(GemmOp::MatMulAtB, m, k, n).kernel;
     for_each_block(out, n, m * n * k, |row0, chunk| {
         let rows = chunk.len().checked_div(n).unwrap_or(0);
-        mm_at_b_accum(ad, k, m, row0, rows, bd, n, chunk);
+        if rows == 0 || k == 0 {
+            return;
+        }
+        // Transpose this chunk's Aᵀ column block into contiguous scratch
+        // (one pass over A), then run the selected accumulating kernel on
+        // plain packed rows.
+        let pa = routines::pack_at(ad, k, m, row0, rows);
+        kernel(&pa, rows, k, bd, n, chunk);
+        scratch::give(pa);
     });
 }
 
@@ -315,9 +173,10 @@ pub fn matmul_at_b_into(a: &Tensor, b: &Tensor, out: &mut [f32]) -> Result<()> {
 }
 
 fn matmul_a_bt_slices(ad: &[f32], m: usize, k: usize, bd: &[f32], n: usize, out: &mut [f32]) {
+    let kernel = routines::select(GemmOp::MatMulABt, m, k, n).kernel;
     for_each_block(out, n, m * n * k, |row0, chunk| {
         let rows = chunk.len().checked_div(n).unwrap_or(0);
-        mm_a_bt(&ad[row0 * k..(row0 + rows) * k], rows, k, bd, n, chunk);
+        kernel(&ad[row0 * k..(row0 + rows) * k], rows, k, bd, n, chunk);
     });
 }
 

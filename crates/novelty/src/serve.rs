@@ -405,6 +405,20 @@ impl<'d> StreamServer<'d> {
         recorder.observe("serve.coalesce.batch_size", batch.len() as f64);
         let mut results: Vec<Option<Result<crate::Verdict>>> = if batch.is_empty() {
             Vec::new()
+        } else if batch.len() == 1 {
+            // Single-frame fast path: a lone admitted frame (the common
+            // single-tenant case) skips batch assembly — validation
+            // ledgers, routing tables, stacked batch-1 GEMMs — and runs
+            // the scalar classify path instead. `classify_each`'s
+            // contract makes verdict `i` bit-identical to `classify` on
+            // frame `i`, so the decision cannot differ; the same
+            // `serve-score`/`scoring` spans and the scores-computed
+            // counter fire so recorded output keeps its shape.
+            let span = Span::root(recorder, "serve-score");
+            let verdict = obs::time(recorder, "scoring", || self.detector.classify(&batch[0]));
+            recorder.add("scoring.scores_computed", u64::from(verdict.is_ok()));
+            span.finish();
+            std::iter::once(Some(verdict)).collect()
         } else {
             let span = Span::root(recorder, "serve-score");
             let verdicts = self.detector.classify_each_recorded(&batch, recorder);

@@ -1,0 +1,55 @@
+//! Bridge from the sanctioned clock into `ndtensor`'s kernel autotuner.
+//!
+//! Same dependency direction as [`crate::par_stats`]: `ndtensor` sits
+//! below `obs`, so it cannot time anything itself — its routine selector
+//! exposes a [`ndtensor::routines::KernelTimer`] injection point and
+//! degrades to the static heuristic until one is installed. This module
+//! installs the only sanctioned implementation, backed by
+//! [`crate::Stopwatch`], keeping every wall-clock read in the workspace
+//! inside `crates/obs`.
+//!
+//! Installation is idempotent and cheap; anything that wants
+//! `SALIENCY_AUTOTUNE=on` to mean *measured* selection (detector
+//! constructors, the bench binaries) calls [`install_kernel_timer`]
+//! once during setup. The timer only ever runs inside the autotuner's
+//! one-shot per-shape measurement — never on a per-frame path — and
+//! selection can never change output bits (all routines of a family are
+//! bitwise-equal), so installing it preserves the "observation never
+//! perturbs results" invariant.
+
+use crate::Stopwatch;
+
+/// Runs `body` once and returns elapsed nanoseconds (saturating at
+/// `u64::MAX`, which a kernel measurement cannot reach).
+fn stopwatch_timer(body: &mut dyn FnMut()) -> u64 {
+    let sw = Stopwatch::started();
+    body();
+    sw.elapsed()
+        .map(|d| u64::try_from(d.as_nanos()).unwrap_or(u64::MAX))
+        .unwrap_or(0)
+}
+
+/// Installs the [`Stopwatch`]-backed kernel timer into
+/// `ndtensor::routines`. Idempotent: returns whether this call was the
+/// one that installed it.
+pub fn install_kernel_timer() -> bool {
+    ndtensor::routines::install_timer(stopwatch_timer)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn installs_once_and_reports_time() {
+        install_kernel_timer();
+        assert!(ndtensor::routines::timer_installed());
+        // Second install is a no-op, not an error.
+        assert!(!install_kernel_timer() || ndtensor::routines::timer_installed());
+        let mut ran = false;
+        let ns = stopwatch_timer(&mut || ran = true);
+        assert!(ran);
+        // Monotonic clock: a timed spin is non-negative and finite.
+        assert!(ns < u64::MAX);
+    }
+}

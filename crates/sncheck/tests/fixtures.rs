@@ -100,6 +100,18 @@ fn hot_alloc_fixture_fires_for_every_spelling() {
 }
 
 #[test]
+fn routines_tree_is_hot_alloc_covered() {
+    // The kernel registry lives in a nested `routines/` directory; path
+    // classification and the hot-file list must reach it like any flat
+    // hot module.
+    let diags = check_fixture("crates/ndtensor/src/routines/kernels.rs");
+    assert!(diags.iter().all(|d| d.rule == "no-hot-alloc"), "{diags:?}");
+    // vec! and .to_vec() fire; the suppressed setup path, the
+    // `Vec::new()` lookalike and the #[cfg(test)] module stay silent.
+    assert_eq!(diags.len(), 2, "{diags:?}");
+}
+
+#[test]
 fn suppressed_fixture_is_clean() {
     let diags = check_fixture("crates/ndtensor/src/suppressed.rs");
     assert!(diags.is_empty(), "{diags:?}");

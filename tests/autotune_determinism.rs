@@ -1,0 +1,96 @@
+//! Autotune must never perturb results: training, persisted detector
+//! JSON and classification verdicts are byte-identical whether routine
+//! selection runs the static heuristic (`SALIENCY_AUTOTUNE=off`) or
+//! measured autotune (`on`, with the sanctioned timer installed). This
+//! is the end-to-end proof of the registry's core invariant — every
+//! routine of a family is bitwise-equal, so *which* one runs is
+//! unobservable in the output.
+
+use ndtensor::routines::{self, AutotuneMode};
+use novelty::{
+    save_detector, ClassifierConfig, NoveltyDetector, NoveltyDetectorBuilder,
+    ReconstructionObjective,
+};
+use simdrive::{DatasetConfig, DrivingDataset};
+
+fn small_dataset(seed: u64) -> DrivingDataset {
+    DatasetConfig::outdoor()
+        .with_len(16)
+        .with_size(40, 80)
+        .with_supersample(1)
+        .generate(seed)
+}
+
+fn train_quick(data: &DrivingDataset) -> NoveltyDetector {
+    NoveltyDetectorBuilder::paper()
+        .classifier_config(ClassifierConfig {
+            hidden: vec![16, 8, 16],
+            epochs: 2,
+            warmup_epochs: 0,
+            batch_size: 8,
+            learning_rate: 3e-3,
+            objective: ReconstructionObjective::Ssim { window: 7 },
+        })
+        .cnn_epochs(1)
+        .seed(11)
+        .train(data)
+        .expect("quick detector trains")
+}
+
+/// One full train → persist → classify pass under the given mode,
+/// returning (detector JSON bytes, verdict JSON bytes).
+fn run_under(mode: AutotuneMode, data: &DrivingDataset, tag: &str) -> (Vec<u8>, Vec<u8>) {
+    routines::set_autotune(mode);
+    let detector = train_quick(data);
+    let path = std::env::temp_dir().join(format!("sn_autotune_{tag}.json"));
+    save_detector(&detector, &path).expect("detector saves");
+    let detector_json = std::fs::read(&path).expect("saved detector reads");
+    let _ = std::fs::remove_file(&path);
+    let verdicts: Vec<_> = data
+        .frames()
+        .iter()
+        .take(6)
+        .map(|f| detector.classify(&f.image).expect("classifies"))
+        .collect();
+    let verdict_json = serde_json::to_string(&verdicts)
+        .expect("verdicts serialize")
+        .into_bytes();
+    (detector_json, verdict_json)
+}
+
+#[test]
+fn detector_json_is_byte_identical_autotune_on_vs_off() {
+    let data = small_dataset(21);
+    // Install the sanctioned timer so `on` means *measured* selection,
+    // not the heuristic fallback.
+    obs::install_kernel_timer();
+    assert!(routines::timer_installed());
+
+    let (det_off, verdicts_off) = run_under(AutotuneMode::Off, &data, "off");
+    assert!(
+        routines::selection_table().is_empty(),
+        "heuristic mode caches nothing"
+    );
+    let (det_on, verdicts_on) = run_under(AutotuneMode::On, &data, "on");
+    let table = routines::selection_table();
+    assert!(
+        table.iter().any(|e| e.measured),
+        "autotune with a timer must measure at least one shape: {table:?}"
+    );
+
+    assert_eq!(
+        det_off, det_on,
+        "persisted detector JSON differs between autotune modes"
+    );
+    assert_eq!(
+        verdicts_off, verdicts_on,
+        "classification verdicts differ between autotune modes"
+    );
+
+    // Second resolution under the same mode: cached selections replay.
+    let (det_again, verdicts_again) = run_under(AutotuneMode::On, &data, "on2");
+    assert_eq!(det_on, det_again);
+    assert_eq!(verdicts_on, verdicts_again);
+
+    routines::set_autotune(AutotuneMode::Off);
+}

@@ -195,6 +195,67 @@ proptest! {
     }
 }
 
+/// The single-frame serve fast path (a coalesced batch of exactly one
+/// frame skips batch assembly and scores through the scalar classify
+/// path) must be invisible: a single-tenant server's decisions are
+/// bit-identical to a solo [`StreamRuntime`], and to the same tenant
+/// riding in a two-tenant fleet whose batches of two take the batched
+/// path — while the `serve-score`/`scoring` stages and score counters
+/// still fire.
+#[test]
+fn single_tenant_fast_path_is_bit_identical() {
+    let gen_solo = || {
+        small_traffic("solo", World::Outdoor)
+            .with_len(10)
+            .with_fault_burst(FaultBurst::new(FaultKind::NanBurst, 3, 2))
+            .generate(41, 0)
+            .unwrap()
+    };
+    let mut solo = vec![gen_solo()];
+    let recorder = RunRecorder::new();
+    let served = run_serve(
+        &mut solo,
+        lossless_queue(),
+        |_| stream_config(),
+        None,
+        &recorder,
+    )
+    .remove(0);
+    let reference = run_solo(&solo[0], stream_config());
+    assert_eq!(
+        served, reference,
+        "single-tenant serve (fast path) diverged from the solo runtime"
+    );
+
+    // The same tenant in a two-tenant fleet: every round admits two
+    // frames, so scoring takes the coalesced batch path instead.
+    let mut pair = vec![
+        gen_solo(),
+        small_traffic("other", World::Indoor)
+            .with_len(10)
+            .generate(41, 1)
+            .unwrap(),
+    ];
+    let fleet = run_serve(
+        &mut pair,
+        lossless_queue(),
+        |_| stream_config(),
+        None,
+        obs::noop(),
+    );
+    assert_eq!(
+        fleet[0], served,
+        "fast-path decisions diverged from the coalesced batch path"
+    );
+
+    // Observability keeps its shape on the fast path.
+    let report = recorder.report("serve");
+    assert!(report
+        .missing_stages(&["serve-score", "scoring"])
+        .is_empty());
+    assert!(report.counter("scoring.scores_computed").unwrap_or(0) > 0);
+}
+
 /// A tenant whose every frame is corrupted (100 % fault schedule) must
 /// not change one byte of any other tenant's decisions or alarm log:
 /// removing it from the fleet leaves the survivors' outputs identical.
